@@ -1,0 +1,95 @@
+"""E2 / Figure 3 — The Query Execution Breakdown panel.
+
+Regenerates the demo's stacked-bar chart: execution time of the same
+Select-Project query split into Processing / I/O / Convert / Parsing /
+Tokenizing / NoDB for
+
+* PostgreSQL        (conventional row store, data already loaded),
+* Baseline          (external files: no positional map, no cache),
+* PostgresRaw cold  (first query ever on the file),
+* PostgresRaw PM+C  (warmed positional map + cache).
+
+Paper shape: the Baseline bar is dominated by tokenizing+parsing+convert;
+PostgresRaw (PM+C) collapses those components; PostgreSQL's own query is
+cheap because the expensive part (loading) happened before the chart.
+"""
+
+import pytest
+
+from repro import PostgresRaw, PostgresRawConfig
+from repro.baselines import ConventionalDBMS, POSTGRESQL
+from repro.monitor import BreakdownReport, render_breakdown
+
+from .conftest import print_records
+
+QUERY = "SELECT a0, a7 FROM t WHERE a3 < 200000"
+
+
+@pytest.fixture(scope="module")
+def contenders(bench_csv, tmp_path_factory):
+    path, schema = bench_csv
+    pg = ConventionalDBMS(
+        POSTGRESQL, storage_dir=tmp_path_factory.mktemp("fig3_pg")
+    )
+    pg.load_csv("t", path, schema)
+
+    baseline = PostgresRaw(PostgresRawConfig.baseline())
+    baseline.register_csv("t", path, schema)
+
+    warm = PostgresRaw()
+    warm.register_csv("t", path, schema)
+    warm.query(QUERY)  # warm the map and cache
+
+    return path, schema, pg, baseline, warm
+
+
+def test_fig3_execution_breakdown(benchmark, contenders):
+    path, schema, pg, baseline, warm = contenders
+
+    def run_panel():
+        report = BreakdownReport()
+        cold_engine = PostgresRaw()
+        cold_engine.register_csv("t", path, schema)
+        report.add("PostgreSQL (loaded)", pg.query(QUERY).metrics)
+        report.add("Baseline (ext files)", baseline.query(QUERY).metrics)
+        report.add("PostgresRaw cold", cold_engine.query(QUERY).metrics)
+        report.add("PostgresRaw PM+C", warm.query(QUERY).metrics)
+        return report
+
+    report = benchmark.pedantic(run_panel, rounds=3, iterations=1)
+    records = report.as_table()
+    print_records("Figure 3: Query Execution Breakdown (seconds)", records)
+    print(render_breakdown(report))
+    benchmark.extra_info["figure3"] = records
+
+    by_system = {r["system"]: r for r in records}
+    cold = by_system["PostgresRaw cold"]
+    warm_row = by_system["PostgresRaw PM+C"]
+    base = by_system["Baseline (ext files)"]
+    # Shape assertions from the paper.
+    assert cold["tokenizing"] > 0
+    assert warm_row["tokenizing"] == 0.0
+    assert warm_row["total"] < base["total"]
+    assert by_system["PostgreSQL (loaded)"]["tokenizing"] == 0.0
+
+
+def test_fig3_baseline_never_improves(benchmark, contenders):
+    """The Baseline re-pays the full cost on every repetition."""
+    __, __, __, baseline, __ = contenders
+    result = benchmark(lambda: baseline.query(QUERY).metrics)
+    assert result.fields_tokenized > 0
+    assert result.bytes_read > 0
+
+
+def test_fig3_warm_postgresraw_query(benchmark, contenders):
+    """The warmed PM+C query — the figure's smallest in-situ bar."""
+    __, __, __, __, warm = contenders
+    result = benchmark(lambda: warm.query(QUERY).metrics)
+    assert result.fields_tokenized == 0
+
+
+def test_fig3_loaded_postgresql_query(benchmark, contenders):
+    """The conventional bar (post-load query)."""
+    __, __, pg, __, __ = contenders
+    result = benchmark(lambda: pg.query(QUERY).metrics)
+    assert result.tokenizing_seconds == 0

@@ -1,0 +1,130 @@
+"""E8 — input-shape sweeps (the demo's data-generation knobs).
+
+"tuples with fewer attributes or smaller attributes limit the
+effectiveness of the positional map"
+
+Two sweeps over generated files: attribute *count* (fixed total bytes)
+and attribute *width*.  Paper shape: the positional map's advantage over
+the baseline grows with both — more attributes to skip, and wider fields
+make each skipped byte count.
+"""
+
+import pytest
+
+from repro import (
+    PostgresRaw,
+    PostgresRawConfig,
+    generate_csv,
+    uniform_table_spec,
+)
+
+from .conftest import print_records, scaled_rows
+
+ATTR_COUNTS = [4, 8, 16, 32]
+WIDTHS = [4, 8, 16]
+
+
+def _warm_vs_baseline(path, schema, last_attr):
+    query = f"SELECT a{last_attr} FROM t"
+    adaptive = PostgresRaw(PostgresRawConfig(enable_cache=False))
+    adaptive.register_csv("t", path, schema)
+    adaptive.query(query)
+    warm = adaptive.query(query).metrics.total_seconds
+
+    baseline = PostgresRaw(PostgresRawConfig.baseline())
+    baseline.register_csv("t", path, schema)
+    base = baseline.query(query).metrics.total_seconds
+    return warm, base
+
+
+def test_attribute_count_sweep(benchmark, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("shape_attrs")
+    n_rows = scaled_rows(8_000)
+
+    def sweep():
+        records = []
+        for n_attrs in ATTR_COUNTS:
+            path = tmp / f"t{n_attrs}.csv"
+            schema = generate_csv(
+                path,
+                uniform_table_spec(n_attrs, n_rows, width=8, seed=1),
+            )
+            warm, base = _warm_vs_baseline(path, schema, n_attrs - 1)
+            records.append(
+                {
+                    "attrs": n_attrs,
+                    "baseline_s": base,
+                    "pm_warm_s": warm,
+                    "speedup": base / warm if warm else float("inf"),
+                }
+            )
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_records("E8a: attribute-count sweep (last attr projected)", records)
+    benchmark.extra_info["attr_sweep"] = records
+    # The map's advantage grows with attribute count.
+    speedups = [r["speedup"] for r in records]
+    assert speedups[-1] > speedups[0]
+    assert all(s > 1 for s in speedups[1:])
+
+
+def test_attribute_width_sweep(benchmark, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("shape_width")
+    n_rows = scaled_rows(8_000)
+
+    def sweep():
+        records = []
+        for width in WIDTHS:
+            path = tmp / f"w{width}.csv"
+            schema = generate_csv(
+                path,
+                uniform_table_spec(10, n_rows, width=width, seed=2),
+            )
+            warm, base = _warm_vs_baseline(path, schema, 9)
+            records.append(
+                {
+                    "width": width,
+                    "file_kib": path.stat().st_size // 1024,
+                    "baseline_s": base,
+                    "pm_warm_s": warm,
+                    "speedup": base / warm if warm else float("inf"),
+                }
+            )
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_records("E8b: attribute-width sweep", records)
+    benchmark.extra_info["width_sweep"] = records
+    assert all(r["speedup"] > 1 for r in records)
+
+
+def test_file_size_scaling(benchmark, tmp_path_factory):
+    """Supplementary: in-situ costs scale linearly with file size while
+    warm map+cache queries stay sublinear (they skip the raw file)."""
+    tmp = tmp_path_factory.mktemp("shape_rows")
+    sizes = [scaled_rows(n) for n in (5_000, 10_000, 20_000)]
+
+    def sweep():
+        records = []
+        for n_rows in sizes:
+            path = tmp / f"r{n_rows}.csv"
+            schema = generate_csv(
+                path, uniform_table_spec(10, n_rows, seed=3)
+            )
+            engine = PostgresRaw()
+            engine.register_csv("t", path, schema)
+            cold = engine.query("SELECT a5 FROM t").metrics.total_seconds
+            warm = engine.query("SELECT a5 FROM t").metrics.total_seconds
+            records.append(
+                {"rows": n_rows, "cold_s": cold, "warm_s": warm}
+            )
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_records("E8c: file-size scaling", records)
+    benchmark.extra_info["size_sweep"] = records
+    colds = [r["cold_s"] for r in records]
+    assert colds[-1] > colds[0]  # cold cost grows with the file
+    warms = [r["warm_s"] for r in records]
+    assert all(w < c for w, c in zip(warms, colds))

@@ -1,0 +1,80 @@
+"""E9 — response time over a sequence of queries (the NoDB headline).
+
+"As more queries are processed, response times improve due to the
+adaptive properties of PostgresRaw."
+
+A random Select-Project sequence replayed against PostgresRaw and the
+external-files baseline.  Paper shape: PostgresRaw's per-query latency
+decays toward a steady state an order of magnitude under its first
+query; the baseline's stays flat at first-query cost.
+"""
+
+import pytest
+
+from repro import PostgresRaw, PostgresRawConfig
+from repro.workload import RandomSelectProjectWorkload
+
+from .conftest import print_records
+
+N_QUERIES = 12
+
+
+def test_query_sequence_adaptation(benchmark, bench_csv):
+    path, schema = bench_csv
+    specs = RandomSelectProjectWorkload(
+        "t", schema, projection_width=2, seed=17
+    ).queries(N_QUERIES)
+
+    def replay():
+        adaptive = PostgresRaw()
+        adaptive.register_csv("t", path, schema)
+        baseline = PostgresRaw(PostgresRawConfig.baseline())
+        baseline.register_csv("t", path, schema)
+        series = []
+        for i, spec in enumerate(specs):
+            sql = spec.to_sql()
+            a = adaptive.query(sql).metrics.total_seconds
+            b = baseline.query(sql).metrics.total_seconds
+            series.append(
+                {"query": i, "postgresraw_s": a, "baseline_s": b}
+            )
+        return series
+
+    series = benchmark.pedantic(replay, rounds=1, iterations=1)
+    print_records("E9: response time over the query sequence", series)
+    benchmark.extra_info["sequence"] = series
+
+    raw_times = [r["postgresraw_s"] for r in series]
+    base_times = [r["baseline_s"] for r in series]
+    steady = sum(raw_times[-4:]) / 4
+    # Adaptation: steady state well below the first query.
+    assert steady < raw_times[0] / 2
+    # The baseline never escapes first-query cost.
+    base_steady = sum(base_times[-4:]) / 4
+    assert base_steady > steady * 2
+    # Cumulative view: PostgresRaw's total beats the baseline's.
+    assert sum(raw_times) < sum(base_times)
+
+
+def test_steady_state_latency(benchmark, bench_csv):
+    """Timed: a single warm query at steady state."""
+    path, schema = bench_csv
+    engine = PostgresRaw()
+    engine.register_csv("t", path, schema)
+    sql = "SELECT a1, a8 FROM t WHERE a4 BETWEEN 200000 AND 400000"
+    engine.query(sql)
+    engine.query(sql)
+    benchmark(lambda: engine.query(sql))
+
+
+def test_first_query_latency(benchmark, bench_csv):
+    """Timed: the cold first-touch query (fresh engine per round)."""
+    path, schema = bench_csv
+    sql = "SELECT a1, a8 FROM t WHERE a4 BETWEEN 200000 AND 400000"
+
+    def cold_query():
+        engine = PostgresRaw()
+        engine.register_csv("t", path, schema)
+        return engine.query(sql)
+
+    benchmark.pedantic(cold_query, rounds=3, iterations=1)

@@ -1,0 +1,108 @@
+"""E5 / Part III — the friendly race.
+
+"After the 'starting shot', all contestants try to get the query
+results as soon as possible."  PostgresRaw (no init) vs PostgreSQL
+(load + ANALYZE), MySQL (cheap load), DBMS X (load + zone maps +
+statistics — 'tuned'), and the external-files mode.
+
+Paper shape: PostgresRaw's data-to-query time is the shortest of any
+system that adapts; external files matches it on the first query but
+never improves; conventional systems answer nothing until loading ends,
+then run individual queries fast.
+"""
+
+import pytest
+
+from repro.baselines import DBMS_X, MYSQL, POSTGRESQL
+from repro.workload import (
+    ConventionalContestant,
+    ExternalFilesContestant,
+    FriendlyRace,
+    PostgresRawContestant,
+    RandomSelectProjectWorkload,
+)
+
+from .conftest import print_records
+
+N_QUERIES = 8
+
+
+def test_friendly_race(benchmark, bench_csv, tmp_path_factory):
+    path, schema = bench_csv
+    queries = RandomSelectProjectWorkload(
+        "t", schema, projection_width=2, seed=99
+    ).queries(N_QUERIES)
+    race = FriendlyRace("t", path, schema)
+    store = tmp_path_factory.mktemp("race")
+
+    def run_race():
+        return race.run(
+            [
+                PostgresRawContestant(),
+                ConventionalContestant(
+                    POSTGRESQL, storage_dir=store / "pg"
+                ),
+                ConventionalContestant(MYSQL, storage_dir=store / "my"),
+                ConventionalContestant(DBMS_X, storage_dir=store / "dx"),
+                ExternalFilesContestant(),
+            ],
+            queries,
+        )
+
+    report = benchmark.pedantic(run_race, rounds=1, iterations=1)
+    records = report.as_table()
+    print_records("Part III: Friendly Race", records)
+    print()
+    print(report.render())
+    benchmark.extra_info["race"] = records
+
+    lanes = {lane.name: lane for lane in report.lanes}
+    raw = lanes["PostgresRaw"]
+    # Zero-initialization headline.
+    assert raw.init_seconds < 0.05
+    for name in ("PostgreSQL", "MySQL", "DBMS X"):
+        conventional = lanes[name]
+        assert conventional.init_seconds > raw.init_seconds
+        assert raw.data_to_query_seconds < conventional.data_to_query_seconds
+        # PostgresRaw answers >= 1 query before their load finishes.
+        assert raw.answered_by(conventional.init_seconds) >= 1
+    # The tuned column store paid the most initialization.
+    assert lanes["DBMS X"].init_seconds >= lanes["MySQL"].init_seconds
+    # External files: same start as PostgresRaw, but total only grows.
+    external = lanes["External files"]
+    assert external.total_seconds > raw.total_seconds
+
+
+def test_race_queries_answered_timeline(benchmark, bench_csv, tmp_path_factory):
+    """The audience view: queries answered as wall-clock advances."""
+    path, schema = bench_csv
+    queries = RandomSelectProjectWorkload("t", schema, seed=31).queries(6)
+    race = FriendlyRace("t", path, schema)
+    store = tmp_path_factory.mktemp("race_tl")
+
+    def run_race():
+        return race.run(
+            [
+                PostgresRawContestant(),
+                ConventionalContestant(POSTGRESQL, storage_dir=store / "pg"),
+            ],
+            queries,
+        )
+
+    report = benchmark.pedantic(run_race, rounds=1, iterations=1)
+    lanes = {lane.name: lane for lane in report.lanes}
+    horizon = max(lane.total_seconds for lane in report.lanes)
+    steps = [horizon * i / 8 for i in range(1, 9)]
+    records = [
+        {
+            "t_seconds": t,
+            "PostgresRaw": lanes["PostgresRaw"].answered_by(t),
+            "PostgreSQL": lanes["PostgreSQL"].answered_by(t),
+        }
+        for t in steps
+    ]
+    print_records("Queries answered by time T", records)
+    benchmark.extra_info["timeline"] = records
+    # Early in the race PostgresRaw leads.
+    early = records[1]
+    assert early["PostgresRaw"] >= early["PostgreSQL"]

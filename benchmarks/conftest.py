@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table/figure of the paper (see
+DESIGN.md §3).  Dataset sizes scale with ``REPRO_BENCH_SCALE`` (default
+1.0): absolute numbers are Python-scale, the *shapes* are what the
+benchmarks assert and print.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import generate_csv, uniform_table_spec
+
+#: Multiplier for dataset sizes (rows).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Default benchmark table: rows x attrs.
+BASE_ROWS = int(30_000 * SCALE)
+BASE_ATTRS = 10
+
+
+def scaled_rows(n: int) -> int:
+    return max(int(n * SCALE), 100)
+
+
+@pytest.fixture(scope="session")
+def bench_csv(tmp_path_factory):
+    """The shared raw file: BASE_ROWS x BASE_ATTRS uniform integers."""
+    path = tmp_path_factory.mktemp("bench") / "bench.csv"
+    spec = uniform_table_spec(
+        n_attrs=BASE_ATTRS, n_rows=BASE_ROWS, width=8, seed=4242
+    )
+    schema = generate_csv(path, spec)
+    return path, schema
+
+
+def print_records(title: str, records: list[dict]) -> None:
+    """Render a figure's data as an aligned text table (with -s)."""
+    print(f"\n=== {title} ===")
+    if not records:
+        print("(no rows)")
+        return
+    keys = list(records[0])
+    widths = {
+        k: max(len(str(k)), *(len(_fmt(r[k])) for r in records))
+        for k in keys
+    }
+    print("  ".join(str(k).ljust(widths[k]) for k in keys))
+    for record in records:
+        print("  ".join(_fmt(record[k]).ljust(widths[k]) for k in keys))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP-517 editable installs (which need ``bdist_wheel``) fail.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``python setup.py develop``) work with the stock setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PostgresRaw reproduction: adaptive in-situ query processing on "
+        "raw CSV data (NoDB, VLDB 2012 demo)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,96 @@
+"""repro — a reproduction of PostgresRaw, the NoDB prototype.
+
+"NoDB in Action: Adaptive Query Processing on Raw Data", Alagiannis,
+Borovica, Branco, Idreos, Ailamaki — VLDB 2012 (demo of the SIGMOD 2012
+NoDB paper).
+
+The library provides:
+
+* :class:`PostgresRaw` — an in-situ SQL engine over raw CSV files with
+  an adaptive positional map, a binary data cache, on-the-fly statistics
+  and selective tokenizing / parsing / tuple formation;
+* :class:`ConventionalDBMS` / :class:`ExternalFilesDBMS` — load-first and
+  external-files baselines sharing the same planner and executor;
+* workload generators, a "friendly race" harness and ASCII monitoring
+  panels reproducing the demo's figures and scenarios.
+
+Quickstart::
+
+    from repro import PostgresRaw, generate_csv, uniform_table_spec
+
+    spec = uniform_table_spec(n_attrs=10, n_rows=50_000)
+    schema = generate_csv("data.csv", spec)
+    engine = PostgresRaw()
+    engine.register_csv("t", "data.csv", schema)
+    print(engine.query("SELECT a0, a1 FROM t WHERE a2 < 1000").format_table())
+"""
+
+from .batch import Batch, ColumnVector
+from .catalog import Catalog, Column, TableSchema
+from .config import PostgresRawConfig
+from .core import (
+    FileChange,
+    PostgresRaw,
+    QueryMetrics,
+    RawDataCache,
+    PositionalMap,
+    StatisticsStore,
+)
+from .datatypes import DataType
+from .errors import (
+    CatalogError,
+    ConversionError,
+    ExecutionError,
+    PlanningError,
+    RawDataError,
+    ReproError,
+    SchemaError,
+    SQLSyntaxError,
+    StorageError,
+)
+from .executor import QueryResult
+from .rawio import (
+    ColumnSpec,
+    CsvDialect,
+    DatasetSpec,
+    append_csv_rows,
+    generate_csv,
+    uniform_table_spec,
+    write_csv,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Batch",
+    "ColumnVector",
+    "Catalog",
+    "Column",
+    "TableSchema",
+    "PostgresRawConfig",
+    "FileChange",
+    "PostgresRaw",
+    "QueryMetrics",
+    "RawDataCache",
+    "PositionalMap",
+    "StatisticsStore",
+    "DataType",
+    "CatalogError",
+    "ConversionError",
+    "ExecutionError",
+    "PlanningError",
+    "RawDataError",
+    "ReproError",
+    "SchemaError",
+    "SQLSyntaxError",
+    "StorageError",
+    "QueryResult",
+    "ColumnSpec",
+    "CsvDialect",
+    "DatasetSpec",
+    "append_csv_rows",
+    "generate_csv",
+    "uniform_table_spec",
+    "write_csv",
+    "__version__",
+]

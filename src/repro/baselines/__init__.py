@@ -1,0 +1,24 @@
+"""Conventional-DBMS contestants for the friendly race (paper §4.3).
+
+"We use MySQL, DBMS X (a commercial system) and PostgreSQL against
+PostgresRaw with positional maps and caching enabled."
+
+The closed-source/commercial systems are substituted with real
+alternative storage engines rather than wall-clock multipliers — see
+DESIGN.md §2.  All contestants share the SQL parser, planner and
+executor with PostgresRaw; only storage and initialization differ.
+"""
+
+from .profiles import SystemProfile, POSTGRESQL, MYSQL, DBMS_X, ALL_PROFILES
+from .conventional import ConventionalDBMS
+from .external import ExternalFilesDBMS
+
+__all__ = [
+    "SystemProfile",
+    "POSTGRESQL",
+    "MYSQL",
+    "DBMS_X",
+    "ALL_PROFILES",
+    "ConventionalDBMS",
+    "ExternalFilesDBMS",
+]

@@ -1,0 +1,54 @@
+"""The external-files baseline (related-work §2).
+
+"External files, however, can only access raw data with no support for
+advanced database features ... external files require every query to
+access the entire raw data file, as if no other query did so in the
+past."
+
+This is PostgresRaw with every adaptive component disabled — the same
+scan operator, but nothing is remembered between queries.  It is the
+"Baseline" bar of Figure 3 and models Oracle external tables / the
+MySQL CSV storage engine in the race.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..catalog.schema import TableSchema
+from ..config import PostgresRawConfig
+from ..core.engine import PostgresRaw
+from ..executor.result import QueryResult
+from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
+
+
+class ExternalFilesDBMS:
+    """Full re-scan per query; no positional map, cache or statistics."""
+
+    def __init__(self, batch_size: int | None = None) -> None:
+        config = PostgresRawConfig.baseline()
+        if batch_size is not None:
+            config = config.with_overrides(batch_size=batch_size)
+        self._engine = PostgresRaw(config)
+
+    @property
+    def config(self) -> PostgresRawConfig:
+        return self._engine.config
+
+    def register_csv(
+        self,
+        name: str,
+        path: str | Path,
+        schema: TableSchema | None = None,
+        dialect: CsvDialect = DEFAULT_DIALECT,
+    ):
+        return self._engine.register_csv(name, path, schema, dialect)
+
+    def query(self, sql: str) -> QueryResult:
+        return self._engine.query(sql)
+
+    def explain(self, sql: str) -> str:
+        return self._engine.explain(sql)
+
+    def table_names(self) -> list[str]:
+        return self._engine.table_names()

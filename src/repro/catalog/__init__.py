@@ -1,0 +1,12 @@
+"""Schemas and the table catalog."""
+
+from .schema import Column, TableSchema
+from .catalog import Catalog, RawTableEntry, LoadedTableEntry
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "Catalog",
+    "RawTableEntry",
+    "LoadedTableEntry",
+]

@@ -1,0 +1,101 @@
+"""The table catalog: names -> raw files or loaded tables.
+
+PostgresRaw registers a raw file under a table name without reading a
+single byte of it ("zero initialization overhead"); a conventional DBMS
+registers a table only after loading.  Both entry kinds live in the same
+catalog so the SQL planner can resolve names uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..errors import CatalogError
+from .schema import TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..rawio.dialect import CsvDialect
+    from ..storage.table import StoredTable
+
+
+@dataclass
+class RawTableEntry:
+    """A table whose data lives in a raw CSV file, queried in situ."""
+
+    name: str
+    schema: TableSchema
+    path: Path
+    dialect: "CsvDialect"
+
+    @property
+    def kind(self) -> str:
+        return "raw"
+
+
+@dataclass
+class LoadedTableEntry:
+    """A table loaded into binary storage by a conventional engine."""
+
+    name: str
+    schema: TableSchema
+    table: "StoredTable"
+
+    @property
+    def kind(self) -> str:
+        return "loaded"
+
+
+class Catalog:
+    """Mutable mapping from table names to catalog entries."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RawTableEntry | LoadedTableEntry] = {}
+
+    def register_raw(
+        self,
+        name: str,
+        schema: TableSchema,
+        path: str | Path,
+        dialect: "CsvDialect",
+    ) -> RawTableEntry:
+        """Register a raw file as a queryable table (no data is read)."""
+        self._check_free(name)
+        entry = RawTableEntry(name, schema, Path(path), dialect)
+        self._entries[name] = entry
+        return entry
+
+    def register_loaded(
+        self, name: str, schema: TableSchema, table: "StoredTable"
+    ) -> LoadedTableEntry:
+        self._check_free(name)
+        entry = LoadedTableEntry(name, schema, table)
+        self._entries[name] = entry
+        return entry
+
+    def _check_free(self, name: str) -> None:
+        if name in self._entries:
+            raise CatalogError(f"table {name!r} already registered")
+
+    def lookup(self, name: str) -> RawTableEntry | LoadedTableEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r} (have {sorted(self._entries)})"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._entries:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._entries[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._entries
+
+    def table_names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def schema_of(self, name: str) -> TableSchema:
+        return self.lookup(name).schema

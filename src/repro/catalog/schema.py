@@ -1,0 +1,102 @@
+"""Table schemas.
+
+In NoDB the user supplies only a schema and a pointer to the raw file —
+"PostgresRaw needs only a pointer to the raw data files and it starts
+executing queries immediately".  :class:`TableSchema` is that declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..datatypes import DataType
+from ..errors import CatalogError, SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute of a relation."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+class TableSchema:
+    """An ordered, uniquely-named list of columns.
+
+    Column order matters: it is the attribute order inside each raw CSV
+    tuple, which drives selective tokenization (a query touching only the
+    first attributes tokenizes less of every tuple).
+    """
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns: tuple[Column, ...] = tuple(columns)
+        if not self.columns:
+            raise SchemaError("a table needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[str, DataType | str]]) -> "TableSchema":
+        """Build from ``[("a", DataType.INTEGER), ("b", "text"), ...]``."""
+        cols = []
+        for name, dtype in pairs:
+            if isinstance(dtype, str):
+                dtype = DataType.from_name(dtype)
+            cols.append(Column(name, dtype))
+        return cls(cols)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name} {c.dtype.value}" for c in self.columns)
+        return f"TableSchema({inner})"
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def dtypes(self) -> list[DataType]:
+        return [c.dtype for c in self.columns]
+
+    def position(self, name: str) -> int:
+        """0-based attribute position of ``name`` within a tuple."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} (have {self.names()})"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    def dtype_of(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    def positions(self, names: Iterable[str]) -> list[int]:
+        return [self.position(n) for n in names]
+
+    def subset(self, names: Iterable[str]) -> "TableSchema":
+        """Schema of a projection, preserving tuple order."""
+        wanted = set(names)
+        return TableSchema([c for c in self.columns if c.name in wanted])

@@ -1,0 +1,146 @@
+"""Configuration knobs for PostgresRaw.
+
+The demo paper exposes these as GUI controls: enabling/disabling the NoDB
+components (positional map, cache, statistics), and the storage space
+devoted to each auxiliary structure.  :class:`PostgresRawConfig` is the
+programmatic equivalent; every knob maps to a sentence in the paper
+(quoted in the attribute docs below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .errors import BudgetError
+
+#: Number of tuples processed per vectorized batch by the scan operators.
+DEFAULT_BATCH_SIZE = 4096
+
+#: Default byte budget for the adaptive positional map (per engine).
+DEFAULT_POSITIONAL_MAP_BUDGET = 64 * 1024 * 1024
+
+#: Default byte budget for the binary data cache (per engine).
+DEFAULT_CACHE_BUDGET = 256 * 1024 * 1024
+
+#: Default reservoir size used by on-the-fly statistics, per attribute.
+DEFAULT_STATS_SAMPLE_SIZE = 1024
+
+#: Default number of buckets in equi-depth histograms.
+DEFAULT_HISTOGRAM_BUCKETS = 32
+
+
+@dataclass(frozen=True)
+class PostgresRawConfig:
+    """Tunable parameters of a :class:`repro.core.engine.PostgresRaw` engine.
+
+    Instances are immutable; derive variants with :meth:`with_overrides`
+    (used heavily by the ablation benchmarks, which flip one knob at a
+    time).
+    """
+
+    #: "the user can enable or disable the NoDB components" — positional map.
+    enable_positional_map: bool = True
+
+    #: "the user can enable or disable the NoDB components" — binary cache.
+    enable_cache: bool = True
+
+    #: "We extend the PostgresRaw scan operator to create statistics
+    #: on-the-fly."  Disable to measure the overhead / plan-quality impact.
+    enable_statistics: bool = True
+
+    #: "specify the amount of storage space which is devoted to internal
+    #: indexes" — byte budget for positional-map chunks (line index is
+    #: pinned and accounted separately, see positional_map module docs).
+    positional_map_budget: int = DEFAULT_POSITIONAL_MAP_BUDGET
+
+    #: "The size of the cache is a parameter that can be tuned depending
+    #: on the resources."
+    cache_budget: int = DEFAULT_CACHE_BUDGET
+
+    #: Eviction policy: ``"lru"`` (the paper's default) or
+    #: ``"cost_aware"`` — "caching should give priority to attributes
+    #: that are more expensive to parse and cheaper to maintain in
+    #: memory e.g. integer attributes".
+    cache_policy: str = "lru"
+
+    #: "PostgresRaw reduces the tokenizing costs by opportunistically
+    #: aborting tokenizing tuples as soon as the required attributes for a
+    #: query have been found."  Disabling forces full-tuple tokenization.
+    selective_tokenizing: bool = True
+
+    #: "PostgresRaw needs only to transform to binary the values required
+    #: for the remaining query plan."
+    selective_parsing: bool = True
+
+    #: "Tuples are not fully composed but only contain the attributes
+    #: needed for a given query ... only created after the select
+    #: operator."  Disabling materializes all projected attributes before
+    #: the filter runs.
+    selective_tuple_formation: bool = True
+
+    #: "The distance that triggers indexing of a new attribute combination
+    #: is a PostgresRaw parameter.  In our prototype, the default setting
+    #: is that if all requested attributes for a query belong in different
+    #: chunks, then the new combination is indexed."
+    pm_combination_policy: bool = True
+
+    #: Reservoir sample size per attribute for on-the-fly statistics.
+    stats_sample_size: int = DEFAULT_STATS_SAMPLE_SIZE
+
+    #: Bucket count for the equi-depth histograms fed to the optimizer.
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS
+
+    #: Rows per vectorized batch in the scan pipeline.
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    #: "PostgresRaw is responsible for detecting the changes" — check the
+    #: raw file's fingerprint before every query and reconcile.
+    auto_detect_updates: bool = True
+
+    def __post_init__(self) -> None:
+        if self.positional_map_budget < 0:
+            raise BudgetError("positional_map_budget must be >= 0")
+        if self.cache_budget < 0:
+            raise BudgetError("cache_budget must be >= 0")
+        if self.cache_policy not in ("lru", "cost_aware"):
+            raise BudgetError(
+                f"cache_policy must be 'lru' or 'cost_aware', "
+                f"not {self.cache_policy!r}"
+            )
+        if self.batch_size <= 0:
+            raise BudgetError("batch_size must be positive")
+        if self.stats_sample_size <= 0:
+            raise BudgetError("stats_sample_size must be positive")
+        if self.histogram_buckets <= 0:
+            raise BudgetError("histogram_buckets must be positive")
+
+    def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
+        """Return a copy with the given fields replaced.
+
+        >>> PostgresRawConfig().with_overrides(enable_cache=False).enable_cache
+        False
+        """
+        return replace(self, **overrides)
+
+    @classmethod
+    def baseline(cls) -> "PostgresRawConfig":
+        """The 'Baseline' variant from Figure 3: no positional map, no
+        cache, no statistics — the naive external-files scan that re-does
+        all work on every query (selective tokenizing/parsing stay on, as
+        in the paper's baseline which shares the scan operator)."""
+        return cls(
+            enable_positional_map=False,
+            enable_cache=False,
+            enable_statistics=False,
+        )
+
+    @classmethod
+    def pm_only(cls) -> "PostgresRawConfig":
+        """Positional map enabled, cache disabled (ablation arm)."""
+        return cls(enable_cache=False)
+
+    @classmethod
+    def cache_only(cls) -> "PostgresRawConfig":
+        """Cache enabled, positional map disabled (ablation arm)."""
+        return cls(enable_positional_map=False)

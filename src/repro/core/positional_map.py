@@ -1,0 +1,309 @@
+"""The adaptive positional map (paper §3.1).
+
+The map "maintains low level metadata information on the structure of the
+flat file" — the character offsets where attributes begin inside each
+tuple — so a later query can "jump directly to the correct position
+without having to perform expensive tokenizing steps".
+
+Faithful properties implemented here:
+
+* **Populated as a side-effect of queries** — the scan operator records
+  every position it discovers while tokenizing (not only the requested
+  attributes: "if a query requires attributes in positions 10 and 15, all
+  positions from 1 to 15 may be kept").
+* **Chunked by attribute combination** — offsets of attributes accessed
+  together live in one chunk (a ``(rows x attrs)`` int64 matrix), and the
+  default policy indexes a *new* combination "if all requested attributes
+  for a query belong in different chunks".
+* **Bounded + LRU** — chunks are dropped least-recently-used first when
+  the byte budget is exceeded; the tuple/line boundary index is pinned
+  (it is the minimum structure needed to find tuples at all) and
+  accounted separately.
+* **Approximate jumps** — a query needing attribute ``a`` with no exact
+  chunk can still anchor at the *nearest mapped attribute* ``a' <= a``
+  and tokenize only the ``a - a'`` intervening fields.
+
+Coverage is a row *prefix*: a chunk always describes rows ``0 .. rows``;
+appends to the raw file extend chunks rather than invalidating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass
+class PositionalChunk:
+    """Offsets of one attribute combination over a row prefix.
+
+    ``offsets[r, i]`` is the absolute start of attribute ``attrs[i]`` in
+    row ``r``.  ``attrs`` is sorted ascending.
+    """
+
+    attrs: tuple[int, ...]
+    offsets: np.ndarray
+    last_used: int = 0
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.attrs)) != self.attrs:
+            raise ReproError("chunk attrs must be sorted")
+        if self.offsets.ndim != 2 or self.offsets.shape[1] != len(self.attrs):
+            raise ReproError(
+                f"offsets shape {self.offsets.shape} does not match "
+                f"{len(self.attrs)} attrs"
+            )
+
+    @property
+    def rows(self) -> int:
+        return int(self.offsets.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.offsets.nbytes)
+
+    def column_of(self, attr: int) -> int:
+        """Index of ``attr`` inside this chunk (raises if absent)."""
+        try:
+            return self.attrs.index(attr)
+        except ValueError:
+            raise ReproError(f"attr {attr} not in chunk {self.attrs}") from None
+
+    def has_attr(self, attr: int) -> bool:
+        return attr in self.attrs
+
+    def starts_for(self, attr: int, row_from: int, row_to: int) -> np.ndarray:
+        return self.offsets[row_from:row_to, self.column_of(attr)]
+
+
+@dataclass
+class AnchorHit:
+    """Nearest mapped attribute at or below a requested one."""
+
+    chunk: PositionalChunk
+    attr: int
+    column: int
+
+
+class PositionalMap:
+    """Budgeted, LRU-evicted collection of positional chunks for one file."""
+
+    def __init__(self, budget_bytes: int, combination_policy: bool = True) -> None:
+        self.budget_bytes = budget_bytes
+        self.combination_policy = combination_policy
+        self._chunks: list[PositionalChunk] = []
+        self._line_bounds: np.ndarray | None = None
+        self._clock = 0
+        self.installs = 0
+        self.evictions = 0
+        self.rejected_installs = 0
+
+    # ------------------------------------------------------------------
+    # Line (tuple boundary) index — pinned backbone.
+    # ------------------------------------------------------------------
+
+    @property
+    def line_bounds(self) -> np.ndarray | None:
+        return self._line_bounds
+
+    def set_line_bounds(self, bounds: np.ndarray) -> None:
+        self._line_bounds = np.asarray(bounds, dtype=np.int64)
+
+    @property
+    def n_rows(self) -> int:
+        if self._line_bounds is None:
+            return 0
+        return max(len(self._line_bounds) - 1, 0)
+
+    @property
+    def line_index_bytes(self) -> int:
+        return 0 if self._line_bounds is None else int(self._line_bounds.nbytes)
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance the LRU clock (one tick per query)."""
+        self._clock += 1
+        return self._clock
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def touch(self, chunk: PositionalChunk) -> None:
+        chunk.last_used = self._clock
+
+    def chunks(self) -> list[PositionalChunk]:
+        return list(self._chunks)
+
+    def find_exact(self, attrs: tuple[int, ...]) -> PositionalChunk | None:
+        for chunk in self._chunks:
+            if chunk.attrs == attrs:
+                return chunk
+        return None
+
+    def best_cover(self, attr: int) -> PositionalChunk | None:
+        """The chunk holding ``attr`` with the deepest row coverage."""
+        best: PositionalChunk | None = None
+        for chunk in self._chunks:
+            if chunk.has_attr(attr):
+                if best is None or chunk.rows > best.rows or (
+                    chunk.rows == best.rows and chunk.last_used > best.last_used
+                ):
+                    best = chunk
+        return best
+
+    def best_anchor(self, attr: int, min_rows: int) -> AnchorHit | None:
+        """Nearest mapped attribute ``<= attr`` covering at least ``min_rows``.
+
+        This implements "jump to the exact position of the file or as
+        close as possible": tokenization can start at the anchor instead
+        of the beginning of the tuple.
+        """
+        best: AnchorHit | None = None
+        for chunk in self._chunks:
+            if chunk.rows < min_rows:
+                continue
+            candidates = [a for a in chunk.attrs if a <= attr]
+            if not candidates:
+                continue
+            a = max(candidates)
+            if best is None or a > best.attr:
+                best = AnchorHit(chunk, a, chunk.column_of(a))
+        return best
+
+    # ------------------------------------------------------------------
+    # Population.
+    # ------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(c.nbytes for c in self._chunks)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def install(
+        self,
+        attrs: tuple[int, ...],
+        offsets: np.ndarray,
+        protected: "set[int] | None" = None,
+    ) -> PositionalChunk | None:
+        """Insert (or upgrade) a chunk, evicting LRU chunks to fit.
+
+        Returns the installed chunk, or ``None`` when the budget cannot
+        accommodate it even after evicting everything evictable.
+        ``protected`` chunks (by ``id``) are never evicted — the scan
+        protects chunks it is reading from in the current query.
+        """
+        attrs = tuple(sorted(attrs))
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        existing = self.find_exact(attrs)
+        if existing is not None:
+            if existing.rows >= offsets.shape[0]:
+                self.touch(existing)
+                return existing
+            self._chunks.remove(existing)
+
+        # A combination chunk is redundant if some chunk already covers a
+        # superset of its attributes at least as deeply.
+        for chunk in self._chunks:
+            if (
+                set(attrs) <= set(chunk.attrs)
+                and chunk.rows >= offsets.shape[0]
+            ):
+                self.touch(chunk)
+                return chunk
+
+        candidate = PositionalChunk(attrs, offsets, last_used=self._clock)
+        if not self._make_room(candidate.nbytes, protected or set()):
+            self.rejected_installs += 1
+            return None
+        self._chunks.append(candidate)
+        self.installs += 1
+        self._drop_subsumed(candidate)
+        return candidate
+
+    def extend(self, chunk: PositionalChunk, more_offsets: np.ndarray) -> bool:
+        """Append rows to an existing chunk (append-reconciliation path)."""
+        if chunk not in self._chunks:
+            return False
+        more_offsets = np.ascontiguousarray(more_offsets, dtype=np.int64)
+        if more_offsets.shape[1] != len(chunk.attrs):
+            raise ReproError("extension width does not match chunk attrs")
+        if not self._make_room(more_offsets.nbytes, {id(chunk)}):
+            return False
+        chunk.offsets = np.vstack([chunk.offsets, more_offsets])
+        self.touch(chunk)
+        return True
+
+    def _make_room(self, nbytes: int, protected: set[int]) -> bool:
+        if nbytes > self.budget_bytes:
+            return False
+        while self.used_bytes + nbytes > self.budget_bytes:
+            victim = self._lru_victim(protected)
+            if victim is None:
+                return False
+            self._chunks.remove(victim)
+            self.evictions += 1
+        return True
+
+    def _lru_victim(self, protected: set[int]) -> PositionalChunk | None:
+        candidates = [c for c in self._chunks if id(c) not in protected]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: c.last_used)
+
+    def _drop_subsumed(self, keeper: PositionalChunk) -> None:
+        """Drop chunks whose attrs are a subset of ``keeper`` with no
+        deeper coverage — they can never win a lookup again."""
+        keep_attrs = set(keeper.attrs)
+        doomed = [
+            c
+            for c in self._chunks
+            if c is not keeper
+            and set(c.attrs) <= keep_attrs
+            and c.rows <= keeper.rows
+        ]
+        for c in doomed:
+            self._chunks.remove(c)
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection.
+    # ------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop everything (the raw file was rewritten)."""
+        self._chunks.clear()
+        self._line_bounds = None
+
+    def coverage_rows(self, attr: int) -> int:
+        chunk = self.best_cover(attr)
+        return 0 if chunk is None else chunk.rows
+
+    def coverage_fraction(self, n_attrs: int, n_rows: int) -> float:
+        """Fraction of (attribute, row) positions the map knows."""
+        if n_attrs == 0 or n_rows == 0:
+            return 0.0
+        known = sum(
+            min(self.coverage_rows(a), n_rows) for a in range(n_attrs)
+        )
+        return known / float(n_attrs * n_rows)
+
+    def describe(self) -> list[dict[str, object]]:
+        """Chunk inventory for the monitoring panel."""
+        return [
+            {
+                "attrs": chunk.attrs,
+                "rows": chunk.rows,
+                "nbytes": chunk.nbytes,
+                "last_used": chunk.last_used,
+            }
+            for chunk in sorted(self._chunks, key=lambda c: c.attrs)
+        ]

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the PostgresRaw reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases (bad SQL, bad schema, malformed raw
+data) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """A table or column was not found, or was registered twice."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is invalid (duplicate columns, bad type, ...)."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so callers can point at the source.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(ReproError):
+    """A parsed query could not be turned into an executable plan."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed while running (type mismatch, bad aggregate, ...)."""
+
+
+class RawDataError(ReproError):
+    """A raw file is malformed with respect to its declared schema.
+
+    Carries the 0-based row number when known, mirroring how PostgresRaw
+    reports conversion failures with the offending tuple.
+    """
+
+    def __init__(self, message: str, row: int | None = None) -> None:
+        super().__init__(message)
+        self.row = row
+
+
+class ConversionError(RawDataError):
+    """A field's text could not be converted to its declared binary type."""
+
+
+class StorageError(ReproError):
+    """The conventional-DBMS storage layer hit an inconsistency."""
+
+
+class UpdateConflictError(ReproError):
+    """The raw file changed in a way that cannot be reconciled incrementally."""
+
+
+class BudgetError(ReproError):
+    """A configured byte budget is too small to hold mandatory state."""

@@ -1,0 +1,39 @@
+"""Vectorized query executor (the unchanged part of the plan).
+
+Everything above the scan — filters, projections, joins, aggregation,
+sorting — is shared verbatim between PostgresRaw and the conventional
+baselines, mirroring the paper's claim that in-situ querying only
+overrides the scan operator.
+"""
+
+from .expressions import evaluate, infer_type, normalize_expression
+from .operators import (
+    Operator,
+    BatchSource,
+    Filter,
+    Project,
+    HashJoin,
+    HashAggregate,
+    AggregateSpec,
+    Sort,
+    Limit,
+    Distinct,
+)
+from .result import QueryResult
+
+__all__ = [
+    "evaluate",
+    "infer_type",
+    "normalize_expression",
+    "Operator",
+    "BatchSource",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "HashAggregate",
+    "AggregateSpec",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "QueryResult",
+]

@@ -1,0 +1,490 @@
+"""Vectorized expression evaluation with SQL three-valued logic.
+
+:func:`evaluate` interprets a planned expression tree over a
+:class:`repro.batch.Batch`, producing a :class:`ColumnVector`.  NULL
+semantics follow SQL: comparisons and arithmetic propagate NULL;
+AND/OR use Kleene logic; ``WHERE`` keeps rows whose predicate is TRUE
+(not NULL).
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+import numpy as np
+
+from ..batch import Batch, ColumnVector
+from ..datatypes import DataType, parse_date
+from ..errors import ExecutionError
+from ..sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+
+_COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
+_ARITHMETIC = {"+", "-", "*", "/", "%"}
+
+
+# ----------------------------------------------------------------------
+# Static type inference (planner-side).
+# ----------------------------------------------------------------------
+
+
+def infer_type(expr: Expression, types: dict[str, DataType]) -> DataType:
+    """Result type of ``expr`` given the input column types."""
+    if isinstance(expr, ColumnRef):
+        try:
+            return types[expr.key]
+        except KeyError:
+            raise ExecutionError(f"unknown column {expr.key!r}") from None
+    if isinstance(expr, Literal):
+        return expr.dtype if expr.dtype is not None else DataType.TEXT
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("and", "or") or expr.op in _COMPARISONS:
+            return DataType.BOOLEAN
+        if expr.op == "||":
+            return DataType.TEXT
+        left = infer_type(expr.left, types)
+        right = infer_type(expr.right, types)
+        if expr.op == "/":
+            return DataType.FLOAT
+        if left is DataType.DATE and right is DataType.DATE and expr.op == "-":
+            return DataType.INTEGER
+        if DataType.DATE in (left, right) and expr.op in ("+", "-"):
+            return DataType.DATE
+        if DataType.FLOAT in (left, right):
+            return DataType.FLOAT
+        return DataType.INTEGER
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return DataType.BOOLEAN
+        return infer_type(expr.operand, types)
+    if isinstance(expr, (IsNull, Between, InList, Like)):
+        return DataType.BOOLEAN
+    if isinstance(expr, FunctionCall):
+        return _function_type(expr, types)
+    raise ExecutionError(f"cannot infer type of {expr!r}")
+
+
+def _function_type(call: FunctionCall, types: dict[str, DataType]) -> DataType:
+    name = call.name
+    if name == "count":
+        return DataType.INTEGER
+    if name == "avg":
+        return DataType.FLOAT
+    if name in ("sum", "min", "max"):
+        arg = call.args[0]
+        if isinstance(arg, Star):
+            raise ExecutionError(f"{name.upper()}(*) is not valid SQL")
+        return infer_type(arg, types)
+    if name == "abs":
+        return infer_type(call.args[0], types)
+    if name in ("lower", "upper"):
+        return DataType.TEXT
+    if name == "length":
+        return DataType.INTEGER
+    raise ExecutionError(f"unknown function {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Literal normalization (date coercion etc.).
+# ----------------------------------------------------------------------
+
+
+def normalize_expression(
+    expr: Expression, types: dict[str, DataType]
+) -> Expression:
+    """Coerce text literals compared against DATE columns into day numbers.
+
+    Lets users write ``WHERE d >= '2012-01-01'`` without the DATE
+    keyword, as PostgreSQL does.  The tree is rewritten in place (nodes
+    are not shared across statements).
+    """
+    if isinstance(expr, BinaryOp):
+        normalize_expression(expr.left, types)
+        normalize_expression(expr.right, types)
+        if expr.op in _COMPARISONS:
+            _coerce_date_pair(expr.left, expr.right, types)
+            _coerce_date_pair(expr.right, expr.left, types)
+    elif isinstance(expr, UnaryOp):
+        normalize_expression(expr.operand, types)
+    elif isinstance(expr, Between):
+        normalize_expression(expr.expr, types)
+        _coerce_date_pair(expr.expr, expr.low, types)
+        _coerce_date_pair(expr.expr, expr.high, types)
+    elif isinstance(expr, InList):
+        normalize_expression(expr.expr, types)
+        for item in expr.items:
+            _coerce_date_pair(expr.expr, item, types)
+    elif isinstance(expr, IsNull):
+        normalize_expression(expr.operand, types)
+    elif isinstance(expr, Like):
+        normalize_expression(expr.expr, types)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            if not isinstance(arg, Star):
+                normalize_expression(arg, types)
+    return expr
+
+
+def _coerce_date_pair(
+    side: Expression, literal: Expression, types: dict[str, DataType]
+) -> None:
+    if not isinstance(literal, Literal) or literal.dtype is not DataType.TEXT:
+        return
+    try:
+        side_type = infer_type(side, types)
+    except ExecutionError:
+        return
+    if side_type is DataType.DATE:
+        literal.value = parse_date(literal.value)
+        literal.dtype = DataType.DATE
+
+
+# ----------------------------------------------------------------------
+# Runtime evaluation.
+# ----------------------------------------------------------------------
+
+
+def evaluate(expr: Expression, batch: Batch) -> ColumnVector:
+    """Evaluate ``expr`` over every row of ``batch``."""
+    n = batch.num_rows
+    if isinstance(expr, ColumnRef):
+        return batch.column(expr.key)
+    if isinstance(expr, Literal):
+        return _literal_vector(expr, n)
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, batch)
+    if isinstance(expr, UnaryOp):
+        return _evaluate_unary(expr, batch)
+    if isinstance(expr, IsNull):
+        operand = evaluate(expr.operand, batch)
+        values = ~operand.null_mask if expr.negated else operand.null_mask.copy()
+        return ColumnVector(
+            DataType.BOOLEAN, values, np.zeros(n, dtype=np.bool_)
+        )
+    if isinstance(expr, Between):
+        return _evaluate_between(expr, batch)
+    if isinstance(expr, InList):
+        return _evaluate_in(expr, batch)
+    if isinstance(expr, Like):
+        return _evaluate_like(expr, batch)
+    if isinstance(expr, FunctionCall):
+        return _evaluate_scalar_function(expr, batch)
+    raise ExecutionError(f"cannot evaluate {expr!r}")
+
+
+def predicate_mask(expr: Expression, batch: Batch) -> np.ndarray:
+    """WHERE semantics: True only where the predicate is TRUE and not NULL."""
+    result = evaluate(expr, batch)
+    if result.dtype is not DataType.BOOLEAN:
+        raise ExecutionError(
+            f"predicate evaluates to {result.dtype.value}, expected boolean"
+        )
+    return np.asarray(result.values, dtype=np.bool_) & ~result.null_mask
+
+
+def _literal_vector(lit: Literal, n: int) -> ColumnVector:
+    dtype = lit.dtype
+    if dtype is None:  # NULL literal: type defaults to TEXT
+        values = np.empty(n, dtype=object)
+        values.fill(None)
+        return ColumnVector(DataType.TEXT, values, np.ones(n, dtype=np.bool_))
+    if dtype is DataType.TEXT:
+        values = np.empty(n, dtype=object)
+        values.fill(lit.value)
+        return ColumnVector(dtype, values, np.zeros(n, dtype=np.bool_))
+    values = np.full(n, lit.value, dtype=dtype.numpy_dtype)
+    return ColumnVector(dtype, values, np.zeros(n, dtype=np.bool_))
+
+
+def _evaluate_binary(expr: BinaryOp, batch: Batch) -> ColumnVector:
+    if expr.op in ("and", "or"):
+        return _evaluate_logical(expr, batch)
+    left = evaluate(expr.left, batch)
+    right = evaluate(expr.right, batch)
+    if expr.op in _COMPARISONS:
+        return _compare(expr.op, left, right)
+    if expr.op in _ARITHMETIC:
+        return _arithmetic(expr.op, left, right)
+    if expr.op == "||":
+        return _concat(left, right)
+    raise ExecutionError(f"unknown binary operator {expr.op!r}")
+
+
+def _evaluate_logical(expr: BinaryOp, batch: Batch) -> ColumnVector:
+    left = evaluate(expr.left, batch)
+    right = evaluate(expr.right, batch)
+    for side in (left, right):
+        if side.dtype is not DataType.BOOLEAN:
+            raise ExecutionError(
+                f"{expr.op.upper()} operand is {side.dtype.value}, "
+                "expected boolean"
+            )
+    l_val = np.asarray(left.values, dtype=np.bool_)
+    r_val = np.asarray(right.values, dtype=np.bool_)
+    l_null, r_null = left.null_mask, right.null_mask
+    if expr.op == "and":
+        values = l_val & r_val & ~l_null & ~r_null
+        # NULL unless one side is definitely FALSE.
+        definite_false = (~l_null & ~l_val) | (~r_null & ~r_val)
+        nulls = (l_null | r_null) & ~definite_false
+    else:
+        values = (l_val & ~l_null) | (r_val & ~r_null)
+        definite_true = (~l_null & l_val) | (~r_null & r_val)
+        nulls = (l_null | r_null) & ~definite_true
+    return ColumnVector(DataType.BOOLEAN, values, nulls)
+
+
+def _numeric_pair(
+    left: ColumnVector, right: ColumnVector
+) -> tuple[np.ndarray, np.ndarray]:
+    return np.asarray(left.values), np.asarray(right.values)
+
+
+def _compare(op: str, left: ColumnVector, right: ColumnVector) -> ColumnVector:
+    nulls = left.null_mask | right.null_mask
+    n = len(left)
+    if left.dtype is DataType.TEXT or right.dtype is DataType.TEXT:
+        if left.dtype is not right.dtype:
+            raise ExecutionError(
+                f"cannot compare {left.dtype.value} with {right.dtype.value}"
+            )
+        values = np.zeros(n, dtype=np.bool_)
+        func = _TEXT_COMPARATORS[op]
+        l_vals, r_vals = left.values, right.values
+        for i in np.flatnonzero(~nulls):
+            values[i] = func(l_vals[i], r_vals[i])
+        return ColumnVector(DataType.BOOLEAN, values, nulls)
+    _check_comparable(left.dtype, right.dtype)
+    l, r = _numeric_pair(left, right)
+    if op == "=":
+        values = l == r
+    elif op == "<>":
+        values = l != r
+    elif op == "<":
+        values = l < r
+    elif op == "<=":
+        values = l <= r
+    elif op == ">":
+        values = l > r
+    else:
+        values = l >= r
+    values = np.asarray(values, dtype=np.bool_) & ~nulls
+    return ColumnVector(DataType.BOOLEAN, values, nulls.copy())
+
+
+_TEXT_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _check_comparable(left: DataType, right: DataType) -> None:
+    groups = {
+        DataType.INTEGER: "num",
+        DataType.FLOAT: "num",
+        DataType.DATE: "date",
+        DataType.BOOLEAN: "bool",
+        DataType.TEXT: "text",
+    }
+    lg, rg = groups[left], groups[right]
+    # Allow INTEGER literals against DATE columns (day arithmetic).
+    if lg == rg or {lg, rg} == {"num", "date"}:
+        return
+    raise ExecutionError(f"cannot compare {left.value} with {right.value}")
+
+
+def _arithmetic(op: str, left: ColumnVector, right: ColumnVector) -> ColumnVector:
+    if left.dtype is DataType.TEXT or right.dtype is DataType.TEXT:
+        raise ExecutionError(f"arithmetic {op!r} on text operands")
+    nulls = left.null_mask | right.null_mask
+    l, r = _numeric_pair(left, right)
+    if op == "/":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            values = l.astype(np.float64) / r.astype(np.float64)
+        zero_div = r == 0
+        nulls = nulls | zero_div
+        values = np.where(zero_div, 0.0, values)
+        return ColumnVector(DataType.FLOAT, values, nulls)
+    if op == "%":
+        zero_div = r == 0
+        safe_r = np.where(zero_div, 1, r)
+        values = l % safe_r
+        return ColumnVector(_arith_dtype(left, right), values, nulls | zero_div)
+    if op == "+":
+        values = l + r
+    elif op == "-":
+        values = l - r
+    else:
+        values = l * r
+    return ColumnVector(_arith_dtype(left, right, op), values, nulls)
+
+
+def _arith_dtype(
+    left: ColumnVector, right: ColumnVector, op: str = "%"
+) -> DataType:
+    if left.dtype is DataType.DATE and right.dtype is DataType.DATE:
+        return DataType.INTEGER  # date - date = days
+    if DataType.DATE in (left.dtype, right.dtype):
+        return DataType.DATE
+    if DataType.FLOAT in (left.dtype, right.dtype):
+        return DataType.FLOAT
+    return DataType.INTEGER
+
+
+def _concat(left: ColumnVector, right: ColumnVector) -> ColumnVector:
+    nulls = left.null_mask | right.null_mask
+    n = len(left)
+    values = np.empty(n, dtype=object)
+    values.fill(None)
+    for i in np.flatnonzero(~nulls):
+        values[i] = str(left.values[i]) + str(right.values[i])
+    return ColumnVector(DataType.TEXT, values, nulls)
+
+
+def _evaluate_unary(expr: UnaryOp, batch: Batch) -> ColumnVector:
+    operand = evaluate(expr.operand, batch)
+    if expr.op == "not":
+        if operand.dtype is not DataType.BOOLEAN:
+            raise ExecutionError("NOT expects a boolean operand")
+        values = ~np.asarray(operand.values, dtype=np.bool_) & ~operand.null_mask
+        return ColumnVector(DataType.BOOLEAN, values, operand.null_mask.copy())
+    if expr.op == "-":
+        if not operand.dtype.is_numeric:
+            raise ExecutionError("unary minus expects a numeric operand")
+        return ColumnVector(
+            operand.dtype, -np.asarray(operand.values), operand.null_mask.copy()
+        )
+    raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+
+def _evaluate_between(expr: Between, batch: Batch) -> ColumnVector:
+    value = evaluate(expr.expr, batch)
+    low = evaluate(expr.low, batch)
+    high = evaluate(expr.high, batch)
+    ge = _compare(">=", value, low)
+    le = _compare("<=", value, high)
+    result = _evaluate_logical_pair("and", ge, le)
+    if expr.negated:
+        return _negate_bool(result)
+    return result
+
+
+def _evaluate_logical_pair(
+    op: str, left: ColumnVector, right: ColumnVector
+) -> ColumnVector:
+    # Kleene logic over already-evaluated operands.
+    l_val = np.asarray(left.values, dtype=np.bool_)
+    r_val = np.asarray(right.values, dtype=np.bool_)
+    l_null, r_null = left.null_mask, right.null_mask
+    if op == "and":
+        values = l_val & r_val & ~l_null & ~r_null
+        definite_false = (~l_null & ~l_val) | (~r_null & ~r_val)
+        nulls = (l_null | r_null) & ~definite_false
+    else:
+        values = (l_val & ~l_null) | (r_val & ~r_null)
+        definite_true = (~l_null & l_val) | (~r_null & r_val)
+        nulls = (l_null | r_null) & ~definite_true
+    return ColumnVector(DataType.BOOLEAN, values, nulls)
+
+
+def _negate_bool(vec: ColumnVector) -> ColumnVector:
+    values = ~np.asarray(vec.values, dtype=np.bool_) & ~vec.null_mask
+    return ColumnVector(DataType.BOOLEAN, values, vec.null_mask.copy())
+
+
+def _evaluate_in(expr: InList, batch: Batch) -> ColumnVector:
+    value = evaluate(expr.expr, batch)
+    n = len(value)
+    has_null_item = any(
+        isinstance(i, Literal) and i.value is None for i in expr.items
+    )
+    concrete = [
+        i for i in expr.items if not (isinstance(i, Literal) and i.value is None)
+    ]
+    matched = np.zeros(n, dtype=np.bool_)
+    for item in concrete:
+        item_vec = evaluate(item, batch)
+        eq = _compare("=", value, item_vec)
+        matched |= np.asarray(eq.values, dtype=np.bool_) & ~eq.null_mask
+    nulls = value.null_mask.copy()
+    if has_null_item:
+        nulls = nulls | ~matched  # unknown unless definitely matched
+    values = matched & ~nulls
+    result = ColumnVector(DataType.BOOLEAN, values, nulls)
+    return _negate_bool(result) if expr.negated else result
+
+
+@lru_cache(maxsize=256)
+def _like_regex(pattern: str) -> re.Pattern:
+    regex = []
+    for ch in pattern:
+        if ch == "%":
+            regex.append(".*")
+        elif ch == "_":
+            regex.append(".")
+        else:
+            regex.append(re.escape(ch))
+    return re.compile("^" + "".join(regex) + "$", re.DOTALL)
+
+
+def _evaluate_like(expr: Like, batch: Batch) -> ColumnVector:
+    value = evaluate(expr.expr, batch)
+    if value.dtype is not DataType.TEXT:
+        raise ExecutionError("LIKE expects a text operand")
+    rx = _like_regex(expr.pattern)
+    n = len(value)
+    values = np.zeros(n, dtype=np.bool_)
+    nulls = value.null_mask.copy()
+    vals = value.values
+    for i in np.flatnonzero(~nulls):
+        values[i] = rx.match(vals[i]) is not None
+    result = ColumnVector(DataType.BOOLEAN, values, nulls)
+    return _negate_bool(result) if expr.negated else result
+
+
+def _evaluate_scalar_function(call: FunctionCall, batch: Batch) -> ColumnVector:
+    if call.is_aggregate:
+        raise ExecutionError(
+            f"aggregate {call.name.upper()} used outside GROUP BY context"
+        )
+    if call.name == "abs":
+        operand = evaluate(call.args[0], batch)
+        if not operand.dtype.is_numeric:
+            raise ExecutionError("ABS expects a numeric operand")
+        return ColumnVector(
+            operand.dtype,
+            np.abs(np.asarray(operand.values)),
+            operand.null_mask.copy(),
+        )
+    operand = evaluate(call.args[0], batch)
+    if operand.dtype is not DataType.TEXT:
+        raise ExecutionError(f"{call.name.upper()} expects a text operand")
+    n = len(operand)
+    nulls = operand.null_mask.copy()
+    if call.name == "length":
+        values = np.zeros(n, dtype=np.int64)
+        for i in np.flatnonzero(~nulls):
+            values[i] = len(operand.values[i])
+        return ColumnVector(DataType.INTEGER, values, nulls)
+    transform = str.lower if call.name == "lower" else str.upper
+    values = np.empty(n, dtype=object)
+    values.fill(None)
+    for i in np.flatnonzero(~nulls):
+        values[i] = transform(operand.values[i])
+    return ColumnVector(DataType.TEXT, values, nulls)

@@ -1,0 +1,517 @@
+"""Relational operators over batches.
+
+A classic vectorized Volcano pipeline: each operator exposes
+``execute() -> Iterator[Batch]`` and ``output_types()``.  These operators
+are deliberately engine-agnostic — they sit above either a
+:class:`repro.core.raw_scan.RawScan` (PostgresRaw) or a binary-storage
+scan (conventional baselines) and never know which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..batch import Batch, ColumnVector
+from ..datatypes import DataType
+from ..errors import ExecutionError
+from ..sql.ast import Expression, Star
+from .expressions import evaluate, infer_type, predicate_mask
+
+
+class Operator:
+    """Base class: a node of the physical plan."""
+
+    def execute(self) -> Iterator[Batch]:
+        raise NotImplementedError
+
+    def output_types(self) -> dict[str, DataType]:
+        raise NotImplementedError
+
+    def explain_lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        lines = [f"{pad}{self.describe()}"]
+        for child in self.children():
+            lines.extend(child.explain_lines(indent + 1))
+        return lines
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> list["Operator"]:
+        return []
+
+
+class BatchSource(Operator):
+    """Adapter turning a batch factory into an operator (scan leaves)."""
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterator[Batch]],
+        types: dict[str, DataType],
+        label: str = "BatchSource",
+    ) -> None:
+        self._factory = factory
+        self._types = types
+        self._label = label
+
+    def execute(self) -> Iterator[Batch]:
+        return self._factory()
+
+    def output_types(self) -> dict[str, DataType]:
+        return dict(self._types)
+
+    def describe(self) -> str:
+        return self._label
+
+
+class SingleRowSource(Operator):
+    """One row, no columns — the input of a FROM-less SELECT."""
+
+    def execute(self) -> Iterator[Batch]:
+        yield Batch({}, num_rows=1)
+
+    def output_types(self) -> dict[str, DataType]:
+        return {}
+
+
+class Filter(Operator):
+    def __init__(self, child: Operator, predicate: Expression) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def execute(self) -> Iterator[Batch]:
+        for batch in self.child.execute():
+            if batch.num_rows == 0:
+                continue
+            keep = predicate_mask(self.predicate, batch)
+            if keep.all():
+                yield batch
+            elif keep.any():
+                yield batch.filter(keep)
+
+    def output_types(self) -> dict[str, DataType]:
+        return self.child.output_types()
+
+    def describe(self) -> str:
+        from ..sql.ast import expr_to_sql
+
+        return f"Filter [{expr_to_sql(self.predicate)}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class Project(Operator):
+    """Compute named expressions; also performs column renaming."""
+
+    def __init__(self, child: Operator, items: list[tuple[str, Expression]]) -> None:
+        if not items:
+            raise ExecutionError("projection needs at least one item")
+        names = [n for n, __ in items]
+        if len(set(names)) != len(names):
+            raise ExecutionError(f"duplicate output column names: {names}")
+        self.child = child
+        self.items = items
+
+    def execute(self) -> Iterator[Batch]:
+        for batch in self.child.execute():
+            yield Batch(
+                {name: evaluate(expr, batch) for name, expr in self.items}
+            )
+
+    def output_types(self) -> dict[str, DataType]:
+        child_types = self.child.output_types()
+        return {
+            name: infer_type(expr, child_types) for name, expr in self.items
+        }
+
+    def describe(self) -> str:
+        return f"Project [{', '.join(n for n, __ in self.items)}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class HashJoin(Operator):
+    """Hash join on equality keys; build side = right child.
+
+    NULL keys never match (SQL semantics).  ``kind='left'`` emits
+    unmatched probe rows padded with NULLs.
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: list[str],
+        right_keys: list[str],
+        kind: str = "inner",
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ExecutionError("join needs matching, non-empty key lists")
+        if kind not in ("inner", "left"):
+            raise ExecutionError(f"unsupported join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.kind = kind
+
+    def output_types(self) -> dict[str, DataType]:
+        types = self.left.output_types()
+        right_types = self.right.output_types()
+        overlap = set(types) & set(right_types)
+        if overlap:
+            raise ExecutionError(f"join children share column names: {overlap}")
+        types.update(right_types)
+        return types
+
+    def execute(self) -> Iterator[Batch]:
+        build_batch = Batch.concat(list(self.right.execute()))
+        right_types = self.right.output_types()
+        table = self._build_table(build_batch)
+        for probe in self.left.execute():
+            if probe.num_rows == 0:
+                continue
+            out = self._probe(probe, build_batch, right_types, table)
+            if out is not None and out.num_rows:
+                yield out
+
+    def _build_table(self, build: Batch) -> dict[tuple, list[int]]:
+        table: dict[tuple, list[int]] = {}
+        if build.num_rows == 0:
+            return table
+        key_columns = [build.column(k) for k in self.right_keys]
+        key_lists = [c.to_pylist() for c in key_columns]
+        for row in range(build.num_rows):
+            key = tuple(kl[row] for kl in key_lists)
+            if any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(row)
+        return table
+
+    def _probe(
+        self,
+        probe: Batch,
+        build: Batch,
+        right_types: dict[str, DataType],
+        table: dict[tuple, list[int]],
+    ) -> Batch | None:
+        key_lists = [probe.column(k).to_pylist() for k in self.left_keys]
+        probe_idx: list[int] = []
+        build_idx: list[int] = []
+        unmatched: list[int] = []
+        for row in range(probe.num_rows):
+            key = tuple(kl[row] for kl in key_lists)
+            matches = None if any(v is None for v in key) else table.get(key)
+            if matches:
+                probe_idx.extend([row] * len(matches))
+                build_idx.extend(matches)
+            elif self.kind == "left":
+                unmatched.append(row)
+
+        parts: list[Batch] = []
+        if probe_idx:
+            left_part = probe.take(np.asarray(probe_idx, dtype=np.int64))
+            right_part = build.take(np.asarray(build_idx, dtype=np.int64))
+            combined = dict(left_part.columns)
+            combined.update(right_part.columns)
+            parts.append(Batch(combined))
+        if unmatched:
+            left_part = probe.take(np.asarray(unmatched, dtype=np.int64))
+            combined = dict(left_part.columns)
+            for name, dtype in right_types.items():
+                values = np.zeros(len(unmatched), dtype=dtype.numpy_dtype)
+                if dtype is DataType.TEXT:
+                    values.fill(None)
+                combined[name] = ColumnVector(
+                    dtype, values, np.ones(len(unmatched), dtype=np.bool_)
+                )
+            parts.append(Batch(combined))
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return Batch.concat(parts)
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{l} = {r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin({self.kind}) [{pairs}]"
+
+    def children(self) -> list[Operator]:
+        return [self.left, self.right]
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate output: ``name := func(arg)``; ``arg=None`` = COUNT(*)."""
+
+    name: str
+    func: str  # count | sum | avg | min | max
+    arg: Expression | None
+    distinct: bool = False
+
+
+class _Accumulator:
+    __slots__ = ("func", "count", "total", "minimum", "maximum", "distinct_set")
+
+    def __init__(self, func: str, distinct: bool) -> None:
+        self.func = func
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+        self.distinct_set: set | None = set() if distinct else None
+
+    def update(self, value: object) -> None:
+        if value is None:
+            return
+        if self.distinct_set is not None:
+            if value in self.distinct_set:
+                return
+            self.distinct_set.add(value)
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total += value
+        elif self.func == "min":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.func == "max":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self, dtype: DataType) -> object:
+        if self.func == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.func == "sum":
+            return int(self.total) if dtype is DataType.INTEGER else self.total
+        if self.func == "avg":
+            return self.total / self.count
+        if self.func == "min":
+            return self.minimum
+        return self.maximum
+
+
+class HashAggregate(Operator):
+    """Hash aggregation with optional grouping keys.
+
+    With no GROUP BY, produces exactly one row (even over empty input,
+    per SQL semantics: ``COUNT(*)`` of nothing is 0).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_items: list[tuple[str, Expression]],
+        aggregates: list[AggregateSpec],
+    ) -> None:
+        self.child = child
+        self.group_items = group_items
+        self.aggregates = aggregates
+
+    def output_types(self) -> dict[str, DataType]:
+        child_types = self.child.output_types()
+        types = {
+            name: infer_type(expr, child_types)
+            for name, expr in self.group_items
+        }
+        for spec in self.aggregates:
+            types[spec.name] = self._agg_type(spec, child_types)
+        return types
+
+    def _agg_type(
+        self, spec: AggregateSpec, child_types: dict[str, DataType]
+    ) -> DataType:
+        if spec.func == "count":
+            return DataType.INTEGER
+        if spec.arg is None or isinstance(spec.arg, Star):
+            raise ExecutionError(f"{spec.func.upper()} needs an argument")
+        arg_type = infer_type(spec.arg, child_types)
+        if spec.func == "avg":
+            return DataType.FLOAT
+        if spec.func in ("sum", "min", "max"):
+            if spec.func == "sum" and not arg_type.is_numeric:
+                raise ExecutionError("SUM expects a numeric argument")
+            return arg_type
+        raise ExecutionError(f"unknown aggregate {spec.func!r}")
+
+    def execute(self) -> Iterator[Batch]:
+        child_types = self.child.output_types()
+        groups: dict[tuple, list[_Accumulator]] = {}
+        group_values: dict[tuple, tuple] = {}
+
+        for batch in self.child.execute():
+            if batch.num_rows == 0:
+                continue
+            key_lists = [
+                evaluate(expr, batch).to_pylist()
+                for __, expr in self.group_items
+            ]
+            arg_lists = []
+            for spec in self.aggregates:
+                if spec.arg is None or isinstance(spec.arg, Star):
+                    arg_lists.append(None)
+                else:
+                    arg_lists.append(evaluate(spec.arg, batch).to_pylist())
+            for row in range(batch.num_rows):
+                key = tuple(kl[row] for kl in key_lists)
+                accs = groups.get(key)
+                if accs is None:
+                    accs = [
+                        _Accumulator(s.func, s.distinct) for s in self.aggregates
+                    ]
+                    groups[key] = accs
+                    group_values[key] = key
+                for acc, arg_list, spec in zip(accs, arg_lists, self.aggregates):
+                    if arg_list is None:  # COUNT(*)
+                        acc.count += 1
+                    else:
+                        acc.update(arg_list[row])
+
+        if not self.group_items and not groups:
+            groups[()] = [
+                _Accumulator(s.func, s.distinct) for s in self.aggregates
+            ]
+            group_values[()] = ()
+
+        out_types = self.output_types()
+        columns: dict[str, list[object]] = {
+            name: [] for name in out_types
+        }
+        for key, accs in groups.items():
+            for (name, __), value in zip(self.group_items, key):
+                columns[name].append(value)
+            for spec, acc in zip(self.aggregates, accs):
+                columns[spec.name].append(acc.result(out_types[spec.name]))
+        yield Batch(
+            {
+                name: ColumnVector.from_pylist(out_types[name], values)
+                for name, values in columns.items()
+            }
+        )
+
+    def describe(self) -> str:
+        keys = ", ".join(n for n, __ in self.group_items) or "<global>"
+        aggs = ", ".join(f"{s.func}->{s.name}" for s in self.aggregates)
+        return f"HashAggregate [keys: {keys}; aggs: {aggs}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class Sort(Operator):
+    """Full materializing sort; ASC = NULLS LAST, DESC = NULLS FIRST."""
+
+    def __init__(
+        self, child: Operator, keys: list[tuple[Expression, bool]]
+    ) -> None:
+        if not keys:
+            raise ExecutionError("sort needs at least one key")
+        self.child = child
+        self.keys = keys
+
+    def output_types(self) -> dict[str, DataType]:
+        return self.child.output_types()
+
+    def execute(self) -> Iterator[Batch]:
+        batches = list(self.child.execute())
+        if not batches:
+            return
+        data = Batch.concat(batches)
+        if data.num_rows == 0:
+            yield data
+            return
+        order = list(range(data.num_rows))
+        # Stable multi-key sort: apply keys from minor to major.
+        for expr, ascending in reversed(self.keys):
+            vector = evaluate(expr, data)
+            values = vector.to_pylist()
+
+            def sort_key(i: int, values=values) -> tuple:
+                v = values[i]
+                return (v is None, 0 if v is None else v)
+
+            order.sort(key=sort_key, reverse=not ascending)
+        yield data.take(np.asarray(order, dtype=np.int64))
+
+    def describe(self) -> str:
+        return f"Sort [{len(self.keys)} keys]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class Limit(Operator):
+    def __init__(
+        self, child: Operator, limit: int | None, offset: int = 0
+    ) -> None:
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+
+    def output_types(self) -> dict[str, DataType]:
+        return self.child.output_types()
+
+    def execute(self) -> Iterator[Batch]:
+        to_skip = self.offset
+        remaining = self.limit
+        for batch in self.child.execute():
+            if to_skip:
+                if batch.num_rows <= to_skip:
+                    to_skip -= batch.num_rows
+                    continue
+                batch = batch.slice(to_skip, batch.num_rows)
+                to_skip = 0
+            if remaining is None:
+                yield batch
+                continue
+            if remaining <= 0:
+                return
+            if batch.num_rows > remaining:
+                batch = batch.slice(0, remaining)
+            remaining -= batch.num_rows
+            if batch.num_rows:
+                yield batch
+            if remaining == 0:
+                return
+
+    def describe(self) -> str:
+        return f"Limit [{self.limit} offset {self.offset}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class Distinct(Operator):
+    """Streaming duplicate elimination over whole rows."""
+
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+
+    def output_types(self) -> dict[str, DataType]:
+        return self.child.output_types()
+
+    def execute(self) -> Iterator[Batch]:
+        seen: set[tuple] = set()
+        for batch in self.child.execute():
+            if batch.num_rows == 0:
+                continue
+            keep = np.zeros(batch.num_rows, dtype=np.bool_)
+            lists = [v.to_pylist() for v in batch.columns.values()]
+            for row in range(batch.num_rows):
+                key = tuple(l[row] for l in lists)
+                if key not in seen:
+                    seen.add(key)
+                    keep[row] = True
+            if keep.any():
+                yield batch.filter(keep)
+
+    def children(self) -> list[Operator]:
+        return [self.child]

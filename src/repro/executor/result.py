@@ -1,0 +1,122 @@
+"""Query results: materialized rows plus the execution metrics that the
+demo's monitoring panels visualize."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..batch import Batch
+from ..core.metrics import QueryMetrics
+from ..datatypes import DataType, days_to_date
+from ..errors import ExecutionError
+
+
+class QueryResult:
+    """Materialized result set with column metadata and timing."""
+
+    def __init__(
+        self,
+        column_names: list[str],
+        column_types: list[DataType],
+        rows: list[tuple],
+        metrics: QueryMetrics | None = None,
+    ) -> None:
+        self.column_names = column_names
+        self.column_types = column_types
+        self.rows = rows
+        self.metrics = metrics or QueryMetrics()
+
+    @classmethod
+    def from_batches(
+        cls,
+        batches: list[Batch],
+        types: dict[str, DataType],
+        metrics: QueryMetrics | None = None,
+    ) -> "QueryResult":
+        names = list(types)
+        rows: list[tuple] = []
+        for batch in batches:
+            ordered = [batch.column(n).to_pylist() for n in names]
+            rows.extend(zip(*ordered))
+        return cls(names, [types[n] for n in names], rows, metrics)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __getitem__(self, idx: int) -> tuple:
+        return self.rows[idx]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.metrics.total_seconds
+
+    def first(self) -> tuple:
+        if not self.rows:
+            raise ExecutionError("result set is empty")
+        return self.rows[0]
+
+    def scalar(self) -> object:
+        """Single value of a 1x1 result (aggregate queries)."""
+        if len(self.rows) != 1 or len(self.column_names) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, have "
+                f"{len(self.rows)}x{len(self.column_names)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[object]:
+        try:
+            idx = self.column_names.index(name)
+        except ValueError:
+            raise ExecutionError(
+                f"no column {name!r} in result (have {self.column_names})"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def to_pydict(self) -> dict[str, list[object]]:
+        return {n: self.column(n) for n in self.column_names}
+
+    def format_table(self, max_rows: int = 20) -> str:
+        """Human-readable table rendering (dates shown as ISO strings)."""
+        shown = self.rows[:max_rows]
+        rendered: list[list[str]] = []
+        for row in shown:
+            cells = []
+            for value, dtype in zip(row, self.column_types):
+                if value is None:
+                    cells.append("NULL")
+                elif dtype is DataType.DATE:
+                    cells.append(days_to_date(value).isoformat())
+                elif dtype is DataType.FLOAT:
+                    cells.append(f"{value:.4f}")
+                else:
+                    cells.append(str(value))
+            rendered.append(cells)
+        headers = self.column_names
+        widths = [
+            max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+            for i, h in enumerate(headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            sep,
+        ]
+        for cells in rendered:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+            )
+        hidden = len(self.rows) - len(shown)
+        if hidden > 0:
+            lines.append(f"... ({hidden} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({len(self.rows)} rows x "
+            f"{len(self.column_names)} cols, "
+            f"{self.metrics.total_seconds * 1000:.1f} ms)"
+        )

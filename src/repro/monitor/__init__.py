@@ -1,0 +1,19 @@
+"""ASCII monitoring panels reproducing the demo's GUI.
+
+* :mod:`repro.monitor.breakdown` — the Query Execution Breakdown panel
+  (Figure 3): stacked Processing/IO/Convert/Parsing/Tokenizing/NoDB bars;
+* :mod:`repro.monitor.panel` — the System Monitoring Panel (Figure 2):
+  cache utilization, positional-map storage, file-coverage shading;
+* :mod:`repro.monitor.usage` — attribute access statistics.
+"""
+
+from .breakdown import BreakdownReport, render_breakdown
+from .panel import SystemMonitorPanel
+from .usage import render_attribute_usage
+
+__all__ = [
+    "BreakdownReport",
+    "render_breakdown",
+    "SystemMonitorPanel",
+    "render_attribute_usage",
+]

@@ -1,0 +1,31 @@
+"""Attribute usage statistics.
+
+"we provide usage statistics regarding the accessed attributes of the
+raw data file" — per-attribute query-touch counts, rendered standalone
+(the panel embeds the same data)."""
+
+from __future__ import annotations
+
+from ..core.raw_scan import RawTableState
+
+
+def attribute_usage_counts(state: RawTableState) -> dict[str, int]:
+    """Column name -> number of queries that touched it."""
+    schema = state.entry.schema
+    return {
+        schema.columns[attr].name: count
+        for attr, count in sorted(state.attribute_usage.items())
+    }
+
+
+def render_attribute_usage(state: RawTableState, width: int = 30) -> str:
+    counts = attribute_usage_counts(state)
+    if not counts:
+        return "(no attributes accessed yet)"
+    peak = max(counts.values())
+    name_width = max(len(n) for n in counts)
+    lines = []
+    for name, count in counts.items():
+        bar = "#" * max(1, int(count / peak * width))
+        lines.append(f"{name.rjust(name_width)} {bar} {count}")
+    return "\n".join(lines)

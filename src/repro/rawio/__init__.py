@@ -1,0 +1,33 @@
+"""Raw-file substrate: CSV dialects, readers, tokenizers and generators."""
+
+from .dialect import CsvDialect
+from .reader import RawFileReader
+from .tokenizer import (
+    build_line_index,
+    tokenize_lines,
+    tokenize_span,
+    TokenizedRows,
+    field_end,
+    extract_field,
+    extract_fields_between,
+)
+from .generator import ColumnSpec, DatasetSpec, generate_csv, uniform_table_spec
+from .writer import write_csv, append_csv_rows
+
+__all__ = [
+    "CsvDialect",
+    "RawFileReader",
+    "build_line_index",
+    "tokenize_lines",
+    "tokenize_span",
+    "TokenizedRows",
+    "field_end",
+    "extract_field",
+    "extract_fields_between",
+    "ColumnSpec",
+    "DatasetSpec",
+    "generate_csv",
+    "uniform_table_spec",
+    "write_csv",
+    "append_csv_rows",
+]

@@ -1,0 +1,317 @@
+"""Tokenizing raw CSV content.
+
+Tokenizing — locating field boundaries inside each tuple — is the
+dominant CPU cost of in-situ querying and the thing the adaptive
+positional map exists to avoid.  This module provides:
+
+* :func:`build_line_index` — tuple (line) boundaries for a whole file;
+* :func:`tokenize_lines` — **selective tokenizing**: split each tuple
+  only up to the last attribute a query needs ("opportunistically
+  aborting tokenizing tuples as soon as the required attributes for a
+  query have been found");
+* :func:`extract_field` / :func:`extract_fields_between` — direct field
+  extraction once the positional map supplies start offsets, i.e. the
+  "jump directly to the correct position" path.
+
+All offsets are character offsets into the decoded file content; field
+``j`` of a row occupies ``content[starts[j] : starts[j + 1] - 1]`` where
+``starts[last + 1]`` is a uniform end sentinel (one past the delimiter or
+newline that closed the field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import RawDataError
+from .dialect import CsvDialect
+
+
+def _newline_positions(content: str) -> np.ndarray:
+    """Offsets of every ``\\n`` in ``content`` (vectorized for ASCII)."""
+    if content.isascii():
+        buf = np.frombuffer(content.encode("ascii"), dtype=np.uint8)
+        return np.flatnonzero(buf == 0x0A).astype(np.int64)
+    positions = []
+    pos = content.find("\n")
+    while pos != -1:
+        positions.append(pos)
+        pos = content.find("\n", pos + 1)
+    return np.asarray(positions, dtype=np.int64)
+
+
+def build_line_index(content: str, has_header: bool = False) -> np.ndarray:
+    """Boundary array of the data tuples in ``content``.
+
+    Returns ``bounds`` of length ``n_rows + 1`` with ``bounds[i]`` the
+    offset of row ``i``'s first character and ``bounds[i + 1] - 1`` one
+    past its last (i.e. the position of its newline, or ``len(content)``
+    for an unterminated final line).  A header line, when present, is
+    excluded.  This array is the positional map's backbone ("tuple start"
+    positions); its memory is pinned, not subject to LRU.
+    """
+    if not content:
+        return np.zeros(1, dtype=np.int64)
+    newlines = _newline_positions(content)
+    # Row starts: 0 plus one past each newline (dropping a trailing one).
+    starts = np.empty(len(newlines) + 1, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = newlines + 1
+    if starts[-1] >= len(content):  # file ends with a newline
+        starts = starts[:-1]
+        ends = newlines
+    else:
+        ends = np.append(newlines, len(content))
+    if has_header:
+        starts = starts[1:]
+        ends = ends[1:]
+    bounds = np.empty(len(starts) + 1, dtype=np.int64)
+    if len(starts):
+        bounds[:-1] = starts
+        bounds[-1] = ends[-1] + 1
+    else:
+        bounds[0] = len(content) + 1
+    return bounds
+
+
+@dataclass
+class TokenizedRows:
+    """Field boundaries (and texts) for a tokenized span of rows.
+
+    ``offsets[r, j]`` is the absolute start of attribute
+    ``first_attr + j``; the final column is the uniform end sentinel (one
+    past the delimiter/newline closing the last tokenized attribute).
+    ``fields[r][j]`` is the text of attribute ``first_attr + j`` — a free
+    by-product of split-based tokenization.
+    """
+
+    row_from: int
+    first_attr: int
+    last_attr: int
+    offsets: np.ndarray
+    fields: list[list[str]]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.fields)
+
+    def texts_of(self, attr: int) -> list[str]:
+        j = attr - self.first_attr
+        return [row[j] for row in self.fields]
+
+    def starts_of(self, attr: int) -> np.ndarray:
+        return self.offsets[:, attr - self.first_attr]
+
+
+def tokenize_span(
+    content: str,
+    field_starts: np.ndarray,
+    line_ends: np.ndarray,
+    first_attr: int,
+    last_attr: int,
+    n_attrs: int,
+    dialect: CsvDialect,
+) -> TokenizedRows:
+    """Tokenize attributes ``first_attr .. last_attr`` of a set of rows.
+
+    ``field_starts[r]`` must be the absolute offset where attribute
+    ``first_attr`` begins in row ``r`` (a positional-map anchor, or the
+    row start when ``first_attr == 0``); ``line_ends[r]`` is the offset of
+    the row's newline (exclusive end of the row's text).  This is
+    **selective tokenizing**: splitting stops after ``last_attr`` and
+    never revisits the attributes before the anchor.
+    """
+    if last_attr >= n_attrs or first_attr > last_attr:
+        raise RawDataError(
+            f"bad attribute span {first_attr}..{last_attr} for "
+            f"{n_attrs}-attribute schema"
+        )
+    if dialect.quoting:
+        return _tokenize_span_quoted(
+            content, field_starts, line_ends, first_attr, last_attr, n_attrs, dialect
+        )
+
+    delim = dialect.delimiter
+    span = last_attr - first_attr
+    runs_to_line_end = last_attr == n_attrs - 1
+    maxsplit = -1 if runs_to_line_end else span + 1
+    n_rows = len(field_starts)
+    offsets = np.empty((n_rows, span + 2), dtype=np.int64)
+    fields_out: list[list[str]] = []
+    starts_list = field_starts.tolist()
+    ends_list = line_ends.tolist()
+
+    for r in range(n_rows):
+        seg_start = starts_list[r]
+        seg = content[seg_start : ends_list[r]]
+        parts = seg.split(delim) if runs_to_line_end else seg.split(delim, maxsplit)
+        if runs_to_line_end:
+            if len(parts) != span + 1:
+                raise RawDataError(
+                    f"row {r}: expected {span + 1} fields from attribute "
+                    f"{first_attr}, found {len(parts)}",
+                    row=r,
+                )
+            kept = parts
+        else:
+            if len(parts) < span + 2:
+                raise RawDataError(
+                    f"row {r}: expected at least {span + 2} fields from "
+                    f"attribute {first_attr}, found {len(parts)}",
+                    row=r,
+                )
+            kept = parts[: span + 1]
+        pos = seg_start
+        row_offsets = offsets[r]
+        for j, f in enumerate(kept):
+            row_offsets[j] = pos
+            pos += len(f) + 1
+        row_offsets[span + 1] = pos
+        fields_out.append(kept)
+    return TokenizedRows(0, first_attr, last_attr, offsets, fields_out)
+
+
+def tokenize_lines(
+    content: str,
+    bounds: np.ndarray,
+    row_from: int,
+    row_to: int,
+    last_attr: int,
+    n_attrs: int,
+    dialect: CsvDialect,
+) -> TokenizedRows:
+    """Selectively tokenize rows ``[row_from, row_to)`` from attribute 0.
+
+    Raises :class:`RawDataError` when a tuple has fewer attributes than
+    the query requires (the raw file disagrees with its schema).
+    """
+    starts = bounds[row_from:row_to]
+    line_ends = bounds[row_from + 1 : row_to + 1] - 1
+    rows = tokenize_span(content, starts, line_ends, 0, last_attr, n_attrs, dialect)
+    rows.row_from = row_from
+    return rows
+
+
+def _tokenize_span_quoted(
+    content: str,
+    field_starts: np.ndarray,
+    line_ends: np.ndarray,
+    first_attr: int,
+    last_attr: int,
+    n_attrs: int,
+    dialect: CsvDialect,
+) -> TokenizedRows:
+    """State-machine tokenizer for quoted CSV (RFC-4180-style escapes)."""
+    delim = dialect.delimiter
+    quote = dialect.quote_char
+    assert quote is not None
+    span = last_attr - first_attr
+    n_rows = len(field_starts)
+    offsets = np.empty((n_rows, span + 2), dtype=np.int64)
+    fields_out: list[list[str]] = []
+
+    for r in range(n_rows):
+        pos = int(field_starts[r])
+        line_end = int(line_ends[r])
+        row_fields: list[str] = []
+        row_offsets = offsets[r]
+        j = 0
+        while j <= span:
+            row_offsets[j] = pos
+            if pos > line_end:
+                raise RawDataError(
+                    f"row {r}: expected {span + 1} fields from attribute "
+                    f"{first_attr}, found {j}",
+                    row=r,
+                )
+            text, pos = _scan_quoted_field(content, pos, line_end, delim, quote)
+            row_fields.append(text)
+            j += 1
+        row_offsets[span + 1] = pos
+        if last_attr == n_attrs - 1 and pos <= line_end:
+            raise RawDataError(
+                f"row {r}: more fields than the {n_attrs}-attribute schema",
+                row=r,
+            )
+        fields_out.append(row_fields)
+    return TokenizedRows(0, first_attr, last_attr, offsets, fields_out)
+
+
+def _scan_quoted_field(
+    content: str, start: int, line_end: int, delim: str, quote: str
+) -> tuple[str, int]:
+    """Scan one possibly-quoted field; return (text, next_field_start)."""
+    if start <= line_end and start < len(content) and content[start] == quote:
+        pieces: list[str] = []
+        pos = start + 1
+        while True:
+            closing = content.find(quote, pos, line_end)
+            if closing == -1:
+                raise RawDataError(f"unterminated quote at offset {start}")
+            if closing + 1 <= line_end - 1 and content[closing + 1] == quote:
+                pieces.append(content[pos : closing + 1])  # doubled quote
+                pos = closing + 2
+                continue
+            pieces.append(content[pos:closing])
+            end = closing + 1
+            break
+        return "".join(pieces), end + 1
+    end = content.find(delim, start, line_end)
+    if end == -1:
+        end = line_end
+    return content[start:end], end + 1
+
+
+def field_end(
+    content: str, start: int, line_end: int, dialect: CsvDialect
+) -> int:
+    """Exclusive end offset of the field starting at ``start``."""
+    if dialect.quoting and start < line_end and content[start] == dialect.quote_char:
+        __, nxt = _scan_quoted_field(
+            content, start, line_end, dialect.delimiter, dialect.quote_char
+        )
+        return nxt - 1
+    end = content.find(dialect.delimiter, start, line_end)
+    return line_end if end == -1 else end
+
+
+def extract_field(
+    content: str, start: int, line_end: int, dialect: CsvDialect
+) -> str:
+    """Positional-map jump: read one field given its start offset."""
+    if dialect.quoting and start < line_end and content[start] == dialect.quote_char:
+        text, __ = _scan_quoted_field(
+            content, start, line_end, dialect.delimiter, dialect.quote_char
+        )
+        return text
+    end = content.find(dialect.delimiter, start, line_end)
+    if end == -1:
+        end = line_end
+    return content[start:end]
+
+
+def extract_fields_between(
+    content: str,
+    starts: np.ndarray,
+    next_starts: np.ndarray,
+    dialect: CsvDialect,
+) -> list[str]:
+    """Vectorized extraction when the map also knows the *next* field.
+
+    ``next_starts[i] - 1`` is the delimiter (or newline) closing field
+    ``i``, so no scanning is needed at all — the fastest map path.
+    """
+    if not dialect.quoting:
+        return [
+            content[a:b] for a, b in zip(starts.tolist(), (next_starts - 1).tolist())
+        ]
+    out = []
+    quote = dialect.quote_char
+    for a, b in zip(starts.tolist(), (next_starts - 1).tolist()):
+        text = content[a:b]
+        if text.startswith(quote) and text.endswith(quote):
+            text = text[1:-1].replace(quote + quote, quote)
+        out.append(text)
+    return out

@@ -1,0 +1,92 @@
+"""CSV writing: materializing rows to raw files and appending to them.
+
+The append path backs the demo's Updates scenario — "the user can ...
+directly update one of the raw data files in an append-like scenario
+using a text editor" — appends happen *outside* the engine, which must
+then detect and reconcile them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..catalog.schema import TableSchema
+from ..datatypes import format_scalar
+from ..errors import RawDataError
+from .dialect import CsvDialect, DEFAULT_DIALECT
+
+
+def _render_field(text: str, dialect: CsvDialect) -> str:
+    """Quote/validate one already-formatted field."""
+    needs_quoting = dialect.delimiter in text or "\n" in text or (
+        dialect.quote_char is not None and dialect.quote_char in text
+    )
+    if not needs_quoting:
+        return text
+    if dialect.quote_char is None:
+        raise RawDataError(
+            f"field {text!r} contains the delimiter or a newline but the "
+            "dialect has no quote character"
+        )
+    q = dialect.quote_char
+    return q + text.replace(q, q + q) + q
+
+
+def render_rows(
+    rows: Iterable[Sequence[object]],
+    schema: TableSchema,
+    dialect: CsvDialect = DEFAULT_DIALECT,
+) -> str:
+    """Format binary rows as CSV text (no header, trailing newline)."""
+    dtypes = schema.dtypes()
+    delim = dialect.delimiter
+    lines = []
+    for row in rows:
+        if len(row) != len(dtypes):
+            raise RawDataError(
+                f"row has {len(row)} values, schema has {len(dtypes)}"
+            )
+        rendered = [
+            _render_field(
+                format_scalar(value, dtype, dialect.null_token), dialect
+            )
+            for value, dtype in zip(row, dtypes)
+        ]
+        lines.append(delim.join(rendered))
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(
+    path: str | Path,
+    rows: Iterable[Sequence[object]],
+    schema: TableSchema,
+    dialect: CsvDialect = DEFAULT_DIALECT,
+) -> Path:
+    """Write a raw CSV file (with header when the dialect says so)."""
+    path = Path(path)
+    body = render_rows(rows, schema, dialect)
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        if dialect.has_header:
+            f.write(dialect.delimiter.join(schema.names()) + "\n")
+        f.write(body)
+    return path
+
+
+def append_csv_rows(
+    path: str | Path,
+    rows: Iterable[Sequence[object]],
+    schema: TableSchema,
+    dialect: CsvDialect = DEFAULT_DIALECT,
+) -> int:
+    """Append rows to an existing raw file, as an external editor would.
+
+    Returns the number of bytes appended.
+    """
+    body = render_rows(rows, schema, dialect)
+    data = body.encode("utf-8")
+    with open(path, "ab") as f:
+        f.write(data)
+    return len(data)

@@ -1,0 +1,150 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "group",
+        "by",
+        "having",
+        "order",
+        "limit",
+        "offset",
+        "join",
+        "inner",
+        "left",
+        "outer",
+        "on",
+        "as",
+        "and",
+        "or",
+        "not",
+        "in",
+        "is",
+        "null",
+        "like",
+        "between",
+        "asc",
+        "desc",
+        "true",
+        "false",
+        "date",
+        "case",
+        "when",
+        "then",
+        "else",
+        "end",
+    }
+)
+
+_MULTI_CHAR_OPS = ("<=", ">=", "<>", "!=", "||")
+_SINGLE_CHAR_OPS = "=<>+-*/%(),.;"
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}@{self.position})"
+
+
+def tokenize_sql(sql: str) -> list[Token]:
+    """Tokenize SQL text, lower-casing keywords and identifiers.
+
+    Raises :class:`SQLSyntaxError` with the offending position on any
+    unrecognized character or unterminated string.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            text, i = _scan_string(sql, i)
+            tokens.append(Token(TokenKind.STRING, text, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < n and (sql[i].isdigit() or sql[i] in ".eE"):
+                if sql[i] in "eE" and i + 1 < n and sql[i + 1] in "+-":
+                    i += 1
+                i += 1
+            tokens.append(Token(TokenKind.NUMBER, sql[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i].lower()
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, start))
+            continue
+        if ch == '"':
+            # Delimited identifier: preserves case.
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise SQLSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenKind.IDENT, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        two = sql[i : i + 2]
+        if two in _MULTI_CHAR_OPS:
+            tokens.append(Token(TokenKind.OP, two, i))
+            i += 2
+            continue
+        if ch in _SINGLE_CHAR_OPS:
+            tokens.append(Token(TokenKind.OP, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens
+
+
+def _scan_string(sql: str, start: int) -> tuple[str, int]:
+    """Scan a single-quoted string with doubled-quote escapes."""
+    pieces: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while True:
+        end = sql.find("'", i)
+        if end == -1:
+            raise SQLSyntaxError("unterminated string literal", start)
+        if end + 1 < n and sql[end + 1] == "'":
+            pieces.append(sql[i : end + 1])
+            i = end + 2
+            continue
+        pieces.append(sql[i:end])
+        return "".join(pieces), end + 1

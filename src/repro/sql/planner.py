@@ -1,0 +1,707 @@
+"""Query planning: AST -> physical operator tree.
+
+The planner is engine-agnostic: leaves are produced by a ``scan_factory``
+callback, so the identical planning pipeline serves PostgresRaw (raw
+scans) and the conventional baselines (binary storage scans) — the
+paper's "the rest of the query plan ... works without any changes".
+
+Pipeline: name resolution -> predicate classification & pushdown ->
+statistics-driven join ordering -> join tree -> aggregation ->
+projection -> distinct/sort/limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..catalog.catalog import Catalog
+from ..catalog.schema import TableSchema
+from ..core.stats import StatisticsStore
+from ..datatypes import DataType
+from ..errors import PlanningError
+from ..executor.expressions import infer_type, normalize_expression
+from ..executor.operators import (
+    AggregateSpec,
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    Operator,
+    Project,
+    SingleRowSource,
+    Sort,
+)
+from .ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    SelectStatement,
+    Star,
+    UnaryOp,
+    conjoin,
+    contains_aggregate,
+    expr_column_refs,
+    expr_to_sql,
+    split_conjuncts,
+    walk_expr,
+)
+from .optimizer import JoinEdge, Optimizer, estimate_scan_rows
+
+#: ``scan_factory(table_name, output_columns, pushed_predicate)`` returns
+#: an operator yielding batches keyed by *schema* column names with the
+#: predicate already applied.  ``pushed_predicate`` uses unqualified
+#: schema names.
+ScanFactory = Callable[[str, list[str], Expression | None], Operator]
+
+#: ``stats_provider(table_name)`` returns the statistics store (if any).
+StatsProvider = Callable[[str], StatisticsStore | None]
+
+
+def transform_expr(
+    expr: Expression, fn: Callable[[Expression], Expression | None]
+) -> Expression:
+    """Rebuild an expression bottom-up; ``fn`` may replace any node."""
+    replacement = fn(expr)
+    if replacement is not None:
+        return replacement
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            transform_expr(expr.left, fn),
+            transform_expr(expr.right, fn),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, transform_expr(expr.operand, fn))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name,
+            [
+                a if isinstance(a, Star) else transform_expr(a, fn)
+                for a in expr.args
+            ],
+            expr.distinct,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(transform_expr(expr.operand, fn), expr.negated)
+    if isinstance(expr, Between):
+        return Between(
+            transform_expr(expr.expr, fn),
+            transform_expr(expr.low, fn),
+            transform_expr(expr.high, fn),
+            expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            transform_expr(expr.expr, fn),
+            [transform_expr(i, fn) for i in expr.items],
+            expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(transform_expr(expr.expr, fn), expr.pattern, expr.negated)
+    if isinstance(expr, ColumnRef):
+        return ColumnRef(expr.name, expr.table)
+    if isinstance(expr, Literal):
+        return Literal(expr.value, expr.dtype)
+    return expr
+
+
+@dataclass
+class LogicalPlan:
+    """The planner's product: an executable tree plus output metadata."""
+
+    root: Operator
+    output_names: list[str]
+    output_types: dict[str, DataType]
+
+    def explain(self) -> str:
+        return "\n".join(self.root.explain_lines())
+
+
+@dataclass
+class _TableBinding:
+    alias: str
+    table_name: str
+    schema: TableSchema
+
+
+class Planner:
+    """Plans one SELECT statement against a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        scan_factory: ScanFactory,
+        stats_provider: StatsProvider | None = None,
+        optimizer: Optimizer | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.scan_factory = scan_factory
+        self.stats_provider = stats_provider or (lambda __: None)
+        self.optimizer = optimizer or Optimizer()
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+
+    def plan(self, stmt: SelectStatement) -> LogicalPlan:
+        bindings = self._bind_tables(stmt)
+        scope = {b.alias: b for b in bindings}
+        types_full = {
+            f"{b.alias}.{c.name}": c.dtype
+            for b in bindings
+            for c in b.schema
+        }
+
+        self._resolve_statement(stmt, bindings, types_full)
+
+        if not bindings:
+            plan: Operator = SingleRowSource()
+            residual: list[Expression] = []
+            if stmt.where is not None:
+                residual = [stmt.where]
+        else:
+            plan, residual = self._plan_from_where(stmt, bindings, types_full)
+
+        for conjunct in residual:
+            plan = Filter(plan, conjunct)
+
+        plan, select_items = self._plan_aggregation(stmt, plan)
+        plan, output_names = self._plan_projection_and_order(
+            stmt, plan, select_items
+        )
+        if stmt.distinct:
+            plan = Distinct(plan)
+        if stmt.limit is not None or stmt.offset:
+            plan = Limit(plan, stmt.limit, stmt.offset or 0)
+
+        types = plan.output_types()
+        return LogicalPlan(plan, output_names, types)
+
+    # ------------------------------------------------------------------
+    # Binding & resolution.
+    # ------------------------------------------------------------------
+
+    def _bind_tables(self, stmt: SelectStatement) -> list[_TableBinding]:
+        bindings: list[_TableBinding] = []
+        refs = []
+        if stmt.from_table is not None:
+            refs.append(stmt.from_table)
+            refs.extend(j.table for j in stmt.joins)
+        seen = set()
+        for ref in refs:
+            alias = ref.effective_alias
+            if alias in seen:
+                raise PlanningError(f"duplicate table alias {alias!r}")
+            seen.add(alias)
+            schema = self.catalog.schema_of(ref.name)
+            bindings.append(_TableBinding(alias, ref.name, schema))
+        return bindings
+
+    def _resolve_statement(
+        self,
+        stmt: SelectStatement,
+        bindings: list[_TableBinding],
+        types_full: dict[str, DataType],
+    ) -> None:
+        resolve = lambda e: self._resolve_expr(e, bindings)  # noqa: E731
+
+        for item in stmt.items:
+            if not isinstance(item.expr, Star):
+                resolve(item.expr)
+                normalize_expression(item.expr, types_full)
+        for join in stmt.joins:
+            resolve(join.condition)
+            normalize_expression(join.condition, types_full)
+        if stmt.where is not None:
+            resolve(stmt.where)
+            normalize_expression(stmt.where, types_full)
+        for expr in stmt.group_by:
+            resolve(expr)
+            normalize_expression(expr, types_full)
+        if stmt.having is not None:
+            resolve(stmt.having)
+            normalize_expression(stmt.having, types_full)
+
+        self._resolve_order_by(stmt, bindings, types_full)
+
+    def _resolve_order_by(
+        self,
+        stmt: SelectStatement,
+        bindings: list[_TableBinding],
+        types_full: dict[str, DataType],
+    ) -> None:
+        """ORDER BY may reference select aliases or ordinal positions."""
+        aliases = {
+            item.alias: item.expr
+            for item in stmt.items
+            if item.alias is not None
+        }
+        for order in stmt.order_by:
+            expr = order.expr
+            if (
+                isinstance(expr, Literal)
+                and expr.dtype is DataType.INTEGER
+            ):
+                ordinal = expr.value
+                if not 1 <= ordinal <= len(stmt.items):
+                    raise PlanningError(
+                        f"ORDER BY position {ordinal} is out of range"
+                    )
+                target = stmt.items[ordinal - 1].expr
+                if isinstance(target, Star):
+                    raise PlanningError("cannot ORDER BY a * item")
+                order.expr = target
+                continue
+            if (
+                isinstance(expr, ColumnRef)
+                and expr.table is None
+                and expr.name in aliases
+            ):
+                order.expr = aliases[expr.name]
+                continue
+            self._resolve_expr(expr, bindings)
+            normalize_expression(expr, types_full)
+
+    def _resolve_expr(
+        self, expr: Expression, bindings: list[_TableBinding]
+    ) -> None:
+        by_alias = {b.alias: b for b in bindings}
+        for node in walk_expr(expr):
+            if not isinstance(node, ColumnRef):
+                continue
+            if node.table is not None:
+                binding = by_alias.get(node.table)
+                if binding is None:
+                    raise PlanningError(f"unknown table alias {node.table!r}")
+                if not binding.schema.has_column(node.name):
+                    raise PlanningError(
+                        f"table {node.table!r} has no column {node.name!r}"
+                    )
+                continue
+            owners = [
+                b.alias for b in bindings if b.schema.has_column(node.name)
+            ]
+            if not owners:
+                raise PlanningError(f"unknown column {node.name!r}")
+            if len(owners) > 1:
+                raise PlanningError(
+                    f"ambiguous column {node.name!r} (in {owners})"
+                )
+            node.table = owners[0]
+
+    # ------------------------------------------------------------------
+    # FROM/WHERE planning: pushdown, join ordering, join tree.
+    # ------------------------------------------------------------------
+
+    def _plan_from_where(
+        self,
+        stmt: SelectStatement,
+        bindings: list[_TableBinding],
+        types_full: dict[str, DataType],
+    ) -> tuple[Operator, list[Expression]]:
+        has_left_join = any(j.kind == "left" for j in stmt.joins)
+        if has_left_join:
+            return self._plan_left_joins(stmt, bindings)
+
+        where_conjuncts = split_conjuncts(stmt.where)
+        join_conjuncts: list[Expression] = []
+        for join in stmt.joins:
+            join_conjuncts.extend(split_conjuncts(join.condition))
+
+        pushed: dict[str, list[Expression]] = {b.alias: [] for b in bindings}
+        edges: list[JoinEdge] = []
+        residual: list[Expression] = []
+        for conjunct in where_conjuncts + join_conjuncts:
+            aliases = {r.table for r in expr_column_refs(conjunct)}
+            if len(aliases) == 0:
+                residual.append(conjunct)
+            elif len(aliases) == 1:
+                pushed[aliases.pop()].append(conjunct)
+            else:
+                edge = self._as_join_edge(conjunct)
+                if edge is not None:
+                    edges.append(edge)
+                else:
+                    residual.append(conjunct)
+
+        needed = self._needed_columns(stmt, residual, edges, bindings)
+        estimates = {}
+        by_alias = {b.alias: b for b in bindings}
+        for binding in bindings:
+            stats = self.stats_provider(binding.table_name)
+            pred = conjoin(
+                [self._strip_alias(c) for c in pushed[binding.alias]]
+            )
+            estimates[binding.alias] = estimate_scan_rows(stats, pred)
+
+        order = self.optimizer.order_joins(
+            [b.alias for b in bindings], estimates, edges
+        )
+
+        plan = self._build_scan(by_alias[order[0]], needed, pushed)
+        current_estimate = estimates[order[0]]
+        joined = {order[0]}
+        remaining_edges = list(edges)
+        for alias in order[1:]:
+            scan = self._build_scan(by_alias[alias], needed, pushed)
+            left_keys, right_keys, remaining_edges = self._keys_for(
+                remaining_edges, joined, alias
+            )
+            if not left_keys:
+                raise PlanningError(
+                    f"no join condition connects {alias!r} to {sorted(joined)}"
+                )
+            # Physical choice: build the hash table on the smaller input
+            # (the accumulated tree or the incoming scan).
+            new_estimate = estimates[alias]
+            if current_estimate <= new_estimate:
+                plan = HashJoin(scan, plan, right_keys, left_keys, "inner")
+            else:
+                plan = HashJoin(plan, scan, left_keys, right_keys, "inner")
+            current_estimate = max(current_estimate, new_estimate)
+            joined.add(alias)
+        return plan, residual
+
+    def _plan_left_joins(
+        self, stmt: SelectStatement, bindings: list[_TableBinding]
+    ) -> tuple[Operator, list[Expression]]:
+        """Syntactic-order planning when LEFT JOINs are present (no
+        reordering; WHERE pushdown restricted to the leftmost table)."""
+        by_alias = {b.alias: b for b in bindings}
+        base_alias = bindings[0].alias
+
+        where_conjuncts = split_conjuncts(stmt.where)
+        pushed: dict[str, list[Expression]] = {b.alias: [] for b in bindings}
+        residual: list[Expression] = []
+        for conjunct in where_conjuncts:
+            aliases = {r.table for r in expr_column_refs(conjunct)}
+            if aliases == {base_alias}:
+                pushed[base_alias].append(conjunct)
+            else:
+                residual.append(conjunct)
+
+        join_specs = []
+        joined = {base_alias}
+        for join in stmt.joins:
+            alias = join.table.effective_alias
+            edges: list[JoinEdge] = []
+            for conjunct in split_conjuncts(join.condition):
+                aliases = {r.table for r in expr_column_refs(conjunct)}
+                if aliases == {alias}:
+                    if join.kind == "left":
+                        pushed[alias].append(conjunct)
+                    else:
+                        pushed[alias].append(conjunct)
+                    continue
+                edge = self._as_join_edge(conjunct)
+                if edge is None or alias not in (
+                    edge.left_alias,
+                    edge.right_alias,
+                ):
+                    raise PlanningError(
+                        "LEFT JOIN ON conditions must be equality "
+                        f"predicates, got {expr_to_sql(conjunct)}"
+                    )
+                edges.append(edge)
+            if not edges:
+                raise PlanningError(
+                    f"join with {alias!r} has no equality condition"
+                )
+            join_specs.append((join, alias, edges))
+            joined.add(alias)
+
+        needed = self._needed_columns(
+            stmt,
+            residual,
+            [e for __, __, es in join_specs for e in es],
+            bindings,
+        )
+        plan = self._build_scan(by_alias[base_alias], needed, pushed)
+        joined = {base_alias}
+        for join, alias, edges in join_specs:
+            right = self._build_scan(by_alias[alias], needed, pushed)
+            left_keys, right_keys, __ = self._keys_for(edges, joined, alias)
+            if not left_keys:
+                raise PlanningError(
+                    f"join with {alias!r} does not reference earlier tables"
+                )
+            plan = HashJoin(plan, right, left_keys, right_keys, join.kind)
+            joined.add(alias)
+        return plan, residual
+
+    def _as_join_edge(self, conjunct: Expression) -> JoinEdge | None:
+        if (
+            isinstance(conjunct, BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+            and conjunct.left.table != conjunct.right.table
+        ):
+            return JoinEdge(
+                conjunct.left.table,
+                conjunct.left,
+                conjunct.right.table,
+                conjunct.right,
+            )
+        return None
+
+    def _keys_for(
+        self, edges: list[JoinEdge], joined: set[str], new_alias: str
+    ) -> tuple[list[str], list[str], list[JoinEdge]]:
+        left_keys: list[str] = []
+        right_keys: list[str] = []
+        leftover: list[JoinEdge] = []
+        for edge in edges:
+            if edge.left_alias in joined and edge.right_alias == new_alias:
+                left_keys.append(edge.left_column.key)
+                right_keys.append(edge.right_column.key)
+            elif edge.right_alias in joined and edge.left_alias == new_alias:
+                left_keys.append(edge.right_column.key)
+                right_keys.append(edge.left_column.key)
+            else:
+                leftover.append(edge)
+        return left_keys, right_keys, leftover
+
+    def _needed_columns(
+        self,
+        stmt: SelectStatement,
+        residual: list[Expression],
+        edges: list[JoinEdge],
+        bindings: list[_TableBinding],
+    ) -> dict[str, list[str]]:
+        """Projection pruning: which columns must each scan output."""
+        needed: dict[str, set[str]] = {b.alias: set() for b in bindings}
+
+        def collect(expr: Expression) -> None:
+            for ref in expr_column_refs(expr):
+                needed[ref.table].add(ref.name)
+
+        for item in stmt.items:
+            if isinstance(item.expr, Star):
+                for b in bindings:
+                    needed[b.alias].update(b.schema.names())
+            else:
+                collect(item.expr)
+        for expr in residual:
+            collect(expr)
+        for edge in edges:
+            needed[edge.left_alias].add(edge.left_column.name)
+            needed[edge.right_alias].add(edge.right_column.name)
+        for expr in stmt.group_by:
+            collect(expr)
+        if stmt.having is not None:
+            collect(stmt.having)
+        for order in stmt.order_by:
+            collect(order.expr)
+
+        # Keep schema order for deterministic output.
+        by_alias = {b.alias: b for b in bindings}
+        return {
+            alias: [
+                c for c in by_alias[alias].schema.names() if c in cols
+            ]
+            for alias, cols in needed.items()
+        }
+
+    def _strip_alias(self, expr: Expression) -> Expression:
+        """Clone a pushed predicate with unqualified column names."""
+        return transform_expr(
+            expr,
+            lambda node: ColumnRef(node.name)
+            if isinstance(node, ColumnRef)
+            else None,
+        )
+
+    def _build_scan(
+        self,
+        binding: _TableBinding,
+        needed: dict[str, list[str]],
+        pushed: dict[str, list[Expression]],
+    ) -> Operator:
+        columns = needed[binding.alias]
+        predicate = conjoin(
+            [self._strip_alias(c) for c in pushed[binding.alias]]
+        )
+        scan = self.scan_factory(binding.table_name, columns, predicate)
+        if not columns:
+            return scan
+        return Project(
+            scan,
+            [(f"{binding.alias}.{c}", ColumnRef(c)) for c in columns],
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation.
+    # ------------------------------------------------------------------
+
+    def _plan_aggregation(
+        self, stmt: SelectStatement, plan: Operator
+    ) -> tuple[Operator, list[tuple[str, Expression]]]:
+        """Insert HashAggregate when needed; returns rewritten select items."""
+        select_exprs = [
+            item.expr for item in stmt.items if not isinstance(item.expr, Star)
+        ]
+        has_aggregates = (
+            bool(stmt.group_by)
+            or any(contains_aggregate(e) for e in select_exprs)
+            or (stmt.having is not None and contains_aggregate(stmt.having))
+            or any(contains_aggregate(o.expr) for o in stmt.order_by)
+        )
+        select_items = self._expand_select_items(stmt, plan)
+        if not has_aggregates:
+            if stmt.having is not None:
+                raise PlanningError("HAVING requires GROUP BY or aggregates")
+            return plan, select_items
+
+        if any(isinstance(item.expr, Star) for item in stmt.items):
+            raise PlanningError("SELECT * cannot be combined with GROUP BY")
+
+        # Group keys.
+        group_items: list[tuple[str, Expression]] = []
+        mapping: dict[str, ColumnRef] = {}
+        for i, expr in enumerate(stmt.group_by):
+            signature = expr_to_sql(expr)
+            if signature not in mapping:
+                name = f"__g{len(group_items)}"
+                group_items.append((name, expr))
+                mapping[signature] = ColumnRef(name)
+
+        # Aggregate calls, collected from every post-grouping expression.
+        specs: list[AggregateSpec] = []
+
+        def collect_aggs(expr: Expression) -> None:
+            for node in walk_expr(expr):
+                if isinstance(node, FunctionCall) and node.is_aggregate:
+                    for arg in node.args:
+                        if not isinstance(arg, Star) and contains_aggregate(arg):
+                            raise PlanningError(
+                                "nested aggregate functions are not allowed"
+                            )
+                    signature = expr_to_sql(node)
+                    if signature in mapping:
+                        continue
+                    name = f"__a{len(specs)}"
+                    arg = None
+                    if node.args and not isinstance(node.args[0], Star):
+                        arg = node.args[0]
+                    specs.append(
+                        AggregateSpec(name, node.name, arg, node.distinct)
+                    )
+                    mapping[signature] = ColumnRef(name)
+
+        for __, expr in select_items:
+            collect_aggs(expr)
+        if stmt.having is not None:
+            collect_aggs(stmt.having)
+        for order in stmt.order_by:
+            collect_aggs(order.expr)
+
+        rewrite = lambda e: self._rewrite_post_agg(e, mapping)  # noqa: E731
+        rewritten_items = [
+            (name, rewrite(expr)) for name, expr in select_items
+        ]
+        plan = HashAggregate(plan, group_items, specs)
+        if stmt.having is not None:
+            plan = Filter(plan, rewrite(stmt.having))
+        for order in stmt.order_by:
+            order.expr = rewrite(order.expr)
+        return plan, rewritten_items
+
+    def _rewrite_post_agg(
+        self, expr: Expression, mapping: dict[str, ColumnRef]
+    ) -> Expression:
+        def replace(node: Expression) -> Expression | None:
+            signature = expr_to_sql(node)
+            target = mapping.get(signature)
+            if target is not None:
+                return ColumnRef(target.name)
+            if isinstance(node, ColumnRef):
+                raise PlanningError(
+                    f"column {node.key!r} must appear in GROUP BY or be "
+                    "used in an aggregate function"
+                )
+            return None
+
+        return transform_expr(expr, replace)
+
+    def _expand_select_items(
+        self, stmt: SelectStatement, plan: Operator
+    ) -> list[tuple[str, Expression]]:
+        """Expand * and assign output names."""
+        items: list[tuple[str, Expression]] = []
+        available = list(plan.output_types())
+        plain_counts: dict[str, int] = {}
+        for key in available:
+            plain = key.split(".", 1)[-1]
+            plain_counts[plain] = plain_counts.get(plain, 0) + 1
+
+        used: dict[str, int] = {}
+
+        def unique(name: str) -> str:
+            count = used.get(name, 0)
+            used[name] = count + 1
+            return name if count == 0 else f"{name}_{count + 1}"
+
+        for item in stmt.items:
+            if isinstance(item.expr, Star):
+                if not available:
+                    raise PlanningError("SELECT * requires a FROM clause")
+                for key in available:
+                    plain = key.split(".", 1)[-1]
+                    name = plain if plain_counts[plain] == 1 else key
+                    items.append((unique(name), ColumnRef(key)))
+                continue
+            if item.alias is not None:
+                name = item.alias
+            elif isinstance(item.expr, ColumnRef):
+                name = item.expr.name
+            else:
+                name = expr_to_sql(item.expr).strip("()").lower() or "column"
+            items.append((unique(name), item.expr))
+        return items
+
+    # ------------------------------------------------------------------
+    # Projection, ordering, distinct, limit.
+    # ------------------------------------------------------------------
+
+    def _plan_projection_and_order(
+        self,
+        stmt: SelectStatement,
+        plan: Operator,
+        select_items: list[tuple[str, Expression]],
+    ) -> tuple[Operator, list[str]]:
+        output_names = [name for name, __ in select_items]
+        if not stmt.order_by:
+            return Project(plan, select_items), output_names
+
+        # Sort keys that match a select item sort on its output column;
+        # others become hidden columns dropped after the sort.
+        by_signature = {
+            expr_to_sql(expr): name for name, expr in select_items
+        }
+        project_items = list(select_items)
+        sort_keys: list[tuple[Expression, bool]] = []
+        for i, order in enumerate(stmt.order_by):
+            signature = expr_to_sql(order.expr)
+            name = by_signature.get(signature)
+            if name is None:
+                name = f"__sort{i}"
+                project_items.append((name, order.expr))
+            sort_keys.append((ColumnRef(name), order.ascending))
+
+        plan = Project(plan, project_items)
+        plan = Sort(plan, sort_keys)
+        if len(project_items) != len(select_items):
+            plan = Project(
+                plan, [(n, ColumnRef(n)) for n, __ in select_items]
+            )
+        return plan, output_names

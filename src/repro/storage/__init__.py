@@ -1,0 +1,29 @@
+"""Binary storage engines for the conventional-DBMS baselines.
+
+The "friendly race" (paper §4.3) pits PostgresRaw against systems that
+must load data before answering anything.  These modules are those
+systems' storage layers:
+
+* :mod:`repro.storage.heap` — row-oriented binary heap files
+  (PostgreSQL- and MySQL-like profiles);
+* :mod:`repro.storage.columnstore` — columnar binary storage with
+  block zone maps (the "DBMS X" profile);
+* :mod:`repro.storage.btree` — a B+-tree secondary index;
+* :mod:`repro.storage.loader` — the COPY-style bulk loader whose cost is
+  exactly the initialization PostgresRaw avoids.
+"""
+
+from .heap import RowHeapTable
+from .columnstore import ColumnStoreTable
+from .btree import BPlusTree
+from .loader import LoadReport, load_csv_to_columns
+from .table import StoredTable
+
+__all__ = [
+    "RowHeapTable",
+    "ColumnStoreTable",
+    "BPlusTree",
+    "LoadReport",
+    "load_csv_to_columns",
+    "StoredTable",
+]

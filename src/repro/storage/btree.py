@@ -1,0 +1,275 @@
+"""A B+-tree secondary index.
+
+Conventional contestants in the friendly race may "build additional
+auxiliary data structures such as indices" before querying.  This is
+that index: bulk-built after load, it answers equality and range
+predicates with sorted row-id lists that the storage engines gather.
+
+Leaves are chained for range scans; internal nodes hold separator keys.
+Keys are any totally-ordered Python values (int, float, str, day
+numbers); NULLs are never indexed, matching SQL index semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import StorageError
+
+DEFAULT_ORDER = 64
+
+
+@dataclass
+class _Leaf:
+    keys: list = field(default_factory=list)
+    postings: list[list[int]] = field(default_factory=list)
+    next: "_Leaf | None" = None
+
+
+@dataclass
+class _Internal:
+    keys: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+
+
+class BPlusTree:
+    """Bulk-built B+-tree from key -> row-id pairs."""
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        if order < 3:
+            raise StorageError("B+-tree order must be at least 3")
+        self.order = order
+        self._root: _Leaf | _Internal = _Leaf()
+        self._first_leaf: _Leaf = self._root
+        self._height = 1
+        self._num_keys = 0
+        self._num_entries = 0
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_build(
+        cls, keys: list, row_ids: list[int] | None = None, order: int = DEFAULT_ORDER
+    ) -> "BPlusTree":
+        """Build bottom-up from (key, row_id) pairs; NULL keys skipped."""
+        tree = cls(order)
+        if row_ids is None:
+            row_ids = list(range(len(keys)))
+        pairs = [
+            (k, r) for k, r in zip(keys, row_ids) if k is not None
+        ]
+        pairs.sort(key=lambda p: p[0])
+        if not pairs:
+            return tree
+
+        # Collapse duplicates into postings lists.
+        unique_keys: list = []
+        postings: list[list[int]] = []
+        for key, row in pairs:
+            if unique_keys and unique_keys[-1] == key:
+                postings[-1].append(row)
+            else:
+                unique_keys.append(key)
+                postings.append([row])
+        tree._num_keys = len(unique_keys)
+        tree._num_entries = len(pairs)
+
+        # Build the leaf level.
+        per_leaf = max(order - 1, 2)
+        leaves: list[_Leaf] = []
+        for i in range(0, len(unique_keys), per_leaf):
+            leaf = _Leaf(
+                keys=unique_keys[i : i + per_leaf],
+                postings=postings[i : i + per_leaf],
+            )
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        tree._first_leaf = leaves[0]
+
+        # Build internal levels bottom-up.
+        level: list = leaves
+        height = 1
+        while len(level) > 1:
+            parents: list[_Internal] = []
+            per_node = max(order, 2)
+            for i in range(0, len(level), per_node):
+                group = level[i : i + per_node]
+                node = _Internal(
+                    keys=[_smallest_key(c) for c in group[1:]],
+                    children=list(group),
+                )
+                parents.append(node)
+            level = parents
+            height += 1
+        tree._root = level[0]
+        tree._height = height
+        return tree
+
+    def insert(self, key, row_id: int) -> None:
+        """Single insert with node splits (incremental maintenance)."""
+        if key is None:
+            return
+        self._num_entries += 1
+        split = self._insert_into(self._root, key, row_id)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal(keys=[sep], children=[self._root, right])
+            self._root = new_root
+            self._height += 1
+
+    def _insert_into(self, node, key, row_id):
+        if isinstance(node, _Leaf):
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.postings[idx].append(row_id)
+                return None
+            node.keys.insert(idx, key)
+            node.postings.insert(idx, [row_id])
+            self._num_keys += 1
+            if len(node.keys) < self.order:
+                return None
+            mid = len(node.keys) // 2
+            right = _Leaf(
+                keys=node.keys[mid:],
+                postings=node.postings[mid:],
+                next=node.next,
+            )
+            node.keys = node.keys[:mid]
+            node.postings = node.postings[:mid]
+            node.next = right
+            return right.keys[0], right
+
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[idx], key, row_id)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) <= self.order:
+            return None
+        mid = len(node.keys) // 2
+        sep_up = node.keys[mid]
+        right_node = _Internal(
+            keys=node.keys[mid + 1 :], children=node.children[mid + 1 :]
+        )
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep_up, right_node
+
+    # ------------------------------------------------------------------
+    # Search.
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search_eq(self, key) -> np.ndarray:
+        """Row ids with exactly this key (sorted ascending)."""
+        if key is None:
+            return np.zeros(0, dtype=np.int64)
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return np.asarray(sorted(leaf.postings[idx]), dtype=np.int64)
+        return np.zeros(0, dtype=np.int64)
+
+    def search_range(
+        self,
+        low=None,
+        high=None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Row ids with keys in the interval (sorted ascending)."""
+        if low is not None:
+            leaf = self._find_leaf(low)
+            if low_inclusive:
+                idx = bisect.bisect_left(leaf.keys, low)
+            else:
+                idx = bisect.bisect_right(leaf.keys, low)
+        else:
+            leaf = self._first_leaf
+            idx = 0
+
+        out: list[int] = []
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if high is not None:
+                    if key > high or (key == high and not high_inclusive):
+                        return np.asarray(sorted(out), dtype=np.int64)
+                out.extend(leaf.postings[idx])
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+        return np.asarray(sorted(out), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests / monitoring).
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def num_keys(self) -> int:
+        return self._num_keys
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    def validate(self) -> None:
+        """Check structural invariants (used by property tests)."""
+        previous = None
+        leaf = self._first_leaf
+        count = 0
+        while leaf is not None:
+            for key, posting in zip(leaf.keys, leaf.postings):
+                if previous is not None and not previous < key:
+                    raise StorageError(
+                        f"leaf keys out of order: {previous!r} !< {key!r}"
+                    )
+                if not posting:
+                    raise StorageError(f"empty postings for key {key!r}")
+                previous = key
+                count += 1
+            leaf = leaf.next
+        if count != self._num_keys:
+            raise StorageError(
+                f"leaf chain has {count} keys, expected {self._num_keys}"
+            )
+        self._validate_node(self._root, None, None)
+
+    def _validate_node(self, node, low, high) -> None:
+        if isinstance(node, _Leaf):
+            for key in node.keys:
+                if low is not None and key < low:
+                    raise StorageError(f"key {key!r} below node bound {low!r}")
+                if high is not None and not key < high:
+                    raise StorageError(f"key {key!r} above node bound {high!r}")
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise StorageError("internal node child/key count mismatch")
+        for i, child in enumerate(node.children):
+            child_low = node.keys[i - 1] if i > 0 else low
+            child_high = node.keys[i] if i < len(node.keys) else high
+            self._validate_node(child, child_low, child_high)
+
+
+def _smallest_key(node) -> object:
+    while isinstance(node, _Internal):
+        node = node.children[0]
+    return node.keys[0]

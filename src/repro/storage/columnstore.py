@@ -1,0 +1,245 @@
+"""Columnar binary storage with block zone maps (the "DBMS X" profile).
+
+Each column lives in its own pair of ``.npy`` files (values + null
+mask).  At load time the engine additionally builds *zone maps* — block
+min/max summaries for numeric columns — which lets scans with pushed
+range/equality predicates skip whole blocks.  This is the extra "tuning"
+work that makes the commercial contestant's initialization slower and
+its scans faster, producing the race dynamics the demo stages.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..batch import Batch, ColumnVector
+from ..catalog.schema import TableSchema
+from ..core.metrics import BreakdownComponent, QueryMetrics
+from ..datatypes import DataType
+from ..errors import StorageError
+
+_IO = BreakdownComponent.IO
+_CONVERT = BreakdownComponent.CONVERT
+
+#: Rows per zone-map block.
+ZONE_BLOCK_ROWS = 4096
+
+
+class ColumnStoreTable:
+    """A loaded table stored column-at-a-time with zone maps."""
+
+    def __init__(self, directory: Path, schema: TableSchema) -> None:
+        self.directory = Path(directory)
+        self.schema = schema
+        self._columns: dict[str, np.ndarray] = {}
+        self._nulls: dict[str, np.ndarray] = {}
+        self._zones: dict[str, tuple[np.ndarray, np.ndarray]] | None = None
+        self._num_rows: int | None = None
+
+    # ------------------------------------------------------------------
+    # Loading.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        schema: TableSchema,
+        columns: dict[str, ColumnVector],
+        build_zone_maps: bool = True,
+    ) -> "ColumnStoreTable":
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        names = schema.names()
+        missing = [n for n in names if n not in columns]
+        if missing:
+            raise StorageError(f"missing columns at load time: {missing}")
+        n_rows = len(columns[names[0]]) if names else 0
+
+        zones: dict[str, dict[str, list[float]]] = {}
+        for column in schema:
+            vec = columns[column.name]
+            if len(vec) != n_rows:
+                raise StorageError(
+                    f"column {column.name!r} has {len(vec)} rows, "
+                    f"expected {n_rows}"
+                )
+            if column.dtype is DataType.TEXT:
+                width = 1
+                for value in vec.values:
+                    if value is not None:
+                        width = max(width, len(value.encode("utf-8")))
+                encoded = np.array(
+                    [
+                        v.encode("utf-8") if v is not None else b""
+                        for v in vec.values
+                    ],
+                    dtype=f"S{width}",
+                )
+                np.save(directory / f"{column.name}.values.npy", encoded)
+            else:
+                np.save(
+                    directory / f"{column.name}.values.npy",
+                    np.ascontiguousarray(vec.values),
+                )
+            np.save(
+                directory / f"{column.name}.nulls.npy",
+                np.ascontiguousarray(vec.null_mask),
+            )
+            if build_zone_maps and column.dtype in (
+                DataType.INTEGER,
+                DataType.FLOAT,
+                DataType.DATE,
+            ):
+                zones[column.name] = _build_zone_map(vec)
+
+        meta = {
+            "n_rows": n_rows,
+            "zones": zones,
+            "zone_block_rows": ZONE_BLOCK_ROWS,
+        }
+        with open(directory / "meta.json", "w", encoding="utf-8") as f:
+            json.dump(meta, f)
+        return cls(directory, schema)
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+
+    def _meta(self) -> dict:
+        with open(self.directory / "meta.json", "r", encoding="utf-8") as f:
+            return json.load(f)
+
+    @property
+    def num_rows(self) -> int:
+        if self._num_rows is None:
+            self._num_rows = int(self._meta()["n_rows"])
+        return self._num_rows
+
+    def zone_map(self, column: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """(block_mins, block_maxs) for a numeric column, if built."""
+        if self._zones is None:
+            meta = self._meta()
+            self._zones = {
+                name: (
+                    np.asarray(z["mins"], dtype=np.float64),
+                    np.asarray(z["maxs"], dtype=np.float64),
+                )
+                for name, z in meta.get("zones", {}).items()
+            }
+        return self._zones.get(column)
+
+    def _column_arrays(
+        self, name: str, metrics: QueryMetrics | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if name not in self._columns:
+            values_path = self.directory / f"{name}.values.npy"
+            nulls_path = self.directory / f"{name}.nulls.npy"
+            if metrics is not None:
+                with metrics.time(_IO):
+                    values = np.load(values_path, mmap_mode="r")
+                    nulls = np.load(nulls_path, mmap_mode="r")
+                    metrics.bytes_read += values.nbytes + nulls.nbytes
+            else:
+                values = np.load(values_path, mmap_mode="r")
+                nulls = np.load(nulls_path, mmap_mode="r")
+            self._columns[name] = values
+            self._nulls[name] = nulls
+        return self._columns[name], self._nulls[name]
+
+    def _vector(
+        self,
+        name: str,
+        sl: slice | np.ndarray,
+        metrics: QueryMetrics | None,
+    ) -> ColumnVector:
+        dtype = self.schema.dtype_of(name)
+        values, nulls = self._column_arrays(name, metrics)
+        raw = values[sl]
+        nul = np.ascontiguousarray(nulls[sl])
+        if dtype is DataType.TEXT:
+            if metrics is not None:
+                with metrics.time(_CONVERT):
+                    out = _decode_text(raw, nul)
+            else:
+                out = _decode_text(raw, nul)
+            return ColumnVector(dtype, out, nul)
+        return ColumnVector(dtype, np.ascontiguousarray(raw), nul)
+
+    def scan(
+        self,
+        columns: list[str],
+        batch_size: int,
+        metrics: QueryMetrics | None = None,
+        block_filter: np.ndarray | None = None,
+    ) -> Iterator[Batch]:
+        """Batch scan; ``block_filter`` marks zone-map blocks to keep.
+
+        ``block_filter[b]`` False means block ``b`` (of
+        ``ZONE_BLOCK_ROWS`` rows) provably contains no qualifying row
+        and is skipped without being read.
+        """
+        n = self.num_rows
+        for r0 in range(0, n, batch_size):
+            r1 = min(n, r0 + batch_size)
+            if block_filter is not None:
+                b0 = r0 // ZONE_BLOCK_ROWS
+                b1 = (r1 - 1) // ZONE_BLOCK_ROWS
+                if not block_filter[b0 : b1 + 1].any():
+                    continue
+            yield Batch(
+                {
+                    name: self._vector(name, slice(r0, r1), metrics)
+                    for name in columns
+                },
+                num_rows=r1 - r0,
+            )
+
+    def gather(
+        self,
+        columns: list[str],
+        row_ids: np.ndarray,
+        metrics: QueryMetrics | None = None,
+    ) -> Batch:
+        return Batch(
+            {
+                name: self._vector(name, row_ids, metrics)
+                for name in columns
+            },
+            num_rows=len(row_ids),
+        )
+
+    def storage_bytes(self) -> int:
+        total = 0
+        for path in self.directory.glob("*.npy"):
+            total += path.stat().st_size
+        return total
+
+
+def _build_zone_map(vec: ColumnVector) -> dict[str, list[float]]:
+    mins: list[float] = []
+    maxs: list[float] = []
+    n = len(vec)
+    for b0 in range(0, n, ZONE_BLOCK_ROWS):
+        block = vec.values[b0 : b0 + ZONE_BLOCK_ROWS]
+        nulls = vec.null_mask[b0 : b0 + ZONE_BLOCK_ROWS]
+        valid = block[~nulls]
+        if len(valid):
+            mins.append(float(valid.min()))
+            maxs.append(float(valid.max()))
+        else:
+            mins.append(float("inf"))
+            maxs.append(float("-inf"))
+    return {"mins": mins, "maxs": maxs}
+
+
+def _decode_text(raw: np.ndarray, nulls: np.ndarray) -> np.ndarray:
+    values = np.empty(len(raw), dtype=object)
+    decoded = np.char.decode(raw, "utf-8")
+    for i, text in enumerate(decoded):
+        values[i] = None if nulls[i] else str(text)
+    return values

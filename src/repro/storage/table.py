@@ -1,0 +1,42 @@
+"""The interface conventional storage engines implement."""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol
+
+import numpy as np
+
+from ..batch import Batch
+from ..catalog.schema import TableSchema
+from ..core.metrics import QueryMetrics
+
+
+class StoredTable(Protocol):
+    """A loaded (binary) table that can be scanned in batches.
+
+    Implementations: :class:`repro.storage.heap.RowHeapTable` and
+    :class:`repro.storage.columnstore.ColumnStoreTable`.
+    """
+
+    schema: TableSchema
+
+    @property
+    def num_rows(self) -> int: ...
+
+    def scan(
+        self,
+        columns: list[str],
+        batch_size: int,
+        metrics: QueryMetrics | None = None,
+    ) -> Iterator[Batch]:
+        """Yield batches of the requested columns (schema-name keys)."""
+        ...
+
+    def gather(
+        self,
+        columns: list[str],
+        row_ids: np.ndarray,
+        metrics: QueryMetrics | None = None,
+    ) -> Batch:
+        """Materialize specific rows (index-scan support)."""
+        ...

@@ -1,0 +1,30 @@
+"""Workload generators and the friendly-race harness."""
+
+from .queries import (
+    QuerySpec,
+    RandomSelectProjectWorkload,
+    select_project_sql,
+)
+from .epochs import Epoch, EpochWorkload
+from .race import (
+    Contestant,
+    ConventionalContestant,
+    ExternalFilesContestant,
+    FriendlyRace,
+    PostgresRawContestant,
+    RaceReport,
+)
+
+__all__ = [
+    "QuerySpec",
+    "RandomSelectProjectWorkload",
+    "select_project_sql",
+    "Epoch",
+    "EpochWorkload",
+    "Contestant",
+    "ConventionalContestant",
+    "ExternalFilesContestant",
+    "FriendlyRace",
+    "PostgresRawContestant",
+    "RaceReport",
+]

@@ -1,0 +1,99 @@
+"""Select-Project query generators.
+
+The demo's scenarios are driven by "simple Select-Project queries" whose
+attribute footprint moves around the file.  These helpers produce such
+queries deterministically (seeded) so every system in a comparison runs
+the identical sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..catalog.schema import TableSchema
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One Select-Project query in structured form."""
+
+    table: str
+    projection: tuple[str, ...]
+    filter_column: str | None = None
+    low: int | None = None
+    high: int | None = None
+
+    def to_sql(self) -> str:
+        columns = ", ".join(self.projection) if self.projection else "COUNT(*)"
+        sql = f"SELECT {columns} FROM {self.table}"
+        if self.filter_column is not None:
+            sql += (
+                f" WHERE {self.filter_column} BETWEEN {self.low} AND {self.high}"
+            )
+        return sql
+
+
+def select_project_sql(
+    table: str,
+    projection: list[str],
+    filter_column: str | None = None,
+    low: int | None = None,
+    high: int | None = None,
+) -> str:
+    return QuerySpec(
+        table, tuple(projection), filter_column, low, high
+    ).to_sql()
+
+
+@dataclass
+class RandomSelectProjectWorkload:
+    """Uniformly random Select-Project queries over a table.
+
+    Each query projects ``projection_width`` random attributes and
+    filters one random attribute with a BETWEEN predicate of roughly
+    ``selectivity`` (assuming values uniform in [value_low, value_high),
+    which holds for :func:`repro.rawio.generator.uniform_table_spec`
+    data).
+    """
+
+    table: str
+    schema: TableSchema
+    projection_width: int = 2
+    selectivity: float = 0.1
+    value_low: int = 0
+    value_high: int = 1_000_000
+    seed: int = 1234
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.projection_width <= len(self.schema):
+            raise SchemaError(
+                f"projection_width must be in 1..{len(self.schema)}"
+            )
+        if not 0.0 < self.selectivity <= 1.0:
+            raise SchemaError("selectivity must be in (0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def next_query(self) -> QuerySpec:
+        names = self.schema.names()
+        projection = self._rng.choice(
+            len(names), size=self.projection_width, replace=False
+        )
+        filter_attr = int(self._rng.integers(0, len(names)))
+        span = int((self.value_high - self.value_low) * self.selectivity)
+        low = int(
+            self._rng.integers(self.value_low, max(self.value_high - span, 1))
+        )
+        return QuerySpec(
+            table=self.table,
+            projection=tuple(names[i] for i in sorted(projection)),
+            filter_column=names[filter_attr],
+            low=low,
+            high=low + span,
+        )
+
+    def queries(self, count: int) -> list[QuerySpec]:
+        return [self.next_query() for __ in range(count)]

@@ -1,0 +1,251 @@
+"""The friendly race (paper §4.3).
+
+"All DBMS execute the same sequence of input queries and take as input
+the same raw data files and the same schema.  The data is not loaded in
+advance into any system ... After the 'starting shot', all contestants
+try to get the query results as soon as possible."
+
+:class:`FriendlyRace` stages exactly that: every contestant starts from
+the raw file, performs whatever initialization its strategy dictates
+(nothing for PostgresRaw; load / load+index+analyze for the conventional
+systems), then executes the shared query sequence.  The report gives the
+metric the paper cares about — **data-to-query time** (time until the
+first answer) — plus per-query latencies, totals, and the
+queries-answered-by-time-T timeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol
+
+from ..catalog.schema import TableSchema
+from ..config import PostgresRawConfig
+from ..core.engine import PostgresRaw
+from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
+from .queries import QuerySpec
+from ..baselines.conventional import ConventionalDBMS
+from ..baselines.external import ExternalFilesDBMS
+from ..baselines.profiles import SystemProfile
+
+
+class Contestant(Protocol):
+    """One system racing on (path, schema, queries)."""
+
+    name: str
+
+    def initialize(
+        self, table: str, path: Path, schema: TableSchema, dialect: CsvDialect
+    ) -> None:
+        """Everything the system does before its first query."""
+        ...
+
+    def run_query(self, sql: str) -> int:
+        """Execute; returns the number of result rows."""
+        ...
+
+
+@dataclass
+class PostgresRawContestant:
+    """Zero-initialization contestant (registration only)."""
+
+    name: str = "PostgresRaw"
+    config: PostgresRawConfig | None = None
+    engine: PostgresRaw = field(init=False)
+
+    def initialize(self, table, path, schema, dialect) -> None:
+        self.engine = PostgresRaw(self.config)
+        self.engine.register_csv(table, path, schema, dialect)
+
+    def run_query(self, sql: str) -> int:
+        return len(self.engine.query(sql))
+
+
+@dataclass
+class ConventionalContestant:
+    """Load-first contestant; optionally builds indexes and statistics.
+
+    "The contestant is free to tune the configuration parameters of the
+    systems and/or build additional auxiliary data structures such as
+    indices."
+    """
+
+    profile: SystemProfile
+    index_columns: tuple[str, ...] = ()
+    storage_dir: str | Path | None = None
+    name: str = ""
+    dbms: ConventionalDBMS = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.profile.name
+
+    def initialize(self, table, path, schema, dialect) -> None:
+        self.dbms = ConventionalDBMS(self.profile, self.storage_dir)
+        self.dbms.load_csv(table, path, schema, dialect)
+        for column in self.index_columns:
+            self.dbms.create_index(table, column)
+
+    def run_query(self, sql: str) -> int:
+        return len(self.dbms.query(sql))
+
+
+@dataclass
+class ExternalFilesContestant:
+    """External-tables contestant: no init, no adaptation."""
+
+    name: str = "External files"
+    dbms: ExternalFilesDBMS = field(init=False)
+
+    def initialize(self, table, path, schema, dialect) -> None:
+        self.dbms = ExternalFilesDBMS()
+        self.dbms.register_csv(table, path, schema, dialect)
+
+    def run_query(self, sql: str) -> int:
+        return len(self.dbms.query(sql))
+
+
+@dataclass
+class LaneResult:
+    """One contestant's race telemetry."""
+
+    name: str
+    init_seconds: float
+    query_seconds: list[float]
+    rows: list[int]
+
+    @property
+    def total_seconds(self) -> float:
+        return self.init_seconds + sum(self.query_seconds)
+
+    @property
+    def data_to_query_seconds(self) -> float:
+        """Time from the starting shot to the *first* answer."""
+        first = self.query_seconds[0] if self.query_seconds else 0.0
+        return self.init_seconds + first
+
+    def answered_by(self, t: float) -> int:
+        """Queries answered within ``t`` seconds of the starting shot."""
+        elapsed = self.init_seconds
+        answered = 0
+        for q in self.query_seconds:
+            elapsed += q
+            if elapsed <= t:
+                answered += 1
+            else:
+                break
+        return answered
+
+    def cumulative_times(self) -> list[float]:
+        """Elapsed time at which each query completed."""
+        out = []
+        elapsed = self.init_seconds
+        for q in self.query_seconds:
+            elapsed += q
+            out.append(elapsed)
+        return out
+
+
+@dataclass
+class RaceReport:
+    lanes: list[LaneResult]
+
+    def winner_first_answer(self) -> str:
+        return min(self.lanes, key=lambda l: l.data_to_query_seconds).name
+
+    def winner_total(self) -> str:
+        return min(self.lanes, key=lambda l: l.total_seconds).name
+
+    def as_table(self) -> list[dict[str, object]]:
+        return [
+            {
+                "system": lane.name,
+                "init_s": round(lane.init_seconds, 4),
+                "data_to_query_s": round(lane.data_to_query_seconds, 4),
+                "total_s": round(lane.total_seconds, 4),
+                "queries": len(lane.query_seconds),
+            }
+            for lane in self.lanes
+        ]
+
+    def render(self, width: int = 50) -> str:
+        """ASCII timeline: init phase (=) then query phase (#)."""
+        peak = max((l.total_seconds for l in self.lanes), default=0.0)
+        if peak <= 0:
+            return "(no data)"
+        name_width = max(len(l.name) for l in self.lanes)
+        lines = [
+            f"{'system'.ljust(name_width)} | timeline "
+            f"(= init, # queries, total {peak:.2f}s)"
+        ]
+        for lane in self.lanes:
+            init_cells = int(round(lane.init_seconds / peak * width))
+            query_cells = int(
+                round(sum(lane.query_seconds) / peak * width)
+            )
+            bar = "=" * init_cells + "#" * query_cells
+            lines.append(
+                f"{lane.name.ljust(name_width)} |{bar.ljust(width)}| "
+                f"first answer @ {lane.data_to_query_seconds:7.3f}s, "
+                f"total {lane.total_seconds:7.3f}s"
+            )
+        return "\n".join(lines)
+
+
+class FriendlyRace:
+    """Run the same raw file + query sequence through every contestant."""
+
+    def __init__(
+        self,
+        table: str,
+        path: str | Path,
+        schema: TableSchema,
+        dialect: CsvDialect = DEFAULT_DIALECT,
+    ) -> None:
+        self.table = table
+        self.path = Path(path)
+        self.schema = schema
+        self.dialect = dialect
+
+    def run(
+        self,
+        contestants: list[Contestant],
+        queries: list[QuerySpec | str],
+    ) -> RaceReport:
+        sqls = [
+            q.to_sql() if isinstance(q, QuerySpec) else q for q in queries
+        ]
+        lanes = []
+        for contestant in contestants:
+            t0 = time.perf_counter()
+            contestant.initialize(
+                self.table, self.path, self.schema, self.dialect
+            )
+            init_seconds = time.perf_counter() - t0
+            per_query = []
+            rows = []
+            for sql in sqls:
+                t0 = time.perf_counter()
+                rows.append(contestant.run_query(sql))
+                per_query.append(time.perf_counter() - t0)
+            lanes.append(
+                LaneResult(contestant.name, init_seconds, per_query, rows)
+            )
+        self._check_agreement(lanes)
+        return RaceReport(lanes)
+
+    @staticmethod
+    def _check_agreement(lanes: list[LaneResult]) -> None:
+        """All contestants must return the same row counts — they share
+        one semantics; a mismatch means an engine bug, not a race."""
+        if not lanes:
+            return
+        reference = lanes[0].rows
+        for lane in lanes[1:]:
+            if lane.rows != reference:
+                raise AssertionError(
+                    f"result divergence: {lanes[0].name}={reference} vs "
+                    f"{lane.name}={lane.rows}"
+                )

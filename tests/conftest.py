@@ -1,0 +1,100 @@
+"""Shared fixtures: generated raw files and pre-registered engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Column,
+    DataType,
+    PostgresRaw,
+    PostgresRawConfig,
+    TableSchema,
+    generate_csv,
+    uniform_table_spec,
+    write_csv,
+)
+from repro.rawio.generator import ColumnSpec, DatasetSpec
+
+
+@pytest.fixture(scope="session")
+def small_csv(tmp_path_factory):
+    """5 000 x 6 uniform integer table (session-wide, read-only)."""
+    path = tmp_path_factory.mktemp("data") / "small.csv"
+    spec = uniform_table_spec(n_attrs=6, n_rows=5_000, seed=11)
+    schema = generate_csv(path, spec)
+    return path, schema
+
+
+@pytest.fixture(scope="session")
+def mixed_csv(tmp_path_factory):
+    """Mixed-type table: ints, floats, text, dates, bools, with NULLs."""
+    path = tmp_path_factory.mktemp("data") / "mixed.csv"
+    spec = DatasetSpec(
+        columns=(
+            ColumnSpec("id", DataType.INTEGER, distribution="sequential"),
+            ColumnSpec("price", DataType.FLOAT, low=0, high=1000),
+            ColumnSpec("label", DataType.TEXT, width=6, cardinality=50),
+            ColumnSpec(
+                "day", DataType.DATE, low=15_000, high=16_000
+            ),
+            ColumnSpec("flag", DataType.BOOLEAN),
+            ColumnSpec(
+                "qty",
+                DataType.INTEGER,
+                low=0,
+                high=100,
+                null_fraction=0.1,
+            ),
+        ),
+        n_rows=3_000,
+        seed=23,
+    )
+    schema = generate_csv(path, spec)
+    return path, schema
+
+
+@pytest.fixture
+def engine(small_csv):
+    path, schema = small_csv
+    eng = PostgresRaw()
+    eng.register_csv("t", path, schema)
+    return eng
+
+
+@pytest.fixture
+def mixed_engine(mixed_csv):
+    path, schema = mixed_csv
+    eng = PostgresRaw()
+    eng.register_csv("m", path, schema)
+    return eng
+
+
+@pytest.fixture
+def tiny_table(tmp_path):
+    """A hand-written table with known contents for exact assertions."""
+    schema = TableSchema(
+        [
+            Column("a", DataType.INTEGER),
+            Column("b", DataType.TEXT),
+            Column("c", DataType.FLOAT),
+        ]
+    )
+    rows = [
+        (1, "alpha", 1.5),
+        (2, "beta", -2.25),
+        (3, None, 0.0),
+        (None, "delta", 4.75),
+        (5, "eps", None),
+    ]
+    path = tmp_path / "tiny.csv"
+    write_csv(path, rows, schema)
+    return path, schema, rows
+
+
+@pytest.fixture
+def tiny_engine(tiny_table):
+    path, schema, rows = tiny_table
+    eng = PostgresRaw()
+    eng.register_csv("tiny", path, schema)
+    return eng, rows

@@ -1,0 +1,135 @@
+"""The cost-aware cache policy (demo §4.2).
+
+"caching should give priority to attributes that are more expensive to
+parse and cheaper to maintain in memory e.g. integer attributes"
+
+Under memory pressure, ``cache_policy="cost_aware"`` must keep integer
+columns (expensive ``int()`` conversion, 8 bytes/value) over wide text
+columns (nearly free to re-slice, dozens of bytes/value); plain LRU
+keeps whatever was touched last.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DataType,
+    PostgresRaw,
+    PostgresRawConfig,
+    generate_csv,
+)
+from repro.batch import ColumnVector
+from repro.core.cache import RawDataCache
+from repro.errors import BudgetError, ReproError
+from repro.rawio.generator import ColumnSpec, DatasetSpec
+
+
+def _vec(n, dtype=DataType.INTEGER):
+    if dtype is DataType.TEXT:
+        return ColumnVector.from_pylist(dtype, ["x" * 40] * n)
+    return ColumnVector(
+        dtype, np.arange(n, dtype=np.int64), np.zeros(n, dtype=np.bool_)
+    )
+
+
+class TestPolicyUnit:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ReproError):
+            RawDataCache(100, policy="mru")
+        with pytest.raises(BudgetError):
+            PostgresRawConfig(cache_policy="newest")
+
+    def test_cost_aware_evicts_low_value_density_first(self):
+        int_vec = _vec(100)
+        cache = RawDataCache(int_vec.nbytes() * 2 + 64, policy="cost_aware")
+        cache.tick()
+        cache.put(0, _vec(100), benefit_seconds=0.5)   # valuable
+        cache.tick()
+        cache.put(1, _vec(100), benefit_seconds=0.001)  # cheap to redo
+        cache.tick()
+        cache.put(2, _vec(100), benefit_seconds=0.3)
+        # Attr 1 has the lowest benefit/byte and must be the victim,
+        # even though attr 0 is the least recently used.
+        assert cache.cached_attrs() == [0, 2]
+
+    def test_lru_ignores_benefit(self):
+        int_vec = _vec(100)
+        cache = RawDataCache(int_vec.nbytes() * 2 + 64, policy="lru")
+        cache.tick()
+        cache.put(0, _vec(100), benefit_seconds=9.9)
+        cache.tick()
+        cache.put(1, _vec(100), benefit_seconds=0.0)
+        cache.tick()
+        cache.put(2, _vec(100), benefit_seconds=0.0)
+        assert cache.cached_attrs() == [1, 2]  # 0 was oldest
+
+    def test_cost_aware_recency_tiebreak(self):
+        int_vec = _vec(100)
+        cache = RawDataCache(int_vec.nbytes() * 2 + 64, policy="cost_aware")
+        cache.tick()
+        cache.put(0, _vec(100), benefit_seconds=0.1)
+        cache.tick()
+        cache.put(1, _vec(100), benefit_seconds=0.1)
+        cache.tick()
+        cache.put(2, _vec(100), benefit_seconds=0.1)
+        assert cache.cached_attrs() == [1, 2]
+
+
+@pytest.fixture(scope="module")
+def int_vs_text_csv(tmp_path_factory):
+    """One expensive-to-parse int column + two memory-heavy text columns."""
+    path = tmp_path_factory.mktemp("policy") / "t.csv"
+    spec = DatasetSpec(
+        columns=(
+            ColumnSpec("num", DataType.INTEGER, width=8),
+            ColumnSpec("blob1", DataType.TEXT, width=60),
+            ColumnSpec("blob2", DataType.TEXT, width=60),
+        ),
+        n_rows=6_000,
+        seed=3,
+    )
+    schema = generate_csv(path, spec)
+    return path, schema
+
+
+class TestPolicyEndToEnd:
+    def _run(self, path, schema, policy):
+        # Budget fits the int column plus one text column, not all three.
+        engine = PostgresRaw(
+            PostgresRawConfig(cache_budget=900_000, cache_policy=policy)
+        )
+        engine.register_csv("t", path, schema)
+        engine.query("SELECT num FROM t")    # oldest touch
+        engine.query("SELECT blob1 FROM t")
+        engine.query("SELECT blob2 FROM t")  # forces an eviction
+        cache = engine.table_state("t").cache
+        return {schema.columns[a].name for a in cache.cached_attrs()}
+
+    def test_cost_aware_keeps_integer_column(self, int_vs_text_csv):
+        path, schema = int_vs_text_csv
+        cached = self._run(path, schema, "cost_aware")
+        assert "num" in cached  # survives despite being least recent
+
+    def test_lru_drops_integer_column(self, int_vs_text_csv):
+        path, schema = int_vs_text_csv
+        cached = self._run(path, schema, "lru")
+        assert "num" not in cached  # oldest touch is evicted
+
+    def test_policies_agree_on_results(self, int_vs_text_csv):
+        path, schema = int_vs_text_csv
+        queries = [
+            "SELECT num FROM t WHERE num < 500000 ORDER BY num LIMIT 5",
+            "SELECT COUNT(blob1) AS n FROM t",
+        ]
+        engines = {}
+        for policy in ("lru", "cost_aware"):
+            eng = PostgresRaw(
+                PostgresRawConfig(cache_budget=900_000, cache_policy=policy)
+            )
+            eng.register_csv("t", path, schema)
+            engines[policy] = eng
+        for q in queries:
+            for __ in range(2):
+                assert list(engines["lru"].query(q)) == list(
+                    engines["cost_aware"].query(q)
+                )

@@ -1,0 +1,135 @@
+"""End-to-end engine behaviour across CSV dialects.
+
+The adaptive machinery (positional map jumps, cache, appends) must work
+identically for quoted files, headerless files, alternative delimiters
+and custom NULL tokens.
+"""
+
+import pytest
+
+from repro import (
+    Column,
+    CsvDialect,
+    DataType,
+    PostgresRaw,
+    PostgresRawConfig,
+    TableSchema,
+    append_csv_rows,
+    write_csv,
+)
+
+SCHEMA = TableSchema(
+    [
+        Column("k", DataType.INTEGER),
+        Column("note", DataType.TEXT),
+        Column("v", DataType.FLOAT),
+    ]
+)
+
+ROWS = [
+    (1, "plain", 1.5),
+    (2, "with, comma", -2.0),
+    (3, 'quote " inside', 0.25),
+    (4, None, 10.0),
+    (5, "", 3.5),  # empty string: indistinguishable from NULL token
+]
+
+
+@pytest.fixture
+def quoted_engine(tmp_path):
+    dialect = CsvDialect(quote_char='"')
+    path = tmp_path / "quoted.csv"
+    write_csv(path, ROWS, SCHEMA, dialect)
+    eng = PostgresRaw(PostgresRawConfig(batch_size=2))
+    eng.register_csv("q", path, SCHEMA, dialect)
+    return eng, path, dialect
+
+
+class TestQuotedDialect:
+    def test_fields_with_delimiters_roundtrip(self, quoted_engine):
+        eng, __, __ = quoted_engine
+        result = eng.query("SELECT note FROM q WHERE k = 2")
+        assert result.scalar() == "with, comma"
+        result = eng.query("SELECT note FROM q WHERE k = 3")
+        assert result.scalar() == 'quote " inside'
+
+    def test_adaptive_path_agrees_with_cold(self, quoted_engine):
+        eng, __, __ = quoted_engine
+        q = "SELECT k, note, v FROM q ORDER BY k"
+        cold = list(eng.query(q))
+        for __ in range(3):  # map/cache paths
+            assert list(eng.query(q)) == cold
+
+    def test_positional_jump_into_quoted_field(self, quoted_engine):
+        eng, __, __ = quoted_engine
+        eng.query("SELECT v FROM q")  # learn offsets for k..v
+        result = eng.query("SELECT note FROM q WHERE k = 2")
+        assert result.scalar() == "with, comma"
+        assert result.metrics.fields_tokenized == 0
+
+    def test_append_quoted_rows(self, quoted_engine):
+        eng, path, dialect = quoted_engine
+        eng.query("SELECT COUNT(*) FROM q")
+        append_csv_rows(path, [(9, "tail, row", 9.0)], SCHEMA, dialect)
+        assert eng.query("SELECT COUNT(*) AS n FROM q").scalar() == 6
+        assert (
+            eng.query("SELECT note FROM q WHERE k = 9").scalar()
+            == "tail, row"
+        )
+
+
+class TestHeaderlessAndDelimiters:
+    @pytest.mark.parametrize("delimiter", [",", ";", "|", "\t"])
+    def test_alternative_delimiters(self, tmp_path, delimiter):
+        dialect = CsvDialect(delimiter=delimiter, has_header=False)
+        path = tmp_path / "alt.csv"
+        rows = [(i, f"s{i}", float(i)) for i in range(20)]
+        write_csv(path, rows, SCHEMA, dialect)
+        eng = PostgresRaw()
+        eng.register_csv("a", path, SCHEMA, dialect)
+        assert eng.query("SELECT COUNT(*) AS n FROM a").scalar() == 20
+        assert eng.query("SELECT note FROM a WHERE k = 7").scalar() == "s7"
+
+    def test_headerless_vs_header_same_results(self, tmp_path):
+        rows = [(i, f"s{i}", float(i)) for i in range(30)]
+        with_header = tmp_path / "h.csv"
+        write_csv(with_header, rows, SCHEMA, CsvDialect())
+        without = tmp_path / "nh.csv"
+        write_csv(without, rows, SCHEMA, CsvDialect(has_header=False))
+
+        e1 = PostgresRaw()
+        e1.register_csv("t", with_header, SCHEMA, CsvDialect())
+        e2 = PostgresRaw()
+        e2.register_csv("t", without, SCHEMA, CsvDialect(has_header=False))
+        q = "SELECT k, v FROM t WHERE k % 3 = 0 ORDER BY k"
+        assert list(e1.query(q)) == list(e2.query(q))
+
+
+class TestNullTokens:
+    def test_custom_null_token(self, tmp_path):
+        dialect = CsvDialect(null_token="\\N", has_header=False)
+        path = tmp_path / "nulls.csv"
+        path.write_text("1,a\n2,\\N\n3,c\n")
+        schema = TableSchema(
+            [Column("k", DataType.INTEGER), Column("s", DataType.TEXT)]
+        )
+        eng = PostgresRaw()
+        eng.register_csv("n", path, schema, dialect)
+        assert eng.query(
+            "SELECT k FROM n WHERE s IS NULL"
+        ).column("k") == [2]
+        # With \N as the NULL token, empty string stays a value.
+        path2 = tmp_path / "nulls2.csv"
+        path2.write_text("1,\n")
+        eng.register_csv("n2", path2, schema, dialect)
+        assert (
+            eng.query("SELECT s FROM n2 WHERE s IS NOT NULL").scalar() == ""
+        )
+
+    def test_trailing_newline_optional(self, tmp_path):
+        schema = TableSchema([Column("k", DataType.INTEGER)])
+        path = tmp_path / "nonl.csv"
+        path.write_text("1\n2\n3")  # no trailing newline
+        eng = PostgresRaw()
+        eng.register_csv("t", path, schema, CsvDialect(has_header=False))
+        assert eng.query("SELECT SUM(k) AS s FROM t").scalar() == 6

@@ -1,0 +1,127 @@
+"""Typed raw data through the full engine: dates, booleans, floats,
+low-cardinality text and NULLs (the mixed_csv fixture)."""
+
+import pytest
+
+from repro.datatypes import days_to_date, parse_date
+
+
+class TestDates:
+    def test_date_range_with_string_literal(self, mixed_engine):
+        """PostgreSQL-style implicit coercion: text literal vs DATE."""
+        cutoff = "2011-06-01"
+        result = mixed_engine.query(
+            f"SELECT COUNT(*) AS n FROM m WHERE day >= '{cutoff}'"
+        )
+        brute = mixed_engine.query("SELECT day FROM m")
+        expected = sum(
+            1
+            for (d,) in brute
+            if d is not None and d >= parse_date(cutoff)
+        )
+        assert result.scalar() == expected
+
+    def test_date_keyword_literal(self, mixed_engine):
+        a = mixed_engine.query(
+            "SELECT COUNT(*) AS n FROM m WHERE day = DATE '2011-06-01'"
+        ).scalar()
+        b = mixed_engine.query(
+            "SELECT COUNT(*) AS n FROM m WHERE day = '2011-06-01'"
+        ).scalar()
+        assert a == b
+
+    def test_date_arithmetic(self, mixed_engine):
+        result = mixed_engine.query(
+            "SELECT MAX(day) - MIN(day) AS span FROM m"
+        )
+        assert isinstance(result.scalar(), int)
+        assert result.scalar() > 0
+
+    def test_dates_render_iso(self, mixed_engine):
+        result = mixed_engine.query("SELECT MIN(day) AS d FROM m")
+        text = result.format_table()
+        iso = days_to_date(result.scalar()).isoformat()
+        assert iso in text
+
+
+class TestBooleansAndFloats:
+    def test_boolean_equality_and_bare(self, mixed_engine):
+        eq = mixed_engine.query(
+            "SELECT COUNT(*) AS n FROM m WHERE flag = TRUE"
+        ).scalar()
+        total = mixed_engine.query("SELECT COUNT(*) AS n FROM m").scalar()
+        inverse = mixed_engine.query(
+            "SELECT COUNT(*) AS n FROM m WHERE flag = FALSE"
+        ).scalar()
+        assert eq + inverse == total
+        assert 0 < eq < total
+
+    def test_float_aggregates_consistent(self, mixed_engine):
+        row = mixed_engine.query(
+            "SELECT SUM(price) AS s, COUNT(price) AS n, AVG(price) AS m "
+            "FROM m"
+        ).first()
+        total, count, mean = row
+        assert mean == pytest.approx(total / count)
+
+    def test_float_comparison_against_int_literal(self, mixed_engine):
+        n = mixed_engine.query(
+            "SELECT COUNT(*) AS n FROM m WHERE price < 500"
+        ).scalar()
+        assert 0 < n <= 3000
+
+
+class TestTextAndNulls:
+    def test_like_on_low_cardinality_text(self, mixed_engine):
+        labels = mixed_engine.query(
+            "SELECT DISTINCT label FROM m ORDER BY label"
+        ).column("label")
+        prefix = labels[0][:2]
+        matches = mixed_engine.query(
+            f"SELECT COUNT(*) AS n FROM m WHERE label LIKE '{prefix}%'"
+        ).scalar()
+        brute = sum(1 for l in labels if l.startswith(prefix))
+        assert matches > 0
+        assert brute >= 1
+
+    def test_null_fraction_matches_spec(self, mixed_engine):
+        """qty was generated with null_fraction=0.1."""
+        total = mixed_engine.query("SELECT COUNT(*) AS n FROM m").scalar()
+        nulls = mixed_engine.query(
+            "SELECT COUNT(*) AS n FROM m WHERE qty IS NULL"
+        ).scalar()
+        assert 0.05 < nulls / total < 0.15
+
+    def test_statistics_see_real_types(self, mixed_engine):
+        mixed_engine.query("SELECT price FROM m WHERE qty > 10")
+        stats = mixed_engine.table_state("m").statistics
+        # qty (the predicate column) was read in full -> has statistics.
+        qty = stats.get("qty")
+        assert qty.null_fraction > 0
+        # price was materialized only for qualifying rows (selective
+        # tuple formation), so no — possibly biased — statistics yet.
+        assert stats.get("price") is None
+        # A full read of price populates them.
+        mixed_engine.query("SELECT AVG(price) FROM m")
+        price = stats.get("price")
+        assert 0 <= price.min_value <= price.max_value <= 1000
+
+    def test_group_by_bool_and_label(self, mixed_engine):
+        result = mixed_engine.query(
+            "SELECT flag, COUNT(*) AS n FROM m GROUP BY flag ORDER BY flag"
+        )
+        assert [row[0] for row in result] == [False, True]
+        total = mixed_engine.query("SELECT COUNT(*) AS n FROM m").scalar()
+        assert sum(row[1] for row in result) == total
+
+
+class TestDemoModule:
+    def test_demo_runs_end_to_end(self, capsys):
+        from repro.demo import main
+
+        main(["--rows", "1500", "--attrs", "6", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "PART I" in out
+        assert "PART II" in out
+        assert "PART III" in out
+        assert "first answer" in out

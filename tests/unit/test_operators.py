@@ -1,0 +1,315 @@
+"""Unit tests for the relational operators."""
+
+import numpy as np
+import pytest
+
+from repro.batch import Batch, ColumnVector
+from repro.datatypes import DataType
+from repro.errors import ExecutionError
+from repro.executor.operators import (
+    AggregateSpec,
+    BatchSource,
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Limit,
+    Project,
+    SingleRowSource,
+    Sort,
+)
+from repro.sql.parser import parse_select
+
+
+def _expr(fragment):
+    return parse_select(f"SELECT {fragment}").items[0].expr
+
+
+def _source(data, batch_rows=2):
+    """BatchSource from {name: (dtype, values)} split into small batches."""
+    vectors = {
+        name: ColumnVector.from_pylist(dtype, values)
+        for name, (dtype, values) in data.items()
+    }
+    n = len(next(iter(vectors.values()))) if vectors else 0
+    types = {name: vec.dtype for name, vec in vectors.items()}
+
+    def factory():
+        for r0 in range(0, n, batch_rows):
+            yield Batch(
+                {
+                    name: vec.slice(r0, min(n, r0 + batch_rows))
+                    for name, vec in vectors.items()
+                }
+            )
+
+    return BatchSource(factory, types)
+
+
+def _collect(op):
+    rows = []
+    types = op.output_types()
+    names = list(types)
+    for batch in op.execute():
+        lists = [batch.column(n).to_pylist() for n in names]
+        rows.extend(zip(*lists))
+    return names, rows
+
+
+class TestFilterProject:
+    def test_filter(self):
+        src = _source({"a": (DataType.INTEGER, [1, 5, 3, 8])})
+        __, rows = _collect(Filter(src, _expr("a > 2")))
+        assert rows == [(5,), (3,), (8,)]
+
+    def test_filter_drops_all(self):
+        src = _source({"a": (DataType.INTEGER, [1, 2])})
+        __, rows = _collect(Filter(src, _expr("a > 99")))
+        assert rows == []
+
+    def test_project_computes_and_renames(self):
+        src = _source({"a": (DataType.INTEGER, [1, 2])})
+        op = Project(src, [("double", _expr("a * 2")), ("a", _expr("a"))])
+        names, rows = _collect(op)
+        assert names == ["double", "a"]
+        assert rows == [(2, 1), (4, 2)]
+
+    def test_project_duplicate_names_raise(self):
+        src = _source({"a": (DataType.INTEGER, [1])})
+        with pytest.raises(ExecutionError):
+            Project(src, [("x", _expr("a")), ("x", _expr("a"))])
+
+    def test_project_empty_raises(self):
+        src = _source({"a": (DataType.INTEGER, [1])})
+        with pytest.raises(ExecutionError):
+            Project(src, [])
+
+
+class TestHashJoin:
+    def _tables(self):
+        left = _source(
+            {
+                "l.k": (DataType.INTEGER, [1, 2, 3, None]),
+                "l.v": (DataType.TEXT, ["a", "b", "c", "d"]),
+            }
+        )
+        right = _source(
+            {
+                "r.k": (DataType.INTEGER, [2, 3, 3, 5]),
+                "r.w": (DataType.INTEGER, [20, 30, 31, 50]),
+            }
+        )
+        return left, right
+
+    def test_inner_join(self):
+        left, right = self._tables()
+        op = HashJoin(left, right, ["l.k"], ["r.k"])
+        __, rows = _collect(op)
+        assert sorted(rows) == [
+            (2, "b", 2, 20),
+            (3, "c", 3, 30),
+            (3, "c", 3, 31),
+        ]
+
+    def test_left_join_pads_nulls(self):
+        left, right = self._tables()
+        op = HashJoin(left, right, ["l.k"], ["r.k"], kind="left")
+        __, rows = _collect(op)
+        assert (1, "a", None, None) in rows
+        assert (None, "d", None, None) in rows  # NULL key never matches
+        assert len(rows) == 5
+
+    def test_null_keys_never_match(self):
+        left = _source({"l.k": (DataType.INTEGER, [None])})
+        right = _source({"r.k": (DataType.INTEGER, [None])})
+        __, rows = _collect(HashJoin(left, right, ["l.k"], ["r.k"]))
+        assert rows == []
+
+    def test_multi_key_join(self):
+        left = _source(
+            {
+                "l.a": (DataType.INTEGER, [1, 1, 2]),
+                "l.b": (DataType.INTEGER, [1, 2, 2]),
+            }
+        )
+        right = _source(
+            {
+                "r.a": (DataType.INTEGER, [1, 2]),
+                "r.b": (DataType.INTEGER, [2, 2]),
+            }
+        )
+        __, rows = _collect(
+            HashJoin(left, right, ["l.a", "l.b"], ["r.a", "r.b"])
+        )
+        assert sorted(rows) == [(1, 2, 1, 2), (2, 2, 2, 2)]
+
+    def test_overlapping_names_raise(self):
+        left = _source({"k": (DataType.INTEGER, [1])})
+        right = _source({"k": (DataType.INTEGER, [1])})
+        with pytest.raises(ExecutionError):
+            HashJoin(left, right, ["k"], ["k"]).output_types()
+
+    def test_key_list_validation(self):
+        left = _source({"a": (DataType.INTEGER, [1])})
+        right = _source({"b": (DataType.INTEGER, [1])})
+        with pytest.raises(ExecutionError):
+            HashJoin(left, right, [], [])
+        with pytest.raises(ExecutionError):
+            HashJoin(left, right, ["a"], ["b"], kind="full")
+
+
+class TestHashAggregate:
+    def test_global_aggregates(self):
+        src = _source({"a": (DataType.INTEGER, [1, 2, 3, None])})
+        op = HashAggregate(
+            src,
+            [],
+            [
+                AggregateSpec("n", "count", None),
+                AggregateSpec("nn", "count", _expr("a")),
+                AggregateSpec("s", "sum", _expr("a")),
+                AggregateSpec("avg", "avg", _expr("a")),
+                AggregateSpec("lo", "min", _expr("a")),
+                AggregateSpec("hi", "max", _expr("a")),
+            ],
+        )
+        __, rows = _collect(op)
+        assert rows == [(4, 3, 6, 2.0, 1, 3)]
+
+    def test_empty_input_single_row(self):
+        src = _source({"a": (DataType.INTEGER, [])})
+        op = HashAggregate(
+            src,
+            [],
+            [
+                AggregateSpec("n", "count", None),
+                AggregateSpec("s", "sum", _expr("a")),
+            ],
+        )
+        __, rows = _collect(op)
+        assert rows == [(0, None)]
+
+    def test_grouped(self):
+        src = _source(
+            {
+                "g": (DataType.TEXT, ["x", "y", "x", "y", "x"]),
+                "v": (DataType.INTEGER, [1, 2, 3, 4, 5]),
+            }
+        )
+        op = HashAggregate(
+            src,
+            [("g", _expr("g"))],
+            [AggregateSpec("total", "sum", _expr("v"))],
+        )
+        __, rows = _collect(op)
+        assert sorted(rows) == [("x", 9), ("y", 6)]
+
+    def test_null_group_key(self):
+        src = _source(
+            {
+                "g": (DataType.INTEGER, [1, None, 1, None]),
+                "v": (DataType.INTEGER, [1, 2, 3, 4]),
+            }
+        )
+        op = HashAggregate(
+            src,
+            [("g", _expr("g"))],
+            [AggregateSpec("n", "count", None)],
+        )
+        __, rows = _collect(op)
+        assert sorted(rows, key=str) == [(1, 2), (None, 2)]
+
+    def test_count_distinct(self):
+        src = _source({"a": (DataType.INTEGER, [1, 1, 2, None, 2])})
+        op = HashAggregate(
+            src, [], [AggregateSpec("d", "count", _expr("a"), distinct=True)]
+        )
+        __, rows = _collect(op)
+        assert rows == [(2,)]
+
+    def test_min_max_text(self):
+        src = _source({"s": (DataType.TEXT, ["pear", "apple", "fig"])})
+        op = HashAggregate(
+            src,
+            [],
+            [
+                AggregateSpec("lo", "min", _expr("s")),
+                AggregateSpec("hi", "max", _expr("s")),
+            ],
+        )
+        __, rows = _collect(op)
+        assert rows == [("apple", "pear")]
+
+    def test_sum_text_raises(self):
+        src = _source({"s": (DataType.TEXT, ["a"])})
+        op = HashAggregate(src, [], [AggregateSpec("s", "sum", _expr("s"))])
+        with pytest.raises(ExecutionError):
+            op.output_types()
+
+
+class TestSortLimitDistinct:
+    def test_sort_asc_desc(self):
+        src = _source({"a": (DataType.INTEGER, [3, 1, 2])})
+        __, rows = _collect(Sort(src, [(_expr("a"), True)]))
+        assert rows == [(1,), (2,), (3,)]
+        __, rows = _collect(Sort(src, [(_expr("a"), False)]))
+        assert rows == [(3,), (2,), (1,)]
+
+    def test_sort_nulls_last_asc_first_desc(self):
+        src = _source({"a": (DataType.INTEGER, [2, None, 1])})
+        __, rows = _collect(Sort(src, [(_expr("a"), True)]))
+        assert rows == [(1,), (2,), (None,)]
+        __, rows = _collect(Sort(src, [(_expr("a"), False)]))
+        assert rows == [(None,), (2,), (1,)]
+
+    def test_multi_key_sort_stable(self):
+        src = _source(
+            {
+                "a": (DataType.INTEGER, [1, 2, 1, 2]),
+                "b": (DataType.INTEGER, [9, 8, 7, 6]),
+            }
+        )
+        op = Sort(src, [(_expr("a"), True), (_expr("b"), False)])
+        __, rows = _collect(op)
+        assert rows == [(1, 9), (1, 7), (2, 8), (2, 6)]
+
+    def test_sort_requires_keys(self):
+        src = _source({"a": (DataType.INTEGER, [1])})
+        with pytest.raises(ExecutionError):
+            Sort(src, [])
+
+    def test_limit_and_offset_across_batches(self):
+        src = _source({"a": (DataType.INTEGER, list(range(10)))}, batch_rows=3)
+        __, rows = _collect(Limit(src, 4, 3))
+        assert rows == [(3,), (4,), (5,), (6,)]
+
+    def test_limit_none_passthrough(self):
+        src = _source({"a": (DataType.INTEGER, [1, 2])})
+        __, rows = _collect(Limit(src, None, 1))
+        assert rows == [(2,)]
+
+    def test_limit_zero(self):
+        src = _source({"a": (DataType.INTEGER, [1, 2])})
+        __, rows = _collect(Limit(src, 0))
+        assert rows == []
+
+    def test_distinct(self):
+        src = _source(
+            {"a": (DataType.INTEGER, [1, 2, 1, None, None, 2])},
+            batch_rows=2,
+        )
+        __, rows = _collect(Distinct(src))
+        assert rows == [(1,), (2,), (None,)]
+
+
+class TestMisc:
+    def test_single_row_source(self):
+        batches = list(SingleRowSource().execute())
+        assert len(batches) == 1 and batches[0].num_rows == 1
+
+    def test_explain_lines_nested(self):
+        src = _source({"a": (DataType.INTEGER, [1])})
+        plan = Limit(Filter(src, _expr("a > 0")), 1)
+        lines = plan.explain_lines()
+        assert lines[0].startswith("Limit")
+        assert lines[1].strip().startswith("Filter")

@@ -1,0 +1,238 @@
+"""Behavioural tests for the RawScan operator: what gets learned,
+cached, jumped over and charged where."""
+
+import numpy as np
+import pytest
+
+from repro import PostgresRaw, PostgresRawConfig, generate_csv, uniform_table_spec
+
+
+@pytest.fixture
+def fresh(tmp_path):
+    """Factory: a new engine over a fresh 2000x8 file per test."""
+
+    def make(config=None, n_attrs=8, n_rows=2000):
+        path = tmp_path / f"t_{n_attrs}x{n_rows}.csv"
+        schema = generate_csv(
+            path, uniform_table_spec(n_attrs, n_rows, seed=17)
+        )
+        eng = PostgresRaw(config)
+        eng.register_csv("t", path, schema)
+        return eng
+
+    return make
+
+
+class TestPositionalMapLearning:
+    def test_map_learns_along_the_way(self, fresh):
+        """Requesting attr 5 records positions 0..5(+1) — 'all positions
+        from 1 to 15 may be kept'."""
+        eng = fresh()
+        eng.query("SELECT a5 FROM t")
+        chunks = eng.table_state("t").positional_map.describe()
+        assert chunks[0]["attrs"] == (0, 1, 2, 3, 4, 5, 6)
+
+    def test_last_attr_has_no_sentinel(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a7 FROM t")
+        chunks = eng.table_state("t").positional_map.describe()
+        assert chunks[0]["attrs"] == (0, 1, 2, 3, 4, 5, 6, 7)
+
+    def test_second_query_uses_map_not_tokenizer(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a3 FROM t")
+        r2 = eng.query("SELECT a2 FROM t")  # inside the learned span
+        assert r2.metrics.tokenizing_seconds == 0.0
+        assert r2.metrics.fields_tokenized == 0
+        assert r2.metrics.fields_parsed_via_map > 0
+
+    def test_anchor_jump_tokenizes_only_gap(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a2 FROM t")  # map knows 0..3
+        r2 = eng.query("SELECT a5 FROM t")  # anchor at 3, tokenize 3..5
+        n_rows = 2000
+        assert r2.metrics.fields_tokenized == n_rows * 3  # attrs 3,4,5
+
+    def test_combination_policy_builds_requested_chunk(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a1 FROM t")
+        eng.query("SELECT a6 FROM t")  # separate chunk (anchored)
+        pm = eng.table_state("t").positional_map
+        before = {c.attrs for c in pm.chunks()}
+        eng.query("SELECT a1, a6 FROM t")  # attrs in different chunks
+        after = {c.attrs for c in pm.chunks()}
+        assert (1, 6) in after - before
+
+    def test_combination_policy_disabled(self, fresh):
+        eng = fresh(
+            PostgresRawConfig(pm_combination_policy=False)
+        )
+        eng.query("SELECT a1 FROM t")
+        eng.query("SELECT a6 FROM t")
+        eng.query("SELECT a1, a6 FROM t")
+        pm = eng.table_state("t").positional_map
+        assert (1, 6) not in {c.attrs for c in pm.chunks()}
+
+    def test_pm_disabled_never_learns(self, fresh):
+        eng = fresh(PostgresRawConfig(enable_positional_map=False))
+        eng.query("SELECT a3 FROM t")
+        r2 = eng.query("SELECT a3 FROM t")
+        # Without a map (or cache hit) tokenizing repeats in full.
+        assert eng.table_state("t").positional_map.chunk_count == 0
+
+
+class TestCacheBehavior:
+    def test_full_scan_populates_cache(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a1 FROM t")
+        cache = eng.table_state("t").cache
+        assert cache.coverage_rows(1) == 2000
+
+    def test_cached_query_reads_no_bytes(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a1 FROM t")
+        r2 = eng.query("SELECT a1 FROM t")
+        assert r2.metrics.bytes_read == 0
+        assert r2.metrics.io_seconds == 0.0
+        assert r2.metrics.convert_seconds == 0.0
+
+    def test_only_requested_attributes_cached(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a4 FROM t")
+        cache = eng.table_state("t").cache
+        # a0..a3 were tokenized along the way but never converted.
+        assert cache.cached_attrs() == [4]
+
+    def test_selective_formation_does_not_cache_projection(self, fresh):
+        eng = fresh()
+        # ~10% selectivity: projection attr converted only for matches.
+        eng.query("SELECT a5 FROM t WHERE a0 < 100000")
+        cache = eng.table_state("t").cache
+        assert 0 in cache.cached_attrs()  # predicate column: full
+        assert 5 not in cache.cached_attrs()
+
+    def test_eager_formation_caches_projection(self, fresh):
+        eng = fresh(PostgresRawConfig(selective_tuple_formation=False))
+        eng.query("SELECT a5 FROM t WHERE a0 < 100000")
+        assert 5 in eng.table_state("t").cache.cached_attrs()
+
+    def test_cache_disabled(self, fresh):
+        eng = fresh(PostgresRawConfig(enable_cache=False))
+        eng.query("SELECT a1 FROM t")
+        assert eng.table_state("t").cache.entry_count == 0
+
+
+class TestSelectiveKnobs:
+    def test_selective_tokenizing_off_tokenizes_full_tuple(self, fresh):
+        eng_on = fresh()
+        eng_on.query("SELECT a1 FROM t")
+        on_fields = None
+        off_fields = None
+        on_fields = 2000 * 2  # attrs 0,1
+
+        eng_off = fresh(PostgresRawConfig(selective_tokenizing=False))
+        r = eng_off.query("SELECT a1 FROM t")
+        off_fields = r.metrics.fields_tokenized
+        assert off_fields == 2000 * 8  # whole tuples
+
+    def test_selective_parsing_off_converts_everything(self, fresh):
+        eng = fresh(PostgresRawConfig(selective_parsing=False))
+        r = eng.query("SELECT a5 FROM t")
+        # attrs 0..5 tokenized; all converted although only a5 needed.
+        assert r.metrics.fields_converted == 2000 * 6
+
+    def test_selective_parsing_on_converts_only_needed(self, fresh):
+        eng = fresh()
+        r = eng.query("SELECT a5 FROM t")
+        assert r.metrics.fields_converted == 2000
+
+    def test_statistics_only_on_requested(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a2 FROM t WHERE a1 > 0")
+        stats = eng.table_state("t").statistics
+        assert set(stats.attribute_names()) == {"a1", "a2"}
+
+    def test_statistics_disabled(self, fresh):
+        eng = fresh(PostgresRawConfig(enable_statistics=False))
+        eng.query("SELECT a2 FROM t")
+        assert eng.table_state("t").statistics.attribute_names() == []
+
+
+class TestCounters:
+    def test_cache_hit_miss_counters(self, fresh):
+        eng = fresh()
+        r1 = eng.query("SELECT a1 FROM t")
+        assert r1.metrics.cache_hits == 0
+        assert r1.metrics.cache_misses >= 1
+        r2 = eng.query("SELECT a1 FROM t")
+        assert r2.metrics.cache_hits >= 1
+        assert r2.metrics.cache_misses == 0
+
+    def test_pm_hit_counters(self, fresh):
+        eng = fresh(PostgresRawConfig(enable_cache=False))
+        eng.query("SELECT a1 FROM t")
+        r2 = eng.query("SELECT a1 FROM t")
+        assert r2.metrics.pm_chunk_hits >= 1
+
+    def test_usage_tracking(self, fresh):
+        eng = fresh()
+        eng.query("SELECT a1 FROM t WHERE a0 > 0")
+        eng.query("SELECT a1 FROM t")
+        usage = eng.table_state("t").attribute_usage
+        assert usage[1] == 2
+        assert usage[0] == 1
+
+
+class TestLimitsAndPartialScans:
+    def test_limit_query_learns_prefix(self, fresh):
+        eng = fresh(PostgresRawConfig(batch_size=256))
+        eng.query("SELECT a1 FROM t LIMIT 10")
+        pm = eng.table_state("t").positional_map
+        assert 0 < pm.coverage_rows(1) < 2000
+
+    def test_prefix_then_full(self, fresh):
+        eng = fresh(PostgresRawConfig(batch_size=256))
+        eng.query("SELECT a1 FROM t LIMIT 10")
+        result = eng.query("SELECT COUNT(a1) AS n FROM t")
+        assert result.scalar() == 2000
+        assert eng.table_state("t").cache.coverage_rows(1) == 2000
+
+
+class TestCorrectnessUnderConfigs:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            PostgresRawConfig(),
+            PostgresRawConfig.baseline(),
+            PostgresRawConfig.pm_only(),
+            PostgresRawConfig.cache_only(),
+            PostgresRawConfig(selective_tokenizing=False),
+            PostgresRawConfig(selective_parsing=False),
+            PostgresRawConfig(selective_tuple_formation=False),
+            PostgresRawConfig(batch_size=77),
+        ],
+        ids=[
+            "full",
+            "baseline",
+            "pm_only",
+            "cache_only",
+            "no_sel_tok",
+            "no_sel_parse",
+            "no_sel_form",
+            "odd_batch",
+        ],
+    )
+    def test_same_answers_any_config(self, fresh, config):
+        eng = fresh(config)
+        queries = [
+            "SELECT a0, a5 FROM t WHERE a2 < 300000 ORDER BY a0 LIMIT 7",
+            "SELECT COUNT(*) AS n FROM t WHERE a1 BETWEEN 100000 AND 500000",
+            "SELECT SUM(a3) AS s FROM t",
+        ]
+        expected = [
+            list(fresh(PostgresRawConfig()).query(q)) for q in queries
+        ]
+        for q, exp in zip(queries, expected):
+            # Run twice: cold and warm must agree.
+            assert list(eng.query(q)) == exp
+            assert list(eng.query(q)) == exp

@@ -1,0 +1,149 @@
+"""Unit tests for QueryResult formatting and the monitoring panels."""
+
+import pytest
+
+from repro import PostgresRaw, generate_csv, uniform_table_spec
+from repro.core.metrics import QueryMetrics
+from repro.datatypes import DataType
+from repro.errors import ExecutionError
+from repro.executor.result import QueryResult
+from repro.monitor import (
+    BreakdownReport,
+    SystemMonitorPanel,
+    render_attribute_usage,
+    render_breakdown,
+)
+from repro.monitor.usage import attribute_usage_counts
+
+
+class TestQueryResult:
+    def _result(self):
+        return QueryResult(
+            ["a", "s", "d"],
+            [DataType.INTEGER, DataType.TEXT, DataType.DATE],
+            [(1, "x", 0), (None, None, 15000)],
+        )
+
+    def test_accessors(self):
+        result = self._result()
+        assert len(result) == 2
+        assert result[0] == (1, "x", 0)
+        assert result.first() == (1, "x", 0)
+        assert result.column("s") == ["x", None]
+        assert result.to_pydict()["a"] == [1, None]
+
+    def test_scalar(self):
+        r = QueryResult(["n"], [DataType.INTEGER], [(5,)])
+        assert r.scalar() == 5
+        with pytest.raises(ExecutionError):
+            self._result().scalar()
+
+    def test_empty_first_raises(self):
+        r = QueryResult(["n"], [DataType.INTEGER], [])
+        with pytest.raises(ExecutionError):
+            r.first()
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError):
+            self._result().column("zz")
+
+    def test_format_table(self):
+        text = self._result().format_table()
+        assert "NULL" in text
+        assert "1970-01-01" in text  # date 0 rendered ISO
+        assert "a" in text.split("\n")[0]
+
+    def test_format_table_truncation(self):
+        r = QueryResult(
+            ["a"], [DataType.INTEGER], [(i,) for i in range(30)]
+        )
+        text = r.format_table(max_rows=5)
+        assert "(25 more rows)" in text
+
+    def test_repr(self):
+        assert "2 rows" in repr(self._result())
+
+
+class TestBreakdownReport:
+    def test_add_and_totals(self):
+        report = BreakdownReport()
+        metrics = QueryMetrics(
+            io_seconds=0.1, tokenizing_seconds=0.2, processing_seconds=0.3
+        )
+        report.add("SystemA", metrics)
+        report.add_components("SystemB", {"processing": 0.05})
+        totals = report.totals()
+        assert totals["SystemA"] == pytest.approx(0.6)
+        assert totals["SystemB"] == pytest.approx(0.05)
+
+    def test_as_table_columns(self):
+        report = BreakdownReport()
+        report.add("X", QueryMetrics(io_seconds=0.5))
+        record = report.as_table()[0]
+        assert record["system"] == "X"
+        assert record["io"] == 0.5
+        assert "total" in record
+
+    def test_render(self):
+        report = BreakdownReport()
+        report.add("X", QueryMetrics(io_seconds=0.5, tokenizing_seconds=0.5))
+        text = render_breakdown(report, width=20)
+        assert "X" in text
+        assert "=" in text and "*" in text  # io + tokenizing glyphs
+        assert "tokenizing" in text  # legend
+
+    def test_render_empty(self):
+        assert render_breakdown(BreakdownReport()) == "(no data)"
+
+
+@pytest.fixture
+def monitored_engine(tmp_path):
+    path = tmp_path / "t.csv"
+    schema = generate_csv(path, uniform_table_spec(5, 500, seed=2))
+    eng = PostgresRaw()
+    eng.register_csv("t", path, schema)
+    return eng
+
+
+class TestSystemMonitorPanel:
+    def test_snapshot_series(self, monitored_engine):
+        panel = SystemMonitorPanel(monitored_engine.table_state("t"))
+        monitored_engine.query("SELECT a0 FROM t")
+        panel.snapshot()
+        monitored_engine.query("SELECT a1 FROM t")
+        panel.snapshot()
+        series = panel.cache_utilization_series()
+        assert len(series) == 2
+        assert series[1][1] >= series[0][1]  # cache grows
+
+    def test_coverage_grid_marks(self, monitored_engine):
+        monitored_engine.query("SELECT a1 FROM t")
+        panel = SystemMonitorPanel(monitored_engine.table_state("t"))
+        grid = panel.coverage_grid(region_count=4)
+        joined = "\n".join(grid)
+        assert "B" in joined  # a1: map + cache
+        assert "m" in joined  # a0: map only (tokenized along the way)
+        assert "." in joined  # untouched attributes
+
+    def test_render_contains_sections(self, monitored_engine):
+        monitored_engine.query("SELECT a0 FROM t WHERE a1 > 0")
+        panel = SystemMonitorPanel(monitored_engine.table_state("t"))
+        panel.snapshot()
+        text = panel.render()
+        assert "cache utilization" in text
+        assert "positional map" in text
+        assert "file coverage" in text
+        assert "attribute usage" in text
+
+    def test_usage_rendering(self, monitored_engine):
+        monitored_engine.query("SELECT a0 FROM t")
+        monitored_engine.query("SELECT a0, a2 FROM t")
+        state = monitored_engine.table_state("t")
+        counts = attribute_usage_counts(state)
+        assert counts["a0"] == 2 and counts["a2"] == 1
+        text = render_attribute_usage(state)
+        assert "a0" in text and "#" in text
+
+    def test_usage_empty(self, monitored_engine):
+        state = monitored_engine.table_state("t")
+        assert render_attribute_usage(state) == "(no attributes accessed yet)"

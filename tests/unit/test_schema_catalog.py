@@ -1,0 +1,116 @@
+"""Unit tests for schemas and the catalog."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, TableSchema
+from repro.datatypes import DataType
+from repro.errors import CatalogError, SchemaError
+from repro.rawio.dialect import DEFAULT_DIALECT
+
+
+class TestColumn:
+    def test_valid_names(self):
+        Column("abc", DataType.INTEGER)
+        Column("a_b_1", DataType.TEXT)
+
+    @pytest.mark.parametrize("name", ["", "a b", "a-b", "a.b"])
+    def test_invalid_names(self, name):
+        with pytest.raises(SchemaError):
+            Column(name, DataType.INTEGER)
+
+
+class TestTableSchema:
+    def _schema(self):
+        return TableSchema(
+            [
+                Column("x", DataType.INTEGER),
+                Column("y", DataType.TEXT),
+                Column("z", DataType.FLOAT),
+            ]
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(SchemaError):
+            TableSchema([])
+
+    def test_duplicates_raise(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema(
+                [Column("x", DataType.INTEGER), Column("x", DataType.TEXT)]
+            )
+
+    def test_positions(self):
+        schema = self._schema()
+        assert schema.position("x") == 0
+        assert schema.position("z") == 2
+        assert schema.positions(["z", "x"]) == [2, 0]
+        with pytest.raises(CatalogError):
+            schema.position("w")
+
+    def test_from_pairs_with_type_names(self):
+        schema = TableSchema.from_pairs([("a", "int"), ("b", "varchar")])
+        assert schema.dtypes() == [DataType.INTEGER, DataType.TEXT]
+
+    def test_subset_preserves_order(self):
+        schema = self._schema()
+        sub = schema.subset(["z", "x"])
+        assert sub.names() == ["x", "z"]
+
+    def test_equality(self):
+        assert self._schema() == self._schema()
+        assert self._schema() != TableSchema([Column("x", DataType.INTEGER)])
+
+    def test_iteration_and_len(self):
+        schema = self._schema()
+        assert len(schema) == 3
+        assert [c.name for c in schema] == ["x", "y", "z"]
+
+    def test_dtype_of_and_has_column(self):
+        schema = self._schema()
+        assert schema.dtype_of("y") is DataType.TEXT
+        assert schema.has_column("x")
+        assert not schema.has_column("q")
+
+    def test_repr(self):
+        assert "x integer" in repr(self._schema())
+
+
+class TestCatalog:
+    def _schema(self):
+        return TableSchema([Column("a", DataType.INTEGER)])
+
+    def test_register_and_lookup_raw(self, tmp_path):
+        catalog = Catalog()
+        entry = catalog.register_raw(
+            "t", self._schema(), tmp_path / "t.csv", DEFAULT_DIALECT
+        )
+        assert entry.kind == "raw"
+        assert catalog.lookup("t") is entry
+        assert catalog.has_table("t")
+        assert catalog.table_names() == ["t"]
+        assert catalog.schema_of("t") == self._schema()
+
+    def test_duplicate_registration_raises(self, tmp_path):
+        catalog = Catalog()
+        catalog.register_raw(
+            "t", self._schema(), tmp_path / "t.csv", DEFAULT_DIALECT
+        )
+        with pytest.raises(CatalogError):
+            catalog.register_raw(
+                "t", self._schema(), tmp_path / "u.csv", DEFAULT_DIALECT
+            )
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            Catalog().lookup("ghost")
+
+    def test_drop(self, tmp_path):
+        catalog = Catalog()
+        catalog.register_raw(
+            "t", self._schema(), tmp_path / "t.csv", DEFAULT_DIALECT
+        )
+        catalog.drop("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop("t")

@@ -1,0 +1,166 @@
+"""Unit tests for on-the-fly statistics."""
+
+import numpy as np
+import pytest
+
+from repro.batch import ColumnVector
+from repro.core.stats import AttributeStatistics, StatisticsStore
+from repro.datatypes import DataType
+
+
+def _int_vec(values, nulls=None):
+    values = np.asarray(values, dtype=np.int64)
+    if nulls is None:
+        nulls = np.zeros(len(values), dtype=np.bool_)
+    return ColumnVector(DataType.INTEGER, values, np.asarray(nulls))
+
+
+def _store(sample_size=256):
+    return StatisticsStore(sample_size=sample_size, histogram_buckets=8)
+
+
+class TestObservation:
+    def test_min_max_null_fraction(self):
+        store = _store()
+        store.observe("x", _int_vec([5, 1, 9], [False, False, False]))
+        store.observe("x", _int_vec([0, 7], [True, False]))
+        stats = store.get("x")
+        assert stats.min_value == 1
+        assert stats.max_value == 9
+        assert stats.rows_seen == 5
+        assert stats.null_count == 1
+        assert stats.null_fraction == pytest.approx(0.2)
+
+    def test_text_min_max(self):
+        store = _store()
+        vec = ColumnVector.from_pylist(DataType.TEXT, ["pear", "apple", "fig"])
+        store.observe("s", vec)
+        stats = store.get("s")
+        assert stats.min_value == "apple"
+        assert stats.max_value == "pear"
+
+    def test_row_estimate_monotone(self):
+        store = _store()
+        store.set_row_estimate(100)
+        store.set_row_estimate(50)
+        assert store.row_estimate == 100
+
+    def test_empty_vector_noop(self):
+        store = _store()
+        store.observe("x", _int_vec([]))
+        assert store.get("x").rows_seen == 0
+
+
+class TestReservoir:
+    def test_sample_bounded(self):
+        store = _store(sample_size=64)
+        for __ in range(10):
+            store.observe("x", _int_vec(np.arange(1000)))
+        assert len(store.get("x").sample) == 64
+
+    def test_small_input_fully_sampled(self):
+        store = _store(sample_size=64)
+        store.observe("x", _int_vec([1, 2, 3]))
+        assert sorted(store.get("x").sample) == [1, 2, 3]
+
+    def test_sample_values_are_python_ints(self):
+        store = _store()
+        store.observe("x", _int_vec([1]))
+        assert type(store.get("x").sample[0]) is int
+
+
+class TestEstimates:
+    def test_distinct_low_cardinality(self):
+        store = _store(sample_size=512)
+        store.observe("x", _int_vec([1, 2, 3] * 100))
+        est = store.get("x").distinct_estimate()
+        assert est == pytest.approx(3.0)
+
+    def test_distinct_high_cardinality_scales(self):
+        store = _store(sample_size=128)
+        rng = np.random.default_rng(0)
+        stats = None
+        for __ in range(8):
+            store.observe("x", _int_vec(rng.integers(0, 1 << 40, 1000)))
+        stats = store.get("x")
+        assert stats.distinct_estimate() > 1000
+
+    def test_selectivity_eq_uniform(self):
+        store = _store(sample_size=1024)
+        store.observe("x", _int_vec(np.arange(1000) % 10))
+        sel = store.get("x").selectivity_eq(3)
+        assert 0.05 < sel < 0.2  # true value 0.1
+
+    def test_selectivity_eq_absent_value(self):
+        store = _store(sample_size=1024)
+        store.observe("x", _int_vec(np.arange(100)))
+        sel = store.get("x").selectivity_eq(10**9)
+        assert 0 < sel <= 0.05
+
+    def test_selectivity_eq_null(self):
+        store = _store()
+        store.observe("x", _int_vec([1, 2], [True, False]))
+        assert store.get("x").selectivity_eq(None) == pytest.approx(0.5)
+
+    def test_selectivity_range(self):
+        store = _store(sample_size=2048)
+        store.observe("x", _int_vec(np.arange(1000)))
+        stats = store.get("x")
+        sel = stats.selectivity_range(0, 499)
+        assert 0.4 < sel < 0.6
+        assert stats.selectivity_range(None, None) == pytest.approx(1.0)
+        assert stats.selectivity_range(2000, None) == 0.0
+
+    def test_selectivity_range_empty_sample(self):
+        stats = AttributeStatistics(
+            "x", DataType.INTEGER, sample_size=8, histogram_buckets=4
+        )
+        assert 0 < stats.selectivity_range(0, 10) < 1
+
+    def test_selectivity_like_prefix(self):
+        store = _store()
+        vec = ColumnVector.from_pylist(
+            DataType.TEXT, ["apple", "apricot", "banana", "avocado"]
+        )
+        store.observe("s", vec)
+        sel = store.get("s").selectivity_like_prefix("ap")
+        assert sel == pytest.approx(0.5)
+
+    def test_histogram(self):
+        store = _store()
+        store.observe("x", _int_vec(np.arange(100)))
+        hist = store.get("x").histogram()
+        assert hist is not None
+        assert len(hist) == 9  # buckets + 1 boundaries
+        assert hist[0] <= hist[-1]
+
+    def test_histogram_none_for_text(self):
+        store = _store()
+        store.observe(
+            "s", ColumnVector.from_pylist(DataType.TEXT, ["a", "b"])
+        )
+        assert store.get("s").histogram() is None
+
+
+class TestStoreManagement:
+    def test_invalidate(self):
+        store = _store()
+        store.observe("x", _int_vec([1]))
+        store.set_row_estimate(10)
+        store.invalidate()
+        assert store.get("x") is None
+        assert store.row_estimate == 0
+
+    def test_attribute_names_and_describe(self):
+        store = _store()
+        store.observe("b", _int_vec([1]))
+        store.observe("a", _int_vec([2]))
+        assert store.attribute_names() == ["a", "b"]
+        described = store.describe()
+        assert {d["name"] for d in described} == {"a", "b"}
+
+    def test_has(self):
+        store = _store()
+        assert not store.has("x")
+        store.observe("x", _int_vec([1]))
+        assert store.has("x")

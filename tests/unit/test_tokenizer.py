@@ -1,0 +1,207 @@
+"""Unit tests for line indexing, selective tokenization and extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RawDataError
+from repro.rawio.dialect import CsvDialect
+from repro.rawio.tokenizer import (
+    build_line_index,
+    extract_field,
+    extract_fields_between,
+    field_end,
+    tokenize_lines,
+    tokenize_span,
+)
+
+PLAIN = CsvDialect(has_header=False)
+QUOTED = CsvDialect(has_header=False, quote_char='"')
+
+
+class TestLineIndex:
+    def test_trailing_newline(self):
+        bounds = build_line_index("ab\ncd\n")
+        assert bounds.tolist() == [0, 3, 6]
+
+    def test_no_trailing_newline(self):
+        bounds = build_line_index("ab\ncd")
+        assert bounds.tolist() == [0, 3, 6]
+
+    def test_single_line(self):
+        assert build_line_index("abc\n").tolist() == [0, 4]
+
+    def test_empty_content(self):
+        assert build_line_index("").tolist() == [0]
+
+    def test_header_skipped(self):
+        bounds = build_line_index("h1,h2\n1,2\n3,4\n", has_header=True)
+        assert bounds.tolist() == [6, 10, 14]
+
+    def test_header_only(self):
+        bounds = build_line_index("h1,h2\n", has_header=True)
+        assert len(bounds) - 1 == 0
+
+    def test_non_ascii_content(self):
+        content = "aé,b\ncd,e\n"
+        bounds = build_line_index(content)
+        # Offsets are character offsets into the decoded string.
+        n_rows = len(bounds) - 1
+        assert n_rows == 2
+        line0 = content[bounds[0] : bounds[1] - 1]
+        assert line0 == "aé,b"
+
+    def test_line_extraction_roundtrip(self):
+        content = "one,1\ntwo,2\nthree,3\n"
+        bounds = build_line_index(content)
+        lines = [
+            content[bounds[i] : bounds[i + 1] - 1]
+            for i in range(len(bounds) - 1)
+        ]
+        assert lines == ["one,1", "two,2", "three,3"]
+
+
+class TestTokenizeLines:
+    CONTENT = "10,20,30,40\n11,21,31,41\n12,22,32,42\n"
+
+    def _bounds(self):
+        return build_line_index(self.CONTENT)
+
+    def test_full_tokenize(self):
+        rows = tokenize_lines(self.CONTENT, self._bounds(), 0, 3, 3, 4, PLAIN)
+        assert rows.texts_of(0) == ["10", "11", "12"]
+        assert rows.texts_of(3) == ["40", "41", "42"]
+
+    def test_selective_stops_early(self):
+        rows = tokenize_lines(self.CONTENT, self._bounds(), 0, 3, 1, 4, PLAIN)
+        assert rows.texts_of(1) == ["20", "21", "22"]
+        assert rows.offsets.shape == (3, 3)  # attrs 0,1 + sentinel
+
+    def test_offsets_point_at_field_starts(self):
+        rows = tokenize_lines(self.CONTENT, self._bounds(), 0, 3, 3, 4, PLAIN)
+        for r in range(3):
+            for j in range(4):
+                start = rows.offsets[r, j]
+                assert self.CONTENT[start : start + 2] == rows.texts_of(j)[r]
+
+    def test_sentinel_column(self):
+        rows = tokenize_lines(self.CONTENT, self._bounds(), 0, 3, 1, 4, PLAIN)
+        # Sentinel = start of attr 2.
+        full = tokenize_lines(self.CONTENT, self._bounds(), 0, 3, 3, 4, PLAIN)
+        assert rows.offsets[:, 2].tolist() == full.offsets[:, 2].tolist()
+
+    def test_row_subrange(self):
+        rows = tokenize_lines(self.CONTENT, self._bounds(), 1, 3, 0, 4, PLAIN)
+        assert rows.texts_of(0) == ["11", "12"]
+
+    def test_too_few_fields_raises(self):
+        content = "1,2\n3\n"
+        bounds = build_line_index(content)
+        with pytest.raises(RawDataError):
+            tokenize_lines(content, bounds, 0, 2, 1, 2, PLAIN)
+
+    def test_too_many_fields_raises_on_full_split(self):
+        content = "1,2,3\n"
+        bounds = build_line_index(content)
+        with pytest.raises(RawDataError):
+            tokenize_lines(content, bounds, 0, 1, 1, 2, PLAIN)
+
+    def test_attr_out_of_range(self):
+        with pytest.raises(RawDataError):
+            tokenize_lines(self.CONTENT, self._bounds(), 0, 3, 4, 4, PLAIN)
+
+    def test_empty_fields(self):
+        content = ",,x\n,y,\n"
+        bounds = build_line_index(content)
+        rows = tokenize_lines(content, bounds, 0, 2, 2, 3, PLAIN)
+        assert rows.texts_of(0) == ["", ""]
+        assert rows.texts_of(1) == ["", "y"]
+        assert rows.texts_of(2) == ["x", ""]
+
+
+class TestTokenizeSpan:
+    CONTENT = "10,20,30,40\n11,21,31,41\n"
+
+    def test_anchored_span_skips_prefix(self):
+        bounds = build_line_index(self.CONTENT)
+        full = tokenize_lines(self.CONTENT, bounds, 0, 2, 3, 4, PLAIN)
+        anchors = full.offsets[:, 2]  # start of attr 2
+        line_ends = bounds[1:] - 1
+        span = tokenize_span(
+            self.CONTENT, anchors, line_ends, 2, 3, 4, PLAIN
+        )
+        assert span.texts_of(2) == ["30", "31"]
+        assert span.texts_of(3) == ["40", "41"]
+
+    def test_bad_span_raises(self):
+        bounds = build_line_index(self.CONTENT)
+        with pytest.raises(RawDataError):
+            tokenize_span(
+                self.CONTENT, bounds[:-1], bounds[1:] - 1, 2, 1, 4, PLAIN
+            )
+
+
+class TestQuotedTokenizer:
+    def test_quoted_fields_with_delimiters(self):
+        content = '"a,b",2\n"c""d",4\n'
+        bounds = build_line_index(content)
+        rows = tokenize_lines(content, bounds, 0, 2, 1, 2, QUOTED)
+        assert rows.texts_of(0) == ["a,b", 'c"d']
+        assert rows.texts_of(1) == ["2", "4"]
+
+    def test_mixed_quoted_unquoted(self):
+        content = 'x,"y z",w\n'
+        bounds = build_line_index(content)
+        rows = tokenize_lines(content, bounds, 0, 1, 2, 3, QUOTED)
+        assert rows.texts_of(1) == ["y z"]
+
+    def test_unterminated_quote_raises(self):
+        content = '"abc,2\n'
+        bounds = build_line_index(content)
+        with pytest.raises(RawDataError):
+            tokenize_lines(content, bounds, 0, 1, 1, 2, QUOTED)
+
+    def test_too_few_fields_raises(self):
+        content = "1\n"
+        bounds = build_line_index(content)
+        with pytest.raises(RawDataError):
+            tokenize_lines(content, bounds, 0, 1, 1, 2, QUOTED)
+
+    def test_offsets_usable_for_extraction(self):
+        content = '"a,b",xyz,3\n'
+        bounds = build_line_index(content)
+        rows = tokenize_lines(content, bounds, 0, 1, 2, 3, QUOTED)
+        start = int(rows.offsets[0, 1])
+        assert extract_field(content, start, len(content) - 1, QUOTED) == "xyz"
+        quoted_start = int(rows.offsets[0, 0])
+        assert (
+            extract_field(content, quoted_start, len(content) - 1, QUOTED)
+            == "a,b"
+        )
+
+
+class TestExtraction:
+    CONTENT = "10,200,3\n40,500,6\n"
+
+    def test_extract_field(self):
+        bounds = build_line_index(self.CONTENT)
+        assert extract_field(self.CONTENT, 3, 8, PLAIN) == "200"
+        assert extract_field(self.CONTENT, 7, 8, PLAIN) == "3"  # last field
+
+    def test_field_end(self):
+        assert field_end(self.CONTENT, 3, 8, PLAIN) == 6
+        assert field_end(self.CONTENT, 7, 8, PLAIN) == 8
+
+    def test_extract_fields_between(self):
+        starts = np.array([3, 12])
+        next_starts = np.array([7, 16])
+        texts = extract_fields_between(
+            self.CONTENT, starts, next_starts, PLAIN
+        )
+        assert texts == ["200", "500"]
+
+    def test_extract_fields_between_quoted(self):
+        content = '"a,b",2\n'
+        texts = extract_fields_between(
+            content, np.array([0]), np.array([6]), QUOTED
+        )
+        assert texts == ["a,b"]

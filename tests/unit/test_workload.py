@@ -1,0 +1,172 @@
+"""Unit tests for workload generators and the race harness plumbing."""
+
+import pytest
+
+from repro import generate_csv, uniform_table_spec
+from repro.errors import SchemaError
+from repro.workload import (
+    EpochWorkload,
+    FriendlyRace,
+    PostgresRawContestant,
+    ExternalFilesContestant,
+    QuerySpec,
+    RandomSelectProjectWorkload,
+    select_project_sql,
+)
+from repro.workload.race import LaneResult, RaceReport
+
+
+@pytest.fixture(scope="module")
+def table(tmp_path_factory):
+    path = tmp_path_factory.mktemp("wl") / "t.csv"
+    schema = generate_csv(path, uniform_table_spec(8, 1000, seed=41))
+    return path, schema
+
+
+class TestQuerySpec:
+    def test_to_sql_with_filter(self):
+        spec = QuerySpec("t", ("a", "b"), "c", 5, 10)
+        assert spec.to_sql() == "SELECT a, b FROM t WHERE c BETWEEN 5 AND 10"
+
+    def test_to_sql_no_filter(self):
+        assert QuerySpec("t", ("a",)).to_sql() == "SELECT a FROM t"
+
+    def test_to_sql_count_star(self):
+        assert QuerySpec("t", ()).to_sql() == "SELECT COUNT(*) FROM t"
+
+    def test_helper(self):
+        assert select_project_sql("t", ["x"]) == "SELECT x FROM t"
+
+
+class TestRandomWorkload:
+    def test_deterministic(self, table):
+        __, schema = table
+        a = RandomSelectProjectWorkload("t", schema, seed=7).queries(5)
+        b = RandomSelectProjectWorkload("t", schema, seed=7).queries(5)
+        assert a == b
+
+    def test_queries_reference_schema_columns(self, table):
+        __, schema = table
+        wl = RandomSelectProjectWorkload("t", schema, projection_width=3)
+        for spec in wl.queries(10):
+            assert all(schema.has_column(c) for c in spec.projection)
+            assert schema.has_column(spec.filter_column)
+            assert spec.low < spec.high
+
+    def test_validation(self, table):
+        __, schema = table
+        with pytest.raises(SchemaError):
+            RandomSelectProjectWorkload("t", schema, projection_width=0)
+        with pytest.raises(SchemaError):
+            RandomSelectProjectWorkload("t", schema, selectivity=2.0)
+
+    def test_queries_run(self, table):
+        path, schema = table
+        from repro import PostgresRaw
+
+        eng = PostgresRaw()
+        eng.register_csv("t", path, schema)
+        for spec in RandomSelectProjectWorkload("t", schema).queries(3):
+            eng.query(spec.to_sql())  # should not raise
+
+
+class TestEpochWorkload:
+    def test_epoch_structure(self, table):
+        __, schema = table
+        wl = EpochWorkload(
+            "t", schema, n_epochs=3, queries_per_epoch=4, window_width=3
+        )
+        epochs = wl.epochs()
+        assert len(epochs) == 3
+        for epoch in epochs:
+            assert len(epoch.queries) == 4
+            assert len(epoch.attributes) == 3
+            for query in epoch.queries:
+                assert set(query.projection) <= set(epoch.attributes)
+                assert query.filter_column in epoch.attributes
+
+    def test_windows_shift(self, table):
+        __, schema = table
+        epochs = EpochWorkload("t", schema, n_epochs=2, window_width=3).epochs()
+        assert epochs[0].attributes != epochs[1].attributes
+
+    def test_flat_queries_order(self, table):
+        __, schema = table
+        wl = EpochWorkload("t", schema, n_epochs=2, queries_per_epoch=3)
+        flat = wl.flat_queries()
+        assert [e for e, __ in flat] == [0, 0, 0, 1, 1, 1]
+
+    def test_validation(self, table):
+        __, schema = table
+        with pytest.raises(SchemaError):
+            EpochWorkload("t", schema, window_width=99)
+        with pytest.raises(SchemaError):
+            EpochWorkload(
+                "t", schema, window_width=2, projection_width=3
+            )
+
+
+class TestLaneResult:
+    def _lane(self):
+        return LaneResult("X", 1.0, [0.5, 0.2, 0.3], [1, 2, 3])
+
+    def test_totals(self):
+        lane = self._lane()
+        assert lane.total_seconds == pytest.approx(2.0)
+        assert lane.data_to_query_seconds == pytest.approx(1.5)
+
+    def test_answered_by(self):
+        lane = self._lane()
+        assert lane.answered_by(0.9) == 0
+        assert lane.answered_by(1.5) == 1
+        assert lane.answered_by(1.7) == 2
+        assert lane.answered_by(10.0) == 3
+
+    def test_cumulative(self):
+        assert self._lane().cumulative_times() == pytest.approx(
+            [1.5, 1.7, 2.0]
+        )
+
+    def test_report_winners(self):
+        fast_start = LaneResult("A", 0.1, [0.2, 5.0], [1, 1])
+        fast_total = LaneResult("B", 0.5, [0.1, 0.1], [1, 1])
+        report = RaceReport([fast_start, fast_total])
+        assert report.winner_first_answer() == "A"
+        assert report.winner_total() == "B"
+        table = report.as_table()
+        assert {r["system"] for r in table} == {"A", "B"}
+        assert "A" in report.render()
+
+
+class TestFriendlyRaceHarness:
+    def test_race_runs_and_agrees(self, table, tmp_path):
+        path, schema = table
+        race = FriendlyRace("t", path, schema)
+        queries = RandomSelectProjectWorkload("t", schema, seed=3).queries(3)
+        report = race.run(
+            [PostgresRawContestant(), ExternalFilesContestant()], queries
+        )
+        assert len(report.lanes) == 2
+        pg_raw = report.lanes[0]
+        assert pg_raw.init_seconds < 0.05  # registration only
+        assert len(pg_raw.query_seconds) == 3
+        assert report.lanes[0].rows == report.lanes[1].rows
+
+    def test_divergence_detected(self, table):
+        path, schema = table
+
+        class Liar:
+            name = "liar"
+
+            def initialize(self, *args):
+                pass
+
+            def run_query(self, sql):
+                return -1
+
+        race = FriendlyRace("t", path, schema)
+        with pytest.raises(AssertionError):
+            race.run(
+                [PostgresRawContestant(), Liar()],
+                ["SELECT COUNT(*) FROM t"],
+            )

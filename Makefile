@@ -1,0 +1,23 @@
+# Developer entry points.  `make verify` is the tier-1 gate: the full
+# test suite plus a smoke run of the quickstart example.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench bench-parallel verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) examples/quickstart.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --import-mode=importlib \
+		-o python_files="bench_*.py" -q -s
+
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/bench_parallel_scan.py \
+		--benchmark-only --import-mode=importlib -q -s
+
+verify: test smoke

@@ -9,6 +9,10 @@ The library provides:
 * :class:`PostgresRaw` — an in-situ SQL engine over raw CSV files with
   an adaptive positional map, a binary data cache, on-the-fly statistics
   and selective tokenizing / parsing / tuple formation;
+* :mod:`repro.parallel` — a parallel chunked raw-scan subsystem: cold
+  scans and fully-unmapped tail scans split the file into newline-aligned
+  chunks processed by a scan pool, with per-chunk positional maps, cache
+  columns and statistics merged back deterministically;
 * :class:`ConventionalDBMS` / :class:`ExternalFilesDBMS` — load-first and
   external-files baselines sharing the same planner and executor;
 * workload generators, a "friendly race" harness and ASCII monitoring
@@ -23,6 +27,25 @@ Quickstart::
     engine = PostgresRaw()
     engine.register_csv("t", "data.csv", schema)
     print(engine.query("SELECT a0, a1 FROM t WHERE a2 < 1000").format_table())
+
+Parallel scans are off by default (``scan_workers=1`` keeps the serial
+hot path byte-identical).  On multi-core machines::
+
+    from repro import PostgresRaw, PostgresRawConfig
+
+    config = PostgresRawConfig(
+        scan_workers=4,              # chunked scan pool size
+        parallel_chunk_bytes=1 << 20,  # target chunk size / threshold
+        parallel_backend="thread",   # or "process" for CPU-bound scans
+    )
+    engine = PostgresRaw(config)
+
+Raise ``scan_workers`` when cold scans of large files dominate (first
+touch of a big file, or append-heavy workloads re-scanning fresh tails);
+prefer the ``process`` backend when tokenizing/parsing CPU time — not
+I/O — is the bottleneck, since workers then read, decode and tokenize
+their own byte ranges on separate cores.  Query results and the merged
+positional map are identical to the serial path either way.
 """
 
 from .batch import Batch, ColumnVector

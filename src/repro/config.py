@@ -29,6 +29,12 @@ DEFAULT_STATS_SAMPLE_SIZE = 1024
 #: Default number of buckets in equi-depth histograms.
 DEFAULT_HISTOGRAM_BUCKETS = 32
 
+#: Default target size of one parallel raw-scan chunk.
+DEFAULT_PARALLEL_CHUNK_BYTES = 1 << 20
+
+#: Supported parallel scan-pool backends.
+PARALLEL_BACKENDS = ("thread", "process")
+
 
 @dataclass(frozen=True)
 class PostgresRawConfig:
@@ -98,6 +104,25 @@ class PostgresRawConfig:
     #: raw file's fingerprint before every query and reconcile.
     auto_detect_updates: bool = True
 
+    #: Number of workers for the parallel chunked raw scan
+    #: (:mod:`repro.parallel`).  ``1`` (the default) keeps the serial
+    #: scan path byte-for-byte unchanged; raise it on multi-core machines
+    #: so cold scans and unmapped-tail scans split the file into
+    #: newline-aligned chunks processed concurrently.  Query results and
+    #: the merged positional map are identical to the serial path.
+    scan_workers: int = 1
+
+    #: Target size of one parallel scan chunk.  Also the engagement
+    #: threshold: a scan region smaller than two chunks stays serial, so
+    #: this knob bounds the per-chunk dispatch overhead.
+    parallel_chunk_bytes: int = DEFAULT_PARALLEL_CHUNK_BYTES
+
+    #: ``"thread"`` (default: cheap dispatch, shares the decoded file;
+    #: best when I/O-bound or on GIL-free builds) or ``"process"``
+    #: (workers read, decode and tokenize their own byte ranges in
+    #: separate processes — the CPU-scalable choice for cold scans).
+    parallel_backend: str = "thread"
+
     def __post_init__(self) -> None:
         if self.positional_map_budget < 0:
             raise BudgetError("positional_map_budget must be >= 0")
@@ -114,6 +139,15 @@ class PostgresRawConfig:
             raise BudgetError("stats_sample_size must be positive")
         if self.histogram_buckets <= 0:
             raise BudgetError("histogram_buckets must be positive")
+        if self.scan_workers < 1:
+            raise BudgetError("scan_workers must be >= 1")
+        if self.parallel_chunk_bytes <= 0:
+            raise BudgetError("parallel_chunk_bytes must be positive")
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise BudgetError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                f"not {self.parallel_backend!r}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.

@@ -16,6 +16,13 @@ Registration costs nothing ("zero initialization overhead"); all
 auxiliary state — positional map, cache, statistics — accretes as a side
 effect of the queries themselves and is visible through
 :meth:`table_state` for the monitoring panels.
+
+With ``PostgresRawConfig(scan_workers=N)`` the engine routes cold scans
+and fully-unmapped tail scans (e.g. after an external append) through
+the parallel chunked scan pool (:mod:`repro.parallel`); results and the
+merged adaptive structures are identical to the serial path, and
+``result.metrics.worker_breakdowns`` carries the per-worker Figure 3
+buckets.
 """
 
 from __future__ import annotations
@@ -145,7 +152,15 @@ class PostgresRaw:
         def scan_factory(
             table: str, columns: list[str], predicate: Expression | None
         ) -> RawScan:
-            return RawScan(self._states[table], metrics, columns, predicate)
+            # The engine-level config decides scan parallelism and the
+            # adaptive-structure knobs for every scan it plans.
+            return RawScan(
+                self._states[table],
+                metrics,
+                columns,
+                predicate,
+                config=self.config,
+            )
 
         return Planner(self.catalog, scan_factory, self._stats_provider)
 

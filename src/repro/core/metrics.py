@@ -20,6 +20,16 @@ boundary discovery (``str.split``), its whole cost is attributed to
 ``tokenizing`` and the ``parsing`` bucket is only charged on the
 positional-map extraction path — matching the paper's observation that
 the map converts tokenizing work into (cheaper) direct parsing.
+
+**Parallel scans.**  When the chunked scan pool (:mod:`repro.parallel`)
+runs, each worker accumulates its own :class:`QueryMetrics`; the merge
+layer folds them back via :meth:`QueryMetrics.absorb_workers`.  Volume
+counters add up exactly.  Worker *seconds* overlap in wall-clock time,
+so the raw per-worker buckets are preserved in ``worker_breakdowns``
+(one dict per chunk — the per-worker Figure 3 panel) while the main
+six buckets receive the parallel phase's *wall* time split
+proportionally to the summed worker components.  The stacked bar
+therefore still sums to ``total_seconds``.
 """
 
 from __future__ import annotations
@@ -67,6 +77,12 @@ class QueryMetrics:
     cache_misses: int = 0
     pm_chunk_hits: int = 0
     pm_chunk_misses: int = 0
+
+    #: Parallel-scan accounting (see module docstring).
+    parallel_scans: int = 0
+    parallel_chunks: int = 0
+    parallel_scan_seconds: float = 0.0
+    worker_breakdowns: list = field(default_factory=list, repr=False)
 
     _start: float | None = field(default=None, repr=False)
 
@@ -120,6 +136,41 @@ class QueryMetrics:
         )
         self.processing_seconds = max(self.total_seconds - attributed, 0.0)
 
+    def absorb_workers(
+        self, wall_seconds: float, workers: "list[QueryMetrics]"
+    ) -> None:
+        """Fold a parallel scan phase's per-worker metrics into this query.
+
+        ``wall_seconds`` is the elapsed time of the whole parallel phase
+        (dispatch to join).  Volume counters are summed exactly; the six
+        timing buckets receive the *wall* time apportioned by the summed
+        worker components, so the Figure 3 stack keeps adding up to
+        ``total_seconds`` even though workers overlapped.  The raw
+        per-worker stacks are appended to :attr:`worker_breakdowns`.
+        """
+        self.parallel_scans += 1
+        self.parallel_chunks += len(workers)
+        self.parallel_scan_seconds += wall_seconds
+        component_sums = {c: 0.0 for c in BreakdownComponent}
+        for w in workers:
+            self.bytes_read += w.bytes_read
+            self.fields_tokenized += w.fields_tokenized
+            self.fields_parsed_via_map += w.fields_parsed_via_map
+            self.fields_converted += w.fields_converted
+            breakdown = w.component_seconds()
+            breakdown["rows"] = w.rows_scanned
+            breakdown["fields_tokenized"] = w.fields_tokenized
+            breakdown["fields_converted"] = w.fields_converted
+            self.worker_breakdowns.append(breakdown)
+            for c in BreakdownComponent:
+                component_sums[c] += getattr(w, f"{c.value}_seconds")
+        cpu_total = sum(component_sums.values())
+        if cpu_total > 0:
+            for c, seconds in component_sums.items():
+                self.add(c, wall_seconds * seconds / cpu_total)
+        else:
+            self.add(BreakdownComponent.IO, wall_seconds)
+
     def merge(self, other: "QueryMetrics") -> None:
         """Fold another query's counters into this one (workload totals)."""
         for name in (
@@ -139,8 +190,12 @@ class QueryMetrics:
             "cache_misses",
             "pm_chunk_hits",
             "pm_chunk_misses",
+            "parallel_scans",
+            "parallel_chunks",
+            "parallel_scan_seconds",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.worker_breakdowns.extend(other.worker_breakdowns)
 
 
 class Stopwatch:

@@ -230,6 +230,25 @@ class PositionalMap:
         self._drop_subsumed(candidate)
         return candidate
 
+    def adopt(
+        self, attrs: tuple[int, ...], offsets: np.ndarray
+    ) -> PositionalChunk:
+        """Insert a chunk verbatim, bypassing budget/eviction accounting.
+
+        Used by parallel scan workers to seed their chunk-local maps with
+        row slices of the shared map's chunks, so anchored tokenizing
+        ("jump ... as close as possible") behaves identically inside a
+        worker.  Worker-local maps are discarded after the merge, so no
+        budget bookkeeping applies.
+        """
+        chunk = PositionalChunk(
+            tuple(attrs),
+            np.asarray(offsets, dtype=np.int64),
+            last_used=self._clock,
+        )
+        self._chunks.append(chunk)
+        return chunk
+
     def extend(self, chunk: PositionalChunk, more_offsets: np.ndarray) -> bool:
         """Append rows to an existing chunk (append-reconciliation path)."""
         if chunk not in self._chunks:

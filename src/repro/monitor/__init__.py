@@ -7,13 +7,20 @@
 * :mod:`repro.monitor.usage` — attribute access statistics.
 """
 
-from .breakdown import BreakdownReport, render_breakdown
+from .breakdown import (
+    BreakdownReport,
+    render_breakdown,
+    render_worker_breakdown,
+    worker_report,
+)
 from .panel import SystemMonitorPanel
 from .usage import render_attribute_usage
 
 __all__ = [
     "BreakdownReport",
     "render_breakdown",
+    "render_worker_breakdown",
+    "worker_report",
     "SystemMonitorPanel",
     "render_attribute_usage",
 ]

@@ -1,0 +1,109 @@
+"""Newline-aligned chunking of raw CSV files.
+
+The scan pool needs the file cut into pieces that (a) together cover it
+exactly once and (b) never split a record: every boundary sits at offset
+0, at end-of-file, or immediately *after* a ``\\n``.  Because a CRLF
+pair ends with the ``\\n``, a boundary can never fall between ``\\r``
+and ``\\n`` — chunking is CRLF-safe by construction, and per-chunk CRLF
+normalization (see :func:`repro.rawio.reader.decode_raw`) composes into
+exactly the whole-file normalization.  A final unterminated record
+belongs to the last chunk.
+
+:func:`plan_file_chunks` produces *byte* ranges straight off the file:
+seek to an approximate cut, scan forward to the next record boundary.
+Workers read and decode their own ranges (the process backend's cold
+scan — no shared decoded content is needed at all).  Row-structured
+scans (tails, and every thread-backend scan) don't chunk by size: the
+driver cuts at known batch-aligned row boundaries instead, so worker
+batches coincide with the serial scan's.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import RawDataError
+
+#: Read granularity while scanning forward for a newline.
+_PROBE_BLOCK = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One half-open slice ``[start, end)`` of a raw file, in bytes."""
+
+    index: int
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+def chunk_count(total_size: int, target_chunk_size: int, cap: int) -> int:
+    """How many chunks to cut ``total_size`` into.
+
+    At most ``cap`` (one per worker), and never so many that chunks fall
+    below ``target_chunk_size`` — the knob that keeps dispatch overhead
+    amortized.  Anything smaller than two target chunks stays whole.
+    """
+    if total_size <= 0 or target_chunk_size <= 0:
+        return 1
+    return max(1, min(cap, total_size // target_chunk_size))
+
+
+def _specs_from_cuts(cuts: list[int]) -> list[ChunkSpec]:
+    # Deduplicate (several approximate cuts can land on the same
+    # boundary when lines are long) while preserving order.
+    unique = sorted(set(cuts))
+    return [
+        ChunkSpec(i, start, end)
+        for i, (start, end) in enumerate(zip(unique[:-1], unique[1:]))
+        if end > start
+    ]
+
+
+def plan_file_chunks(
+    path: str | Path, target_chunk_bytes: int, max_chunks: int
+) -> list[ChunkSpec]:
+    """Split ``path`` into newline-aligned byte-range chunks.
+
+    Seeks to ``i * size / n`` for each interior cut and scans forward to
+    one past the next ``\\n``; a cut that finds no newline before EOF
+    collapses into the previous chunk.
+    """
+    path = Path(path)
+    try:
+        size = os.stat(path).st_size
+    except FileNotFoundError:
+        raise RawDataError(f"raw file not found: {path}") from None
+    n = chunk_count(size, target_chunk_bytes, max_chunks)
+    if n <= 1:
+        return [ChunkSpec(0, 0, size)]
+    cuts = [0, size]
+    with open(path, "rb") as f:
+        for i in range(1, n):
+            cuts.append(_align_forward_file(f, size * i // n, size))
+    return _specs_from_cuts(cuts)
+
+
+def _align_forward_file(f, offset: int, size: int) -> int:
+    """First record boundary at or after ``offset`` (file variant)."""
+    if offset <= 0:
+        return 0
+    f.seek(offset)
+    pos = offset
+    while pos < size:
+        block = f.read(_PROBE_BLOCK)
+        if not block:
+            break
+        nl = block.find(b"\n")
+        if nl != -1:
+            return pos + nl + 1
+        pos += len(block)
+    return size
+
+

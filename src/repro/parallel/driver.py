@@ -1,0 +1,311 @@
+"""Routing and orchestration of parallel chunked raw scans.
+
+Two scan shapes go through the pool (everything else stays serial):
+
+* **Cold scans, process backend** (:meth:`ParallelScanDriver.run_cold`)
+  — nothing is known about the file: it is split into newline-aligned
+  *byte* ranges and each worker reads, decodes, line-indexes, tokenizes
+  and converts its own range (parallel I/O included); the merge layer
+  stitches bounds, positional spans, cache columns and statistics back
+  into the shared :class:`RawTableState`.
+
+* **Unmapped tails** (:meth:`ParallelScanDriver.run_tail`) — the
+  adaptive structures cover a row prefix (earlier queries, or an
+  append): the serial scan handles the covered prefix with its usual
+  cache/map machinery, and the fully-uncovered tail is fanned out at
+  batch-aligned row cuts.  Workers receive row slices of shared
+  positional chunks so anchored tokenizing ("jump ... as close as
+  possible") behaves exactly as in the serial scan; batch cuts land on
+  the same global ``batch_size`` multiples, so the merged structures —
+  and even the reservoir-sampled statistics — match the serial path.
+  A *thread-backend cold scan* is this same path with an empty prefix:
+  the main thread builds the line index (one vectorized pass) and the
+  whole file fans out as the tail, which is what keeps the default
+  backend's cache and statistics byte-identical to serial.
+
+With ``scan_workers=1`` no driver is constructed at all; the serial
+scan is the degenerate case and stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, TYPE_CHECKING
+
+from ..batch import Batch
+from ..core.metrics import Stopwatch
+from ..errors import RawDataError
+from .chunker import chunk_count, plan_file_chunks
+from .merge import check_chunk_rows, merge_line_bounds, stitch_results
+from .pool import ScanPool
+from .worker import ChunkResult, ChunkTask, scan_chunk
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.raw_scan import RawScan, _Segment
+
+
+class ParallelScanDriver:
+    """Decides whether a scan parallelizes, and runs the pool if so."""
+
+    def __init__(self, scan: "RawScan") -> None:
+        self.scan = scan
+        self.config = scan.config
+        self.state = scan.state
+
+    # ------------------------------------------------------------------
+    # Eligibility.
+    # ------------------------------------------------------------------
+
+    def cold_eligible(self) -> bool:
+        """True for a process-backend scan of a completely unknown file.
+
+        Only the process backend takes the byte-chunked single-pass cold
+        path (workers read/decode/index their own ranges — parallel I/O).
+        Thread-backend cold scans deliberately fall through to the
+        ordinary flow: the line index is one fast vectorized pass on the
+        main thread, after which the *whole file* is a fully-unmapped
+        tail and :meth:`run_tail` fans out the expensive work at
+        batch-aligned cuts — keeping even cache and statistics content
+        byte-identical to the serial scan (byte-range chunks cannot
+        guarantee that, because selective tuple formation decides per
+        batch and chunk-local batches would differ from serial's).
+        """
+        scan, state, cfg = self.scan, self.state, self.config
+        if cfg.parallel_backend != "process":
+            return False
+        if not scan._needed_attrs:
+            return False  # zero-attribute scans (COUNT(*)) count rows only
+        if state.pending_append:
+            return False
+        pm = state.positional_map
+        if pm.line_bounds is not None or pm.chunk_count:
+            return False
+        if cfg.enable_cache and any(
+            state.cache.coverage_rows(a) for a in scan._needed_attrs
+        ):
+            return False
+        try:
+            size = os.stat(state.entry.path).st_size
+        except FileNotFoundError:
+            return False  # let the serial path raise its usual error
+        return chunk_count(size, cfg.parallel_chunk_bytes, cfg.scan_workers) > 1
+
+    def tail_start(
+        self, segments: "list[_Segment]", n_rows: int
+    ) -> int | None:
+        """First batch-aligned row of a pool-worthy fully-unmapped tail.
+
+        The tail is the longest row suffix in which *every* needed
+        attribute must be tokenized (no cache entry, no positional
+        jump); coverage is prefix-shaped, so this is simply the last run
+        of fully-tokenizing segments.  Returns ``None`` when there is no
+        such tail or it is too small to amortize dispatch.
+        """
+        scan, cfg = self.scan, self.config
+        needed = set(scan._needed_attrs)
+        if not needed:
+            # A zero-attribute scan (COUNT(*)) only counts tuple
+            # boundaries, which the line index already knows — without
+            # this guard the subset test below is vacuously true and
+            # every such query would re-dispatch the pool forever.
+            return None
+        tail = n_rows
+        for seg in reversed(segments):
+            if seg.tokenize_attrs >= needed:
+                tail = seg.start
+            else:
+                break
+        if tail >= n_rows:
+            return None
+        batch = cfg.batch_size
+        tail_up = ((tail + batch - 1) // batch) * batch
+        if tail_up >= n_rows:
+            return None
+        bounds = scan._bounds
+        tail_chars = int(bounds[n_rows] - bounds[tail_up])
+        if chunk_count(tail_chars, cfg.parallel_chunk_bytes, cfg.scan_workers) < 2:
+            return None
+        return tail_up
+
+    # ------------------------------------------------------------------
+    # Cold scan.
+    # ------------------------------------------------------------------
+
+    def run_cold(self) -> Iterator[Batch]:
+        """Single-pass byte-chunked cold scan (process backend only).
+
+        Workers read, decode, line-index and scan their own byte ranges
+        — no shared decoded content exists at all.  Results, line
+        bounds and the merged positional map are exactly the serial
+        scan's; under a selective predicate the *cache* may hold a
+        different (equally valid) prefix of the projection columns,
+        because selective tuple formation decides per chunk-local batch.
+        """
+        scan, state, cfg = self.scan, self.state, self.config
+        path = state.entry.path
+        specs = plan_file_chunks(
+            path, cfg.parallel_chunk_bytes, cfg.scan_workers
+        )
+        tasks = []
+        for spec in specs:
+            task = self._base_task(spec.index, first_chunk=spec.index == 0)
+            task.path = str(path)
+            task.byte_start = spec.start
+            task.byte_end = spec.end
+            tasks.append(task)
+
+        results = self._dispatch(tasks)
+        n_total = check_chunk_rows(results, expected=None)
+
+        bounds = merge_line_bounds(results)
+        if len(bounds) - 1 != n_total:
+            raise RawDataError(
+                f"merged line index has {len(bounds) - 1} rows, "
+                f"chunks scanned {n_total}"
+            )
+        scan._bounds = bounds
+        if cfg.enable_positional_map:
+            state.positional_map.set_line_bounds(bounds)
+            state.pending_append = False
+        if cfg.enable_statistics:
+            state.statistics.set_row_estimate(n_total)
+
+        row_bases, char_bases = [], []
+        rows = chars = 0
+        for res in results:
+            row_bases.append(rows)
+            char_bases.append(chars)
+            rows += res.n_rows
+            chars += res.n_chars
+        stitch_results(scan, results, row_bases, char_bases)
+        self._account(results, cold=True)
+        try:
+            for res in results:
+                yield from res.batches
+        finally:
+            scan._finalize(n_total)
+
+    # ------------------------------------------------------------------
+    # Unmapped-tail scan.
+    # ------------------------------------------------------------------
+
+    def run_tail(self, tail_from: int, n_rows: int) -> Iterator[Batch]:
+        scan, state, cfg = self.scan, self.state, self.config
+        content = scan._ensure_content()
+        bounds = scan._bounds
+        batch = cfg.batch_size
+
+        tail_chars = int(bounds[n_rows] - bounds[tail_from])
+        n_chunks = chunk_count(
+            tail_chars, cfg.parallel_chunk_bytes, cfg.scan_workers
+        )
+        # Row cuts land on global batch_size multiples so worker-local
+        # batches coincide with the serial scan's batches exactly.
+        total_batches = -(-(n_rows - tail_from) // batch)
+        per_chunk = -(-total_batches // n_chunks)
+        cuts = list(range(tail_from, n_rows, per_chunk * batch)) + [n_rows]
+
+        anchors = [
+            c for c in state.positional_map.chunks() if c.rows > tail_from
+        ]
+        # Threads share the address space: tasks reference the one
+        # decoded content string and numpy views, with offsets left in
+        # file coordinates (char base 0) — no per-chunk copies, so peak
+        # memory stays ~1x the file.  Process tasks must be shipped, so
+        # they carry rebased slices instead.
+        share = cfg.parallel_backend == "thread"
+        tasks = []
+        for i, (r0, r1) in enumerate(zip(cuts[:-1], cuts[1:])):
+            c0 = 0 if share else int(bounds[r0])
+            task = self._base_task(i, first_chunk=False)
+            task.path = str(state.entry.path)
+            if share:
+                task.text = content
+                task.local_bounds = bounds[r0 : r1 + 1]
+            else:
+                c1 = min(int(bounds[r1]), len(content))
+                task.text = content[c0:c1]
+                task.local_bounds = bounds[r0 : r1 + 1] - c0
+            # Every task carries every anchor (empty slices included) so
+            # that ChunkResult.anchors_used indexes line up globally.
+            task.anchor_chunks = [
+                (
+                    c.attrs,
+                    c.offsets[r0 : min(c.rows, r1)]
+                    if share
+                    else c.offsets[r0 : min(c.rows, r1)] - c0,
+                )
+                for c in anchors
+            ]
+            tasks.append(task)
+
+        results = self._dispatch(tasks)
+        expected = [r1 - r0 for r0, r1 in zip(cuts[:-1], cuts[1:])]
+        check_chunk_rows(results, expected)
+        # Refresh recency only for anchors some worker actually jumped
+        # from — exactly the chunks the serial scan would have touched —
+        # so LRU eviction under budget pressure stays serial-identical.
+        used = set()
+        for res in results:
+            used.update(res.anchors_used)
+        for i in used:
+            state.positional_map.touch(anchors[i])
+        stitch_results(
+            scan,
+            results,
+            row_bases=cuts[:-1],
+            char_bases=[
+                0 if share else int(bounds[r0]) for r0 in cuts[:-1]
+            ],
+        )
+        self._account(results)
+        for res in results:
+            yield from res.batches
+
+    # ------------------------------------------------------------------
+    # Shared plumbing.
+    # ------------------------------------------------------------------
+
+    def _base_task(self, index: int, first_chunk: bool) -> ChunkTask:
+        scan, cfg = self.scan, self.config
+        worker_config = cfg.with_overrides(
+            scan_workers=1,
+            enable_statistics=False,
+            auto_detect_updates=False,
+        )
+        return ChunkTask(
+            index=index,
+            entry_name=self.state.entry.name,
+            schema=scan.schema,
+            dialect=scan.dialect,
+            output_columns=scan.output_columns,
+            predicate=scan.predicate,
+            config=worker_config,
+            collect_stats=cfg.enable_statistics,
+            first_chunk=first_chunk,
+        )
+
+    def _dispatch(self, tasks: list[ChunkTask]) -> list[ChunkResult]:
+        watch = Stopwatch()
+        pool = ScanPool(self.config.scan_workers, self.config.parallel_backend)
+        results = pool.run(scan_chunk, tasks)
+        wall = watch.elapsed()
+        self._wall = wall
+        return results
+
+    def _account(
+        self, results: list[ChunkResult], cold: bool = False
+    ) -> None:
+        metrics = self.scan.metrics
+        metrics.absorb_workers(self._wall, [r.metrics for r in results])
+        # Hit/miss counters mirror the serial planner's: a cold scan
+        # plans one segment with every needed attribute missing both
+        # structures.  (Tail scans already went through the real planner
+        # on the main thread; worker-local planning counters are not
+        # absorbed, see absorb_workers.)
+        if cold:
+            needed = len(self.scan._needed_attrs)
+            if self.config.enable_cache:
+                metrics.cache_misses += needed
+            if self.config.enable_positional_map:
+                metrics.pm_chunk_misses += needed

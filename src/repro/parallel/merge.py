@@ -1,0 +1,117 @@
+"""Deterministic stitching of per-chunk results into shared state.
+
+Chunk results are merged strictly in chunk (= row) order, so the merged
+structures are independent of worker scheduling:
+
+* **Line bounds** — local per-chunk indexes are shifted by the running
+  character base and concatenated; the result is identical to indexing
+  the whole file at once (chunk boundaries sit exactly after newlines).
+* **Span collectors** (positional map) and **column collectors**
+  (cache) — worker harvests are replayed through the scan's own
+  collectors, whose row-contiguity check enforces the same prefix
+  semantics as the serial scan; installation then happens through the
+  untouched :meth:`RawScan._finalize`, preserving budget/LRU/protection
+  behavior ("Figure 2" adaptivity) across parallel and serial paths.
+* **Statistics** — each worker's log of full-column vectors is replayed
+  into the shared store in row order, feeding the same reservoir
+  sampler the serial scan feeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.raw_scan import RawScan, _ColumnCollector, _SpanCollector
+from ..errors import RawDataError
+from .worker import ChunkResult
+
+
+def merge_line_bounds(results: list[ChunkResult]) -> np.ndarray:
+    """Global line index from per-chunk local indexes (cold scans).
+
+    ``bounds[i][1:] + char_base`` continues exactly where the previous
+    chunk's index ended, because every chunk boundary is one past a
+    newline; the final chunk contributes the end sentinel (including the
+    unterminated-last-record case, where it is ``len + 1``).
+    """
+    starts = []
+    base = 0
+    sentinel = None
+    for res in results:
+        if res.bounds is None:
+            raise RawDataError("chunk result carries no line bounds")
+        local = res.bounds
+        if len(local) > 1:
+            starts.append(local[:-1] + base)
+            sentinel = int(local[-1]) + base
+        elif sentinel is None:
+            # Zero-row chunk (header-only file): its lone element is
+            # already the end sentinel — serial build_line_index returns
+            # [len + 1] for row-less content, and dropping it here would
+            # make a later append re-tokenize the header line as data.
+            sentinel = int(local[0]) + base
+        base += res.n_chars
+    if sentinel is None:
+        return np.zeros(1, dtype=np.int64)
+    pieces = starts + [np.asarray([sentinel], dtype=np.int64)]
+    return np.concatenate(pieces).astype(np.int64, copy=False)
+
+
+def stitch_results(
+    scan: RawScan,
+    results: list[ChunkResult],
+    row_bases: list[int],
+    char_bases: list[int],
+) -> None:
+    """Replay worker harvests into ``scan``'s collectors, in row order.
+
+    After this, the scan's ordinary ``_finalize`` installs everything —
+    the merge layer never touches the positional map or cache directly.
+    """
+    feed_stats = (
+        scan.config.enable_statistics and scan.state.statistics is not None
+    )
+    for res, row_base, char_base in zip(results, row_bases, char_bases):
+        for span in res.spans:
+            coll = scan._span_collectors.get(span.key)
+            if coll is None:
+                coll = _SpanCollector(span.attrs, span.start_row + row_base)
+                scan._span_collectors[span.key] = coll
+            if not span.valid:
+                coll.valid = False
+                coll.blocks.clear()
+                continue
+            coll.add(span.start_row + row_base, span.matrix + char_base)
+        if scan.config.enable_cache:
+            for col in res.columns:
+                coll = scan._cache_collectors.get(col.attr)
+                if coll is None:
+                    coll = _ColumnCollector(col.start_row + row_base)
+                    scan._cache_collectors[col.attr] = coll
+                if not col.valid or col.vector is None:
+                    coll.valid = False
+                    coll.vectors.clear()
+                    continue
+                coll.add(
+                    col.start_row + row_base, col.vector, col.benefit_seconds
+                )
+        if feed_stats:
+            schema = scan.schema
+            statistics = scan.state.statistics
+            for attr, vector in res.stats_log:
+                statistics.observe(schema.columns[attr].name, vector)
+
+
+def check_chunk_rows(
+    results: list[ChunkResult], expected: list[int] | None
+) -> int:
+    """Total row count; verifies per-chunk counts when they were known."""
+    total = 0
+    for i, res in enumerate(results):
+        if expected is not None and res.n_rows != expected[i]:
+            raise RawDataError(
+                f"chunk {i} scanned {res.n_rows} rows, expected "
+                f"{expected[i]} (file changed mid-scan?)"
+            )
+        total += res.n_rows
+    return total

@@ -1,0 +1,66 @@
+"""The scan pool: ordered fan-out of chunk tasks over workers.
+
+Threads are the default backend — dispatch is cheap, the decoded file
+content is shared, and I/O-bound scans (plus GIL-free Python builds)
+overlap well.  The ``process`` backend forks worker processes that read,
+decode and tokenize their own byte ranges, which is what scales the
+CPU-bound tokenizing/parsing loops on multi-core machines (the OLA-RAW
+observation: in-situ engines need parallel chunked raw access to be
+practical at scale).
+
+Pools are created per scan phase and torn down immediately: the engine
+holds no long-lived executor, so forked children never outlive a query.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import ExecutionError
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+def _process_context():
+    """Prefer fork (cheap, no re-import) where the platform offers it."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ScanPool:
+    """Run chunk tasks concurrently, returning results in task order."""
+
+    def __init__(self, workers: int, backend: str = "thread") -> None:
+        if workers < 1:
+            raise ExecutionError(f"scan pool needs >= 1 worker, got {workers}")
+        if backend not in ("thread", "process"):
+            raise ExecutionError(f"unknown scan pool backend {backend!r}")
+        self.workers = workers
+        self.backend = backend
+
+    def run(
+        self,
+        fn: Callable[[_Task], _Result],
+        tasks: Sequence[_Task],
+    ) -> list[_Result]:
+        """Apply ``fn`` to every task; results keep task order.
+
+        A worker exception propagates to the caller (the scan surfaces
+        it exactly like the serial path would — e.g. a malformed row
+        raises :class:`repro.errors.RawDataError` either way).
+        """
+        if not tasks:
+            return []
+        n = min(self.workers, len(tasks))
+        if n == 1:
+            return [fn(task) for task in tasks]
+        if self.backend == "process":
+            with ProcessPoolExecutor(
+                max_workers=n, mp_context=_process_context()
+            ) as pool:
+                return list(pool.map(fn, tasks))
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            return list(pool.map(fn, tasks))

@@ -1,0 +1,241 @@
+"""Per-chunk scan work executed inside the pool.
+
+A worker runs the *existing* selective tokenize/parse/convert machinery
+(:class:`repro.core.raw_scan.RawScan`) over one chunk, against a fresh
+chunk-local :class:`RawTableState` — so selective tokenizing, anchored
+jumps, selective parsing and selective tuple formation behave exactly as
+in the serial scan.  Everything a worker learns is harvested *before*
+installation and shipped back in local coordinates (row 0 / char 0 =
+chunk start):
+
+* the emitted :class:`Batch` objects (partial query result),
+* span collectors (partial positional map: discovered field offsets),
+* column collectors (partial cache: converted binary columns),
+* a statistics log (full-column vectors in observation order),
+* a per-worker :class:`QueryMetrics` (per-worker Figure 3 buckets).
+
+The merge layer shifts rows/offsets into file coordinates and stitches
+the pieces back into the shared state deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..batch import Batch, ColumnVector
+from ..catalog.catalog import RawTableEntry
+from ..catalog.schema import TableSchema
+from ..config import PostgresRawConfig
+from ..core.metrics import BreakdownComponent, QueryMetrics
+from ..core.raw_scan import RawScan, RawTableState
+from ..errors import RawDataError
+from ..rawio.dialect import CsvDialect
+from ..rawio.reader import decode_raw
+from ..rawio.tokenizer import build_line_index
+from ..sql.ast import Expression
+
+
+@dataclass
+class ChunkTask:
+    """Everything one worker needs to scan one chunk, self-contained.
+
+    The chunk's text arrives either inline (``text`` — thread backend
+    and tail scans) or as a byte range the worker reads itself
+    (``path``/``byte_start``/``byte_end`` — the process backend's cold
+    scan, which parallelizes I/O and decoding too).
+    """
+
+    index: int
+    entry_name: str
+    schema: TableSchema
+    dialect: CsvDialect
+    output_columns: list[str]
+    predicate: Expression | None
+    config: PostgresRawConfig
+    collect_stats: bool
+    first_chunk: bool
+    # Chunk text source (exactly one of the two).
+    text: str | None = None
+    path: str | None = None
+    byte_start: int = 0
+    byte_end: int = 0
+    encoding: str = "utf-8"
+    # Known row structure (tail scans); cold scans build their own.
+    local_bounds: np.ndarray | None = None
+    #: Row slices of shared positional-map chunks, in local char offsets,
+    #: so anchored tokenizing works inside the worker.
+    anchor_chunks: list[tuple[tuple[int, ...], np.ndarray]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class SpanHarvest:
+    """One span collector's state, in chunk-local coordinates."""
+
+    key: tuple[int, int]
+    attrs: tuple[int, ...]
+    start_row: int
+    matrix: np.ndarray
+    valid: bool
+
+
+@dataclass
+class ColumnHarvest:
+    """One cache collector's state, in chunk-local coordinates."""
+
+    attr: int
+    start_row: int
+    vector: ColumnVector
+    benefit_seconds: float
+    valid: bool
+
+
+@dataclass
+class ChunkResult:
+    """What one worker sends back to the merge layer."""
+
+    index: int
+    n_rows: int
+    n_chars: int
+    bounds: np.ndarray | None
+    batches: list[Batch]
+    spans: list[SpanHarvest]
+    columns: list[ColumnHarvest]
+    stats_log: list[tuple[int, ColumnVector]]
+    metrics: QueryMetrics
+    #: Indices (into the task's ``anchor_chunks``) of anchors some batch
+    #: actually jumped from — the driver touches only those shared
+    #: chunks, mirroring the serial scan's LRU recency updates.
+    anchors_used: list[int] = field(default_factory=list)
+
+
+class _ChunkScan(RawScan):
+    """RawScan that additionally logs full-column reads for statistics.
+
+    Workers run with statistics disabled (the reservoir sampler is
+    shared, main-thread state); instead every vector the serial scan
+    *would* have observed — a full-column read, ``sel is None`` — is
+    logged in observation order and replayed by the merge layer.
+    """
+
+    def __init__(self, *args, collect_stats: bool = False) -> None:
+        super().__init__(*args)
+        self._collect_stats = collect_stats
+        self.stats_log: list[tuple[int, ColumnVector]] = []
+
+    def _acquire_attr_part(self, seg, attr, lo, hi, sel, tokenized):
+        vector = super()._acquire_attr_part(seg, attr, lo, hi, sel, tokenized)
+        if self._collect_stats and sel is None:
+            self.stats_log.append((attr, vector))
+        return vector
+
+
+def scan_chunk(task: ChunkTask) -> ChunkResult:
+    """Scan one chunk; the pool's work function (also pickled to forks)."""
+    metrics = QueryMetrics()
+    content = task.text
+    if content is None:
+        content = _read_chunk(task, metrics)
+
+    entry = RawTableEntry(
+        task.entry_name,
+        task.schema,
+        Path(task.path) if task.path else Path(task.entry_name),
+        task.dialect,
+    )
+    state = RawTableState(entry, task.config)
+    scan = _ChunkScan(
+        state,
+        metrics,
+        task.output_columns,
+        task.predicate,
+        task.config,
+        collect_stats=task.collect_stats,
+    )
+    scan._content = content
+
+    if task.local_bounds is not None:
+        bounds = np.asarray(task.local_bounds, dtype=np.int64)
+    else:
+        with metrics.time(BreakdownComponent.TOKENIZING):
+            bounds = build_line_index(
+                content, task.first_chunk and task.dialect.has_header
+            )
+    n_rows = max(len(bounds) - 1, 0)
+    scan._bounds = bounds
+    pm = state.positional_map
+    pm.set_line_bounds(bounds)
+    adopted = []
+    for attrs, offsets in task.anchor_chunks:
+        chunk = pm.adopt(attrs, offsets)
+        # Sentinel recency: the worker clock never ticks, so any touch
+        # (anchored jump) raises last_used back to 0 — that is how the
+        # driver learns which shared chunks to mark recently-used.
+        chunk.last_used = -1
+        adopted.append(chunk)
+
+    segments = scan._plan_segments(n_rows)
+    pred_attrs = sorted(task.schema.positions(scan._pred_columns))
+    pred_set = set(pred_attrs)
+    proj_only = [a for a in scan._needed_attrs if a not in pred_set]
+    batches = list(
+        scan._scan_batches(
+            segments, n_rows, task.config.batch_size, pred_attrs, proj_only
+        )
+    )
+
+    spans = []
+    for key, coll in scan._span_collectors.items():
+        matrix = coll.materialize()
+        if matrix is None and coll.valid:
+            continue
+        if matrix is None:
+            matrix = np.zeros((0, len(coll.attrs)), dtype=np.int64)
+        spans.append(
+            SpanHarvest(key, coll.attrs, coll.start_row, matrix, coll.valid)
+        )
+    columns = []
+    for attr, coll in scan._cache_collectors.items():
+        vector = coll.materialize()
+        if vector is None and coll.valid:
+            continue
+        columns.append(
+            ColumnHarvest(
+                attr, coll.start_row, vector, coll.benefit_seconds, coll.valid
+            )
+        )
+
+    metrics.rows_scanned = n_rows
+    return ChunkResult(
+        index=task.index,
+        n_rows=n_rows,
+        n_chars=len(content),
+        bounds=bounds if task.local_bounds is None else None,
+        batches=batches,
+        spans=spans,
+        columns=columns,
+        stats_log=scan.stats_log,
+        metrics=metrics,
+        anchors_used=[
+            i for i, c in enumerate(adopted) if c.last_used >= 0
+        ],
+    )
+
+
+def _read_chunk(task: ChunkTask, metrics: QueryMetrics) -> str:
+    """Read and decode the worker's own byte range (process backend)."""
+    if task.path is None:
+        raise RawDataError("chunk task carries neither text nor a path")
+    try:
+        with metrics.time(BreakdownComponent.IO):
+            with open(task.path, "rb") as f:
+                f.seek(task.byte_start)
+                data = f.read(task.byte_end - task.byte_start)
+            metrics.bytes_read += len(data)
+    except FileNotFoundError:
+        raise RawDataError(f"raw file not found: {task.path}") from None
+    return decode_raw(data, task.encoding)

@@ -19,6 +19,25 @@ from ..errors import RawDataError
 _BLOCK_SIZE = 1 << 20  # 1 MiB read granularity, mirrors a bulk scan.
 
 
+def decode_raw(data: bytes, encoding: str = "utf-8") -> str:
+    """Decode raw file bytes into engine-visible content.
+
+    CRLF line endings are normalized to ``\\n`` so the tokenizer's
+    "field ends at the newline" contract holds for Windows-produced
+    files — without this the last field of every row keeps a trailing
+    ``\\r`` (corrupting text values and NULL detection), and the schema
+    sniffer (which reads in universal-newline text mode) disagrees with
+    the scan path.  All engine offsets are into this *normalized*
+    content, consistently across reads, so positional maps stay valid.
+    Parallel chunk workers use the same helper; chunk boundaries always
+    sit just after a ``\\n``, so a CRLF pair never straddles chunks.
+    """
+    text = data.decode(encoding)
+    if "\r\n" in text:
+        text = text.replace("\r\n", "\n")
+    return text
+
+
 class RawFileReader:
     """Reads a raw file as decoded text, charging I/O to query metrics.
 
@@ -57,7 +76,7 @@ class RawFileReader:
             if metrics is None:
                 with open(self.path, "rb") as f:
                     data = f.read()
-                return data.decode(self.encoding)
+                return decode_raw(data, self.encoding)
             with metrics.time(BreakdownComponent.IO):
                 with open(self.path, "rb") as f:
                     while True:
@@ -67,7 +86,7 @@ class RawFileReader:
                         chunks.append(block)
                 data = b"".join(chunks)
                 metrics.bytes_read += len(data)
-            return data.decode(self.encoding)
+            return decode_raw(data, self.encoding)
         except FileNotFoundError:
             raise RawDataError(f"raw file not found: {self.path}") from None
         except UnicodeDecodeError as exc:

@@ -1,0 +1,75 @@
+"""Unit tests for the newline-aligned chunker (repro.parallel.chunker)."""
+
+import pytest
+
+from repro.errors import RawDataError
+from repro.parallel.chunker import ChunkSpec, chunk_count, plan_file_chunks
+
+
+def _lines(n, width=20):
+    return "".join(f"row{i:06d}," + "x" * width + "\n" for i in range(n))
+
+
+class TestChunkCount:
+    def test_small_files_stay_whole(self):
+        assert chunk_count(100, 1000, 8) == 1
+
+    def test_capped_by_workers(self):
+        assert chunk_count(10_000, 10, 4) == 4
+
+    def test_target_bounds_chunk_count(self):
+        assert chunk_count(10_000, 2_500, 64) == 4
+
+    def test_degenerate_sizes(self):
+        assert chunk_count(0, 100, 4) == 1
+        assert chunk_count(100, 0, 4) == 1
+
+
+class TestFileChunks:
+    def test_chunks_cover_file_exactly(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(_lines(500))
+        size = path.stat().st_size
+        specs = plan_file_chunks(path, size // 4, 4)
+        assert len(specs) > 1
+        assert specs[0].start == 0
+        assert specs[-1].end == size
+        for a, b in zip(specs[:-1], specs[1:]):
+            assert a.end == b.start
+
+    def test_boundaries_follow_newlines(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(_lines(500))
+        data = path.read_bytes()
+        specs = plan_file_chunks(path, len(data) // 3, 3)
+        for spec in specs[1:]:
+            assert data[spec.start - 1 : spec.start] == b"\n"
+
+    def test_crlf_pair_never_split(self, tmp_path):
+        path = tmp_path / "crlf.csv"
+        path.write_bytes(
+            b"".join(b"val%06d,yy\r\n" % i for i in range(500))
+        )
+        data = path.read_bytes()
+        specs = plan_file_chunks(path, len(data) // 4, 4)
+        for spec in specs[1:]:
+            # A cut sits just after \n, so it can't land between \r and \n.
+            assert data[spec.start - 1 : spec.start] == b"\n"
+            assert data[spec.start : spec.start + 1] != b"\n"
+
+    def test_unterminated_final_record_stays_in_last_chunk(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(_lines(100) + "tail_without_newline")
+        size = path.stat().st_size
+        specs = plan_file_chunks(path, size // 2, 2)
+        assert specs[-1].end == size
+
+    def test_one_giant_line_collapses_to_single_chunk(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a" * 10_000)  # no newline anywhere
+        specs = plan_file_chunks(path, 1_000, 8)
+        assert specs == [ChunkSpec(0, 0, 10_000)]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(RawDataError):
+            plan_file_chunks(tmp_path / "nope.csv", 100, 2)

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-parallel verify
+.PHONY: test smoke bench bench-parallel bench-concurrent stress verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,5 +19,16 @@ bench:
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/bench_parallel_scan.py \
 		--benchmark-only --import-mode=importlib -q -s
+
+bench-concurrent:
+	$(PYTHON) -m pytest benchmarks/bench_concurrent_throughput.py \
+		--benchmark-only --import-mode=importlib -q -s
+
+# Heavier threaded stress run of the concurrent serving layer (the
+# tier-1 suite runs the same tests at REPRO_STRESS_ROUNDS=2).  `timeout`
+# guards against a deadlocked lock/scheduler hanging CI forever.
+stress:
+	REPRO_STRESS_ROUNDS=10 timeout 600 $(PYTHON) -m pytest \
+		tests/integration/test_concurrent_service.py -x -q
 
 verify: test smoke

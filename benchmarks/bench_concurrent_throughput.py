@@ -1,0 +1,144 @@
+"""E12 — concurrent serving throughput (repro.service).
+
+The serving layer's reason to exist: adaptive state built by one
+client's queries serves *every* client, and once the table is covered,
+queries only jump through shared structures under shared locks.  This
+benchmark warms one table, then hammers the service with 1/2/4/8 client
+threads issuing a mixed hot-query batch, and reports queries/sec and
+the speedup over one thread.
+
+Two effects compose on a multi-core host:
+
+* read-path queries hold only *shared* locks, so they overlap freely;
+* the hot work is numpy-heavy (predicate masks, takes, aggregates over
+  cached binary columns), which releases the GIL for its inner loops.
+
+Speedup assertions are gated on the cores actually available: a
+single-core host can only verify correctness, bounded concurrency and
+that the scheduler admits/settles every query.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro import PostgresRawConfig, PostgresRawService
+
+from .conftest import print_records, scaled_rows
+
+THREAD_COUNTS = [1, 2, 4, 8]
+CORES = os.cpu_count() or 1
+
+#: The hot batch: every query is coverable by the warmed structures.
+HOT_QUERIES = [
+    "SELECT SUM(a2) AS s FROM t WHERE a1 < 600000",
+    "SELECT a0, a3 FROM t WHERE a2 < 150000",
+    "SELECT AVG(a4) AS m FROM t WHERE a0 < 800000",
+    "SELECT COUNT(*) AS n FROM t WHERE a3 < 400000",
+]
+
+#: Hot-batch repetitions per client thread.
+BATCHES_PER_CLIENT = 6
+
+
+def _run_clients(service, n_threads: int) -> tuple[float, int]:
+    """Total wall seconds and query count for ``n_threads`` clients."""
+    from repro.core.metrics import Stopwatch
+
+    start = threading.Barrier(n_threads + 1, timeout=60)
+    errors: list = []
+
+    def client():
+        session = service.session()
+        try:
+            start.wait()
+            for _ in range(BATCHES_PER_CLIENT):
+                for sql in HOT_QUERIES:
+                    session.query(sql)
+        except Exception as exc:
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=client) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    start.wait()
+    watch = Stopwatch()
+    for t in threads:
+        t.join(timeout=300)
+    wall = watch.elapsed()
+    assert errors == []
+    return wall, n_threads * BATCHES_PER_CLIENT * len(HOT_QUERIES)
+
+
+def test_concurrent_throughput(benchmark, tmp_path_factory):
+    from repro import generate_csv, uniform_table_spec
+
+    tmp = tmp_path_factory.mktemp("conc")
+    n_rows = scaled_rows(30_000)
+    path = tmp / "t.csv"
+    schema = generate_csv(
+        path, uniform_table_spec(n_attrs=6, n_rows=n_rows, width=8, seed=77)
+    )
+    config = PostgresRawConfig(
+        memory_budget=256 * 1024 * 1024,
+        max_concurrent_queries=8,
+        admission_queue_depth=64,
+    )
+
+    def sweep():
+        records = []
+        with PostgresRawService(config) as service:
+            service.register_csv("t", path, schema)
+            warm = service.session()
+            for sql in HOT_QUERIES:
+                warm.query(sql)  # build map/cache: later queries are hot
+            baseline_qps = None
+            for n_threads in THREAD_COUNTS:
+                wall, n_queries = _run_clients(service, n_threads)
+                qps = n_queries / wall if wall else float("inf")
+                if baseline_qps is None:
+                    baseline_qps = qps
+                records.append(
+                    {
+                        "threads": n_threads,
+                        "queries": n_queries,
+                        "wall_s": wall,
+                        "qps": qps,
+                        "speedup": qps / baseline_qps,
+                    }
+                )
+            sched = service.scheduler.stats()
+            assert sched["rejected"] == 0
+            assert sched["admitted"] == sched["completed"]
+            assert sched["peak_concurrency"] <= config.max_concurrent_queries
+            lock = service.table_lock("t")
+            records.append(
+                {
+                    "threads": "locks",
+                    "queries": lock.read_acquisitions,
+                    "wall_s": lock.read_contentions,
+                    "qps": lock.write_acquisitions,
+                    "speedup": lock.write_contentions,
+                }
+            )
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    title = (
+        f"E12: concurrent throughput, {n_rows} rows x 6 attrs, "
+        f"{CORES} cores (last row: read acq/waits, write acq/waits)"
+    )
+    print_records(title, records)
+    benchmark.extra_info["concurrent_throughput"] = records
+
+    by_threads = {r["threads"]: r for r in records}
+    # The serving layer must never make a loaded service *slower* than
+    # one client by more than scheduling noise allows.
+    assert by_threads[8]["qps"] > by_threads[1]["qps"] * 0.5
+    if CORES >= 4:
+        # The acceptance gate needs real cores: 4 client threads on a
+        # >=4-core host must clear 1.5x the single-client throughput.
+        assert by_threads[4]["speedup"] > 1.5

@@ -9,6 +9,12 @@ The library provides:
 * :class:`PostgresRaw` — an in-situ SQL engine over raw CSV files with
   an adaptive positional map, a binary data cache, on-the-fly statistics
   and selective tokenizing / parsing / tuple formation;
+* :class:`PostgresRawService` / :class:`Session` — the concurrent
+  serving layer: many client threads share one set of adaptive
+  structures under per-table reader-writer locks, with admission
+  control (``max_concurrent_queries``) and an optional global
+  ``memory_budget`` arbitrated across all tables' maps and caches by
+  the benefit-per-byte :class:`MemoryGovernor`;
 * :mod:`repro.parallel` — a parallel chunked raw-scan subsystem: cold
   scans and fully-unmapped tail scans split the file into newline-aligned
   chunks processed by a scan pool, with per-chunk positional maps, cache
@@ -61,6 +67,7 @@ from .core import (
 )
 from .datatypes import DataType
 from .errors import (
+    AdmissionError,
     CatalogError,
     ConversionError,
     ExecutionError,
@@ -68,10 +75,18 @@ from .errors import (
     RawDataError,
     ReproError,
     SchemaError,
+    ServiceError,
     SQLSyntaxError,
     StorageError,
 )
 from .executor import QueryResult
+from .service import (
+    MemoryGovernor,
+    PostgresRawService,
+    QueryScheduler,
+    RWLock,
+    Session,
+)
 from .rawio import (
     ColumnSpec,
     CsvDialect,
@@ -98,6 +113,7 @@ __all__ = [
     "PositionalMap",
     "StatisticsStore",
     "DataType",
+    "AdmissionError",
     "CatalogError",
     "ConversionError",
     "ExecutionError",
@@ -105,9 +121,15 @@ __all__ = [
     "RawDataError",
     "ReproError",
     "SchemaError",
+    "ServiceError",
     "SQLSyntaxError",
     "StorageError",
     "QueryResult",
+    "MemoryGovernor",
+    "PostgresRawService",
+    "QueryScheduler",
+    "RWLock",
+    "Session",
     "ColumnSpec",
     "CsvDialect",
     "DatasetSpec",

@@ -123,6 +123,24 @@ class PostgresRawConfig:
     #: separate processes — the CPU-scalable choice for cold scans).
     parallel_backend: str = "thread"
 
+    #: Engine-wide byte budget for *all* adaptive state (every table's
+    #: positional-map chunks and cache entries together), arbitrated by
+    #: the :class:`repro.service.MemoryGovernor` using the cost-aware
+    #: benefit-per-byte signal.  ``None`` (the default) keeps the
+    #: classic per-structure silos (``positional_map_budget`` /
+    #: ``cache_budget`` per table).
+    memory_budget: int | None = None
+
+    #: Maximum queries executing simultaneously inside the concurrent
+    #: service (:class:`repro.service.PostgresRawService`).  Further
+    #: queries wait in a bounded admission queue.
+    max_concurrent_queries: int = 8
+
+    #: How many queries may *wait* for an execution slot before the
+    #: service rejects new arrivals with
+    #: :class:`repro.errors.AdmissionError`.
+    admission_queue_depth: int = 64
+
     def __post_init__(self) -> None:
         if self.positional_map_budget < 0:
             raise BudgetError("positional_map_budget must be >= 0")
@@ -148,6 +166,12 @@ class PostgresRawConfig:
                 f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
                 f"not {self.parallel_backend!r}"
             )
+        if self.memory_budget is not None and self.memory_budget < 0:
+            raise BudgetError("memory_budget must be >= 0 (or None)")
+        if self.max_concurrent_queries < 1:
+            raise BudgetError("max_concurrent_queries must be >= 1")
+        if self.admission_queue_depth < 0:
+            raise BudgetError("admission_queue_depth must be >= 0")
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.

@@ -29,6 +29,7 @@ Faithful properties:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..batch import ColumnVector
@@ -80,11 +81,51 @@ class RawDataCache:
             )
         self.budget_bytes = budget_bytes
         self.policy = policy
+        self.governor = None
         self._entries: dict[int, CacheEntry] = {}
         self._clock = 0
         self.insertions = 0
         self.evictions = 0
         self.rejected_insertions = 0
+
+    # ------------------------------------------------------------------
+    # Global-governor binding (repro.service.MemoryGovernor).
+    # ------------------------------------------------------------------
+
+    def bind_governor(self, governor) -> None:
+        """Hand budget arbitration to an engine-wide memory governor;
+        the local ``budget_bytes`` silo stops applying."""
+        self.governor = governor
+
+    def _guard(self):
+        """Serialize container mutations with the governor (if bound)."""
+        return self.governor.lock if self.governor is not None else nullcontext()
+
+    def governed_bytes(self) -> int:
+        return self.used_bytes
+
+    def governed_items(self) -> list[tuple[object, int, float, int]]:
+        """Evictable inventory: ``(token, nbytes, density, last_used)``.
+
+        The token is the attribute number; density is the cost-aware
+        conversion-seconds-saved-per-byte signal, the same currency the
+        positional map reports, so the governor can arbitrate across
+        both structure kinds.
+        """
+        return [
+            (attr, e.nbytes, e.value_density, e.last_used)
+            for attr, e in list(self._entries.items())
+        ]
+
+    def governed_evict(self, token: object) -> int:
+        """Evict one entry by attribute token; returns bytes freed."""
+        with self._guard():
+            entry = self._entries.get(token)
+            if entry is None:
+                return 0
+            del self._entries[token]
+            self.evictions += 1
+            return entry.nbytes
 
     def tick(self) -> int:
         """Advance the LRU clock (one tick per query)."""
@@ -93,7 +134,7 @@ class RawDataCache:
 
     @property
     def used_bytes(self) -> int:
-        return sum(e.nbytes for e in self._entries.values())
+        return sum(e.nbytes for e in list(self._entries.values()))
 
     @property
     def entry_count(self) -> int:
@@ -129,40 +170,50 @@ class RawDataCache:
         even after evicting everything unprotected.
         """
         protected = protected or set()
-        existing = self._entries.get(attr)
-        if existing is not None and existing.rows >= len(vector):
-            existing.last_used = self._clock
+        with self._guard():
+            existing = self._entries.get(attr)
+            if existing is not None and existing.rows >= len(vector):
+                existing.last_used = self._clock
+                return True
+            entry = CacheEntry(
+                attr,
+                vector,
+                last_used=self._clock,
+                benefit_seconds=benefit_seconds,
+            )
+            if existing is not None:
+                # Release the superseded entry before asking for room so
+                # the used-byte ledger (local or governed) reflects the
+                # bytes actually coming back.
+                del self._entries[attr]
+            if not self._fits(entry.nbytes, protected | {attr}):
+                self.rejected_insertions += 1
+                if existing is not None:
+                    self._entries[attr] = existing  # keep the old prefix
+                return False
+            self._entries[attr] = entry
+            self.insertions += 1
             return True
-        entry = CacheEntry(
-            attr,
-            vector,
-            last_used=self._clock,
-            benefit_seconds=benefit_seconds,
-        )
-        freed = existing.nbytes if existing is not None else 0
-        if not self._fits(entry.nbytes - freed, protected | {attr}):
-            self.rejected_insertions += 1
-            return False
-        if existing is not None:
-            del self._entries[attr]
-        self._entries[attr] = entry
-        self.insertions += 1
-        return True
 
     def extend(self, attr: int, tail: ColumnVector) -> bool:
         """Append rows to an entry (post-append reconciliation)."""
-        entry = self._entries.get(attr)
-        if entry is None:
-            return False
-        extra = tail.nbytes()
-        if not self._fits(extra, {attr}):
-            return False
-        entry.vector = ColumnVector.concat([entry.vector, tail])
-        entry.nbytes += extra
-        entry.last_used = self._clock
-        return True
+        with self._guard():
+            entry = self._entries.get(attr)
+            if entry is None:
+                return False
+            extra = tail.nbytes()
+            if not self._fits(extra, {attr}):
+                return False
+            entry.vector = ColumnVector.concat([entry.vector, tail])
+            entry.nbytes += extra
+            entry.last_used = self._clock
+            return True
 
     def _fits(self, nbytes: int, protected: set[int]) -> bool:
+        if self.governor is not None:
+            # Engine-wide budget: the governor evicts across every
+            # table's caches *and* positional maps on benefit-per-byte.
+            return self.governor.grant(self, nbytes, protected)
         if nbytes > self.budget_bytes:
             return False
         while self.used_bytes + nbytes > self.budget_bytes:
@@ -175,7 +226,7 @@ class RawDataCache:
 
     def _lru_victim(self, protected: set[int]) -> CacheEntry | None:
         candidates = [
-            e for e in self._entries.values() if e.attr not in protected
+            e for e in list(self._entries.values()) if e.attr not in protected
         ]
         if not candidates:
             return None
@@ -189,7 +240,8 @@ class RawDataCache:
 
     def invalidate(self) -> None:
         """Drop everything (the raw file was rewritten)."""
-        self._entries.clear()
+        with self._guard():
+            self._entries.clear()
 
     def coverage_rows(self, attr: int) -> int:
         entry = self._entries.get(attr)

@@ -17,12 +17,23 @@ auxiliary state — positional map, cache, statistics — accretes as a side
 effect of the queries themselves and is visible through
 :meth:`table_state` for the monitoring panels.
 
+Since the concurrent serving layer landed, :class:`PostgresRaw` is a
+thin wrapper over :class:`repro.service.PostgresRawService` holding one
+default session: the classic single-threaded API is unchanged, while
+``engine.service`` exposes the full concurrent surface (per-client
+sessions, admission control, the global memory governor, per-table
+reader-writer locks).  Many threads may call :meth:`query` on one
+engine directly — every call is admission-controlled and lock-protected
+by the service underneath.
+
 With ``PostgresRawConfig(scan_workers=N)`` the engine routes cold scans
 and fully-unmapped tail scans (e.g. after an external append) through
-the parallel chunked scan pool (:mod:`repro.parallel`); results and the
-merged adaptive structures are identical to the serial path, and
+the parallel chunked scan pool (:mod:`repro.parallel`) — one recycled
+pool per engine, shared across queries; results and the merged adaptive
+structures are identical to the serial path, and
 ``result.metrics.worker_breakdowns`` carries the per-worker Figure 3
-buckets.
+buckets.  Call :meth:`close` (or use the engine as a context manager)
+to shut the pool down.
 """
 
 from __future__ import annotations
@@ -32,26 +43,53 @@ from pathlib import Path
 from ..catalog.catalog import Catalog, RawTableEntry
 from ..catalog.schema import TableSchema
 from ..config import PostgresRawConfig
-from ..errors import CatalogError, RawDataError
 from ..executor.result import QueryResult
 from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
-from ..rawio.sniffer import infer_schema
-from ..sql.ast import Expression, SelectStatement
-from ..sql.parser import parse_select
-from ..sql.planner import LogicalPlan, Planner
-from .metrics import BreakdownComponent, QueryMetrics
-from .raw_scan import RawScan, RawTableState
-from .stats import StatisticsStore
-from .updates import FileChange, detect_change, fingerprint_file
+from ..sql.ast import SelectStatement
+from .raw_scan import RawTableState
+from .updates import FileChange
 
 
 class PostgresRaw:
-    """An in-situ SQL engine over raw CSV files."""
+    """An in-situ SQL engine over raw CSV files.
+
+    A thin single-session wrapper over the thread-safe
+    :class:`repro.service.PostgresRawService`.
+    """
 
     def __init__(self, config: PostgresRawConfig | None = None) -> None:
-        self.config = config or PostgresRawConfig()
-        self.catalog = Catalog()
-        self._states: dict[str, RawTableState] = {}
+        # Imported here: the service builds on the core scan machinery,
+        # so a module-level import would be circular.
+        from ..service.service import PostgresRawService
+
+        self.service = PostgresRawService(config)
+        self._session = self.service.session()
+
+    @property
+    def config(self) -> PostgresRawConfig:
+        return self.service.config
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.service.catalog
+
+    @property
+    def _states(self) -> dict[str, RawTableState]:
+        return self.service._states
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's recycled scan pool (idempotent)."""
+        self.service.close()
+
+    def __enter__(self) -> "PostgresRaw":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Registration.
@@ -69,26 +107,21 @@ class PostgresRaw:
         No data is read (beyond a small sample if ``schema`` is omitted
         and must be inferred); queries can start immediately.
         """
-        if schema is None:
-            schema = infer_schema(path, dialect)
-        entry = self.catalog.register_raw(name, schema, path, dialect)
-        self._states[name] = RawTableState(entry, self.config)
-        return entry
+        return self.service.register_csv(name, path, schema, dialect)
 
     def drop_table(self, name: str) -> None:
-        self.catalog.drop(name)
-        del self._states[name]
+        """Unregister a table; its adaptive-state bytes return to the
+        (global or per-table) budget.  Raises
+        :class:`repro.errors.CatalogError` when the table is unknown."""
+        self.service.drop_table(name)
 
     def table_state(self, name: str) -> RawTableState:
         """Adaptive state of a table (positional map, cache, statistics) —
         what the demo's monitoring panels visualize."""
-        try:
-            return self._states[name]
-        except KeyError:
-            raise CatalogError(f"unknown raw table {name!r}") from None
+        return self.service.table_state(name)
 
     def table_names(self) -> list[str]:
-        return self.catalog.table_names()
+        return self.service.table_names()
 
     # ------------------------------------------------------------------
     # Querying.
@@ -96,112 +129,18 @@ class PostgresRaw:
 
     def query(self, sql: str) -> QueryResult:
         """Parse, plan and execute one SELECT statement."""
-        return self.execute(parse_select(sql))
+        return self._session.query(sql)
 
     def execute(self, stmt: SelectStatement) -> QueryResult:
-        metrics = QueryMetrics()
-        metrics.begin()
-
-        for name in self._referenced_tables(stmt):
-            state = self._states.get(name)
-            if state is None:
-                continue  # planner will raise CatalogError with context
-            with metrics.time(BreakdownComponent.NODB):
-                self._reconcile_file(state)
-            state.begin_query()
-
-        planner = self._planner(metrics)
-        plan = planner.plan(stmt)
-        batches = list(plan.root.execute())
-        for state in (
-            self._states[n]
-            for n in self._referenced_tables(stmt)
-            if n in self._states
-        ):
-            metrics.rows_scanned += state.positional_map.n_rows
-
-        result = QueryResult.from_batches(batches, plan.output_types, metrics)
-        metrics.end()
-        metrics.settle_processing()
-        return result
+        return self._session.execute(stmt)
 
     def explain(self, sql: str) -> str:
         """The physical plan as indented text (EXPLAIN)."""
-        stmt = parse_select(sql)
-        metrics = QueryMetrics()
-        plan = self._planner(metrics).plan(stmt)
-        return plan.explain()
+        return self.service.explain(sql)
 
     def refresh(self, name: str | None = None) -> dict[str, FileChange]:
         """Force update detection now (instead of before the next query).
 
         Returns the change detected per table.
         """
-        names = [name] if name is not None else list(self._states)
-        changes = {}
-        for table in names:
-            state = self.table_state(table)
-            changes[table] = self._reconcile_file(state, force=True)
-        return changes
-
-    # ------------------------------------------------------------------
-    # Internals.
-    # ------------------------------------------------------------------
-
-    def _planner(self, metrics: QueryMetrics) -> Planner:
-        def scan_factory(
-            table: str, columns: list[str], predicate: Expression | None
-        ) -> RawScan:
-            # The engine-level config decides scan parallelism and the
-            # adaptive-structure knobs for every scan it plans.
-            return RawScan(
-                self._states[table],
-                metrics,
-                columns,
-                predicate,
-                config=self.config,
-            )
-
-        return Planner(self.catalog, scan_factory, self._stats_provider)
-
-    def _stats_provider(self, table: str) -> StatisticsStore | None:
-        if not self.config.enable_statistics:
-            return None
-        state = self._states.get(table)
-        return state.statistics if state is not None else None
-
-    @staticmethod
-    def _referenced_tables(stmt: SelectStatement) -> list[str]:
-        names = []
-        if stmt.from_table is not None:
-            names.append(stmt.from_table.name)
-        names.extend(j.table.name for j in stmt.joins)
-        return list(dict.fromkeys(names))
-
-    def _reconcile_file(
-        self, state: RawTableState, force: bool = False
-    ) -> FileChange:
-        """Detect external changes to the raw file and reconcile state.
-
-        Appends keep every prefix-shaped structure valid; rewrites drop
-        everything (the file is effectively new).  ``force`` bypasses the
-        ``auto_detect_updates`` knob (explicit :meth:`refresh`).
-        """
-        path = state.entry.path
-        if state.fingerprint is None:
-            state.fingerprint = fingerprint_file(path)
-            return FileChange.UNCHANGED
-        if not (self.config.auto_detect_updates or force):
-            return FileChange.UNCHANGED
-        change, fingerprint = detect_change(state.fingerprint, path)
-        if change is FileChange.MISSING:
-            raise RawDataError(f"raw file disappeared: {path}")
-        if change is FileChange.APPENDED:
-            state.pending_append = True
-            state.fingerprint = fingerprint
-        elif change is FileChange.REWRITTEN:
-            state.invalidate()
-            state.fingerprint = fingerprint
-        else:
-            state.fingerprint = fingerprint
-        return change
+        return self.service.refresh(name)

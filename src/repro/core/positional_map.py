@@ -25,10 +25,22 @@ Faithful properties implemented here:
 
 Coverage is a row *prefix*: a chunk always describes rows ``0 .. rows``;
 appends to the raw file extend chunks rather than invalidating them.
+
+**Global governance.**  When the engine runs with a single
+``memory_budget`` (:class:`repro.service.MemoryGovernor`), the map is
+*bound* to the governor: the local ``budget_bytes`` silo is ignored and
+every install/extend asks the governor for room instead, competing with
+every other table's chunks and cache entries on benefit-per-byte (a
+chunk's benefit is the tokenizing time spent discovering it — the cost
+a future query pays again if it is evicted).  Container mutations are
+then serialized under the governor's lock, and lookups iterate
+snapshots, so concurrent readers never observe a half-applied change.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,12 +53,16 @@ class PositionalChunk:
     """Offsets of one attribute combination over a row prefix.
 
     ``offsets[r, i]`` is the absolute start of attribute ``attrs[i]`` in
-    row ``r``.  ``attrs`` is sorted ascending.
+    row ``r``.  ``attrs`` is sorted ascending.  ``benefit_seconds`` is
+    the measured tokenizing time that discovered these offsets — the
+    rebuild cost a future query saves while the chunk is resident, used
+    by the global memory governor's benefit-per-byte arbitration.
     """
 
     attrs: tuple[int, ...]
     offsets: np.ndarray
     last_used: int = 0
+    benefit_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if tuple(sorted(self.attrs)) != self.attrs:
@@ -64,6 +80,11 @@ class PositionalChunk:
     @property
     def nbytes(self) -> int:
         return int(self.offsets.nbytes)
+
+    @property
+    def value_density(self) -> float:
+        """Tokenizing seconds saved per byte of budget held."""
+        return self.benefit_seconds / max(self.nbytes, 1)
 
     def column_of(self, attr: int) -> int:
         """Index of ``attr`` inside this chunk (raises if absent)."""
@@ -97,9 +118,54 @@ class PositionalMap:
         self._chunks: list[PositionalChunk] = []
         self._line_bounds: np.ndarray | None = None
         self._clock = 0
+        self.governor = None
         self.installs = 0
         self.evictions = 0
         self.rejected_installs = 0
+
+    # ------------------------------------------------------------------
+    # Global-governor binding (repro.service.MemoryGovernor).
+    # ------------------------------------------------------------------
+
+    def bind_governor(self, governor) -> None:
+        """Hand budget arbitration to an engine-wide memory governor.
+
+        The local ``budget_bytes`` silo stops applying; every byte this
+        map wants is requested from (and may be reclaimed by) the
+        governor instead.
+        """
+        self.governor = governor
+
+    def _guard(self):
+        """Serialize container mutations with the governor (if bound)."""
+        return self.governor.lock if self.governor is not None else nullcontext()
+
+    def governed_bytes(self) -> int:
+        """Bytes charged against the global budget (line index is pinned
+        backbone state and stays exempt, exactly as with the local silo)."""
+        return self.used_bytes
+
+    def governed_items(self) -> list[tuple[object, int, float, int]]:
+        """Evictable inventory: ``(token, nbytes, density, last_used)``."""
+        return [
+            (id(c), c.nbytes, c.value_density, c.last_used)
+            for c in self._chunks
+        ]
+
+    def governed_evict(self, token: object) -> int:
+        """Evict one chunk by token (``id``); returns bytes freed."""
+        with self._guard():
+            for chunk in self._chunks:
+                if id(chunk) == token:
+                    self._discard(chunk)
+                    self.evictions += 1
+                    return chunk.nbytes
+        return 0
+
+    def _discard(self, chunk: PositionalChunk) -> None:
+        # Rebind instead of in-place remove: concurrent readers iterate
+        # a snapshot reference and never see a list mid-mutation.
+        self._chunks = [c for c in self._chunks if c is not chunk]
 
     # ------------------------------------------------------------------
     # Line (tuple boundary) index — pinned backbone.
@@ -194,6 +260,7 @@ class PositionalMap:
         attrs: tuple[int, ...],
         offsets: np.ndarray,
         protected: "set[int] | None" = None,
+        benefit_seconds: float = 0.0,
     ) -> PositionalChunk | None:
         """Insert (or upgrade) a chunk, evicting LRU chunks to fit.
 
@@ -204,31 +271,38 @@ class PositionalMap:
         """
         attrs = tuple(sorted(attrs))
         offsets = np.ascontiguousarray(offsets, dtype=np.int64)
-        existing = self.find_exact(attrs)
-        if existing is not None:
-            if existing.rows >= offsets.shape[0]:
-                self.touch(existing)
-                return existing
-            self._chunks.remove(existing)
+        with self._guard():
+            existing = self.find_exact(attrs)
+            if existing is not None:
+                if existing.rows >= offsets.shape[0]:
+                    self.touch(existing)
+                    return existing
+                self._discard(existing)
+                benefit_seconds += existing.benefit_seconds
 
-        # A combination chunk is redundant if some chunk already covers a
-        # superset of its attributes at least as deeply.
-        for chunk in self._chunks:
-            if (
-                set(attrs) <= set(chunk.attrs)
-                and chunk.rows >= offsets.shape[0]
-            ):
-                self.touch(chunk)
-                return chunk
+            # A combination chunk is redundant if some chunk already
+            # covers a superset of its attributes at least as deeply.
+            for chunk in self._chunks:
+                if (
+                    set(attrs) <= set(chunk.attrs)
+                    and chunk.rows >= offsets.shape[0]
+                ):
+                    self.touch(chunk)
+                    return chunk
 
-        candidate = PositionalChunk(attrs, offsets, last_used=self._clock)
-        if not self._make_room(candidate.nbytes, protected or set()):
-            self.rejected_installs += 1
-            return None
-        self._chunks.append(candidate)
-        self.installs += 1
-        self._drop_subsumed(candidate)
-        return candidate
+            candidate = PositionalChunk(
+                attrs,
+                offsets,
+                last_used=self._clock,
+                benefit_seconds=benefit_seconds,
+            )
+            if not self._make_room(candidate.nbytes, protected or set()):
+                self.rejected_installs += 1
+                return None
+            self._chunks = self._chunks + [candidate]
+            self.installs += 1
+            self._drop_subsumed(candidate)
+            return candidate
 
     def adopt(
         self, attrs: tuple[int, ...], offsets: np.ndarray
@@ -246,30 +320,41 @@ class PositionalMap:
             np.asarray(offsets, dtype=np.int64),
             last_used=self._clock,
         )
-        self._chunks.append(chunk)
+        self._chunks = self._chunks + [chunk]
         return chunk
 
-    def extend(self, chunk: PositionalChunk, more_offsets: np.ndarray) -> bool:
+    def extend(
+        self,
+        chunk: PositionalChunk,
+        more_offsets: np.ndarray,
+        benefit_seconds: float = 0.0,
+    ) -> bool:
         """Append rows to an existing chunk (append-reconciliation path)."""
-        if chunk not in self._chunks:
-            return False
-        more_offsets = np.ascontiguousarray(more_offsets, dtype=np.int64)
-        if more_offsets.shape[1] != len(chunk.attrs):
-            raise ReproError("extension width does not match chunk attrs")
-        if not self._make_room(more_offsets.nbytes, {id(chunk)}):
-            return False
-        chunk.offsets = np.vstack([chunk.offsets, more_offsets])
-        self.touch(chunk)
-        return True
+        with self._guard():
+            if chunk not in self._chunks:
+                return False
+            more_offsets = np.ascontiguousarray(more_offsets, dtype=np.int64)
+            if more_offsets.shape[1] != len(chunk.attrs):
+                raise ReproError("extension width does not match chunk attrs")
+            if not self._make_room(more_offsets.nbytes, {id(chunk)}):
+                return False
+            chunk.offsets = np.vstack([chunk.offsets, more_offsets])
+            chunk.benefit_seconds += benefit_seconds
+            self.touch(chunk)
+            return True
 
     def _make_room(self, nbytes: int, protected: set[int]) -> bool:
+        if self.governor is not None:
+            # Engine-wide budget: the governor evicts across every
+            # table's maps *and* caches on benefit-per-byte.
+            return self.governor.grant(self, nbytes, protected)
         if nbytes > self.budget_bytes:
             return False
         while self.used_bytes + nbytes > self.budget_bytes:
             victim = self._lru_victim(protected)
             if victim is None:
                 return False
-            self._chunks.remove(victim)
+            self._discard(victim)
             self.evictions += 1
         return True
 
@@ -283,15 +368,15 @@ class PositionalMap:
         """Drop chunks whose attrs are a subset of ``keeper`` with no
         deeper coverage — they can never win a lookup again."""
         keep_attrs = set(keeper.attrs)
-        doomed = [
-            c
+        doomed = {
+            id(c)
             for c in self._chunks
             if c is not keeper
             and set(c.attrs) <= keep_attrs
             and c.rows <= keeper.rows
-        ]
-        for c in doomed:
-            self._chunks.remove(c)
+        }
+        if doomed:
+            self._chunks = [c for c in self._chunks if id(c) not in doomed]
 
     # ------------------------------------------------------------------
     # Maintenance / introspection.
@@ -299,8 +384,9 @@ class PositionalMap:
 
     def invalidate(self) -> None:
         """Drop everything (the raw file was rewritten)."""
-        self._chunks.clear()
-        self._line_bounds = None
+        with self._guard():
+            self._chunks = []
+            self._line_bounds = None
 
     def coverage_rows(self, attr: int) -> int:
         chunk = self.best_cover(attr)

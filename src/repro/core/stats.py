@@ -21,6 +21,7 @@ later, when the attribute is first read unfiltered.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -204,21 +205,27 @@ class StatisticsStore:
         self._rng = np.random.default_rng(seed)
         self._stats: dict[str, AttributeStatistics] = {}
         self._row_estimate = 0
+        # Serializes reservoir/extrema updates: concurrent queries on the
+        # service's shared read path feed the same store.  (Selectivity
+        # reads stay lock-free — a momentarily stale estimate is fine.)
+        self._write_lock = threading.Lock()
 
     def observe(self, name: str, vector: ColumnVector) -> None:
-        stats = self._stats.get(name)
-        if stats is None:
-            stats = AttributeStatistics(
-                name=name,
-                dtype=vector.dtype,
-                sample_size=self.sample_size,
-                histogram_buckets=self.histogram_buckets,
-            )
-            self._stats[name] = stats
-        stats.observe(vector, self._rng)
+        with self._write_lock:
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = AttributeStatistics(
+                    name=name,
+                    dtype=vector.dtype,
+                    sample_size=self.sample_size,
+                    histogram_buckets=self.histogram_buckets,
+                )
+                self._stats[name] = stats
+            stats.observe(vector, self._rng)
 
     def set_row_estimate(self, n_rows: int) -> None:
-        self._row_estimate = max(self._row_estimate, n_rows)
+        with self._write_lock:
+            self._row_estimate = max(self._row_estimate, n_rows)
 
     @property
     def row_estimate(self) -> int:
@@ -234,8 +241,9 @@ class StatisticsStore:
         return sorted(self._stats)
 
     def invalidate(self) -> None:
-        self._stats.clear()
-        self._row_estimate = 0
+        with self._write_lock:
+            self._stats.clear()
+            self._row_estimate = 0
 
     def describe(self) -> list[dict[str, object]]:
         """Statistics inventory for the monitoring panel."""

@@ -66,3 +66,14 @@ class UpdateConflictError(ReproError):
 
 class BudgetError(ReproError):
     """A configured byte budget is too small to hold mandatory state."""
+
+
+class ServiceError(ReproError):
+    """The concurrent query service could not process a request
+    (e.g. the service has been closed)."""
+
+
+class AdmissionError(ServiceError):
+    """A query was rejected by admission control: the service is at
+    ``max_concurrent_queries`` and the wait queue is already
+    ``admission_queue_depth`` deep."""

@@ -1,10 +1,13 @@
-"""ASCII monitoring panels reproducing the demo's GUI.
+"""ASCII monitoring panels reproducing (and extending) the demo's GUI.
 
 * :mod:`repro.monitor.breakdown` — the Query Execution Breakdown panel
   (Figure 3): stacked Processing/IO/Convert/Parsing/Tokenizing/NoDB bars;
 * :mod:`repro.monitor.panel` — the System Monitoring Panel (Figure 2):
   cache utilization, positional-map storage, file-coverage shading;
-* :mod:`repro.monitor.usage` — attribute access statistics.
+* :mod:`repro.monitor.usage` — attribute access statistics;
+* :mod:`repro.monitor.governor` — the serving-layer panel: global
+  memory-budget residency per table, governor pressure counters,
+  scheduler occupancy and per-table lock contention.
 """
 
 from .breakdown import (
@@ -12,6 +15,11 @@ from .breakdown import (
     render_breakdown,
     render_worker_breakdown,
     worker_report,
+)
+from .governor import (
+    governor_report,
+    render_concurrency_panel,
+    render_governor_panel,
 )
 from .panel import SystemMonitorPanel
 from .usage import render_attribute_usage
@@ -21,6 +29,9 @@ __all__ = [
     "render_breakdown",
     "render_worker_breakdown",
     "worker_report",
+    "governor_report",
+    "render_concurrency_panel",
+    "render_governor_panel",
     "SystemMonitorPanel",
     "render_attribute_usage",
 ]

@@ -1,0 +1,124 @@
+"""Governor + concurrency monitoring panel.
+
+Extends the demo's Figure 2 storage view to the serving layer: where
+the per-table panel shows *one* table's structures against *its own*
+budgets, this panel shows the engine-wide picture —
+
+* the global ``memory_budget`` bar and how the resident bytes split
+  across every table's positional map and cache ("live per-table
+  residency"),
+* governor pressure counters (evictions, cross-table evictions,
+  rejected grants, bytes released by ``drop_table``),
+* scheduler occupancy (active/waiting/peaks, admissions/rejections),
+* per-table reader-writer lock contention.
+"""
+
+from __future__ import annotations
+
+from ..service.service import PostgresRawService
+
+
+def governor_report(service: PostgresRawService) -> dict[str, object]:
+    """The governor panel's data: stats plus per-table residency rows.
+
+    Works without a governor too (``memory_budget`` unset): residency is
+    then derived from the table states directly and the ``stats`` key is
+    ``None`` — the panel stays useful for silo-budget engines.
+    """
+    governor = service.governor
+    if governor is not None:
+        return {
+            "stats": governor.stats(),
+            "residency": governor.residency(),
+        }
+    residency = []
+    for name in service.table_names():
+        state = service.table_state(name)
+        residency.append(
+            {
+                "table": name,
+                "kind": "map",
+                "nbytes": state.positional_map.used_bytes,
+                "items": state.positional_map.chunk_count,
+            }
+        )
+        residency.append(
+            {
+                "table": name,
+                "kind": "cache",
+                "nbytes": state.cache.used_bytes,
+                "items": state.cache.entry_count,
+            }
+        )
+    return {"stats": None, "residency": residency}
+
+
+def render_governor_panel(service: PostgresRawService, width: int = 40) -> str:
+    """The global memory picture as an ASCII panel."""
+    report = governor_report(service)
+    stats = report["stats"]
+    residency = report["residency"]
+    lines = ["=== Memory Governor ==="]
+    if stats is not None:
+        budget = stats["budget_bytes"]
+        used = stats["used_bytes"]
+        fraction = used / budget if budget else 0.0
+        lines.append(_bar("global budget", fraction, width)
+                     + f"  {used / 1024:.0f} / {budget / 1024:.0f} KiB")
+        lines.append(
+            f"evictions: {stats['evictions']} "
+            f"(cross-table: {stats['cross_evictions']})  "
+            f"rejected grants: {stats['rejected_grants']}  "
+            f"released: {stats['released_bytes'] / 1024:.0f} KiB"
+        )
+    else:
+        lines.append("(no global budget: per-table silos in effect)")
+    lines.append("")
+    lines.append("per-table residency:")
+    total = sum(r["nbytes"] for r in residency) or 1
+    for row in residency:
+        share = row["nbytes"] / total
+        bar = "#" * max(int(share * 20), 1 if row["nbytes"] else 0)
+        lines.append(
+            f"{row['table']:>12s}/{row['kind']:<5s} "
+            f"[{bar:<20s}] {row['nbytes'] / 1024:8.0f} KiB "
+            f"in {row['items']} items"
+        )
+    return "\n".join(lines)
+
+
+def render_concurrency_panel(service: PostgresRawService) -> str:
+    """Scheduler occupancy and per-table lock contention as text."""
+    sched = service.scheduler.stats()
+    lines = [
+        "=== Concurrency ===",
+        (
+            f"queries: {sched['active']} active / {sched['waiting']} waiting"
+            f"  (peaks {sched['peak_concurrency']}/"
+            f"{sched['peak_queue_depth']}, "
+            f"cap {sched['max_concurrent']}+{sched['queue_depth']})"
+        ),
+        (
+            f"admitted: {sched['admitted']}  completed: {sched['completed']}"
+            f"  rejected: {sched['rejected']}"
+        ),
+        "",
+        "per-table lock traffic (shared/exclusive, waits in parens):",
+    ]
+    for name, stats in service.lock_stats().items():
+        lines.append(
+            f"{name:>12s}  reads {stats['read_acquisitions']}"
+            f" ({stats['read_contentions']})"
+            f"  writes {stats['write_acquisitions']}"
+            f" ({stats['write_contentions']})"
+        )
+    return "\n".join(lines)
+
+
+def _bar(label: str, fraction: float, width: int) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return (
+        f"{label:>18s} [{'#' * filled}{'.' * (width - filled)}] "
+        f"{fraction * 100:5.1f}%"
+    )

@@ -287,8 +287,18 @@ class ParallelScanDriver:
 
     def _dispatch(self, tasks: list[ChunkTask]) -> list[ChunkResult]:
         watch = Stopwatch()
-        pool = ScanPool(self.config.scan_workers, self.config.parallel_backend)
-        results = pool.run(scan_chunk, tasks)
+        pool = self.scan.pool
+        if pool is not None:
+            # Engine-owned recycled pool: worker threads/processes are
+            # amortized across every query of the stream.
+            results = pool.run(scan_chunk, tasks)
+        else:
+            # Stand-alone scan (no engine pool): ephemeral pool, torn
+            # down with the dispatch as in the pre-service engine.
+            with ScanPool(
+                self.config.scan_workers, self.config.parallel_backend
+            ) as ephemeral:
+                results = ephemeral.run(scan_chunk, tasks)
         wall = watch.elapsed()
         self._wall = wall
         return results

@@ -81,7 +81,11 @@ def stitch_results(
                 coll.valid = False
                 coll.blocks.clear()
                 continue
-            coll.add(span.start_row + row_base, span.matrix + char_base)
+            coll.add(
+                span.start_row + row_base,
+                span.matrix + char_base,
+                span.benefit_seconds,
+            )
         if scan.config.enable_cache:
             for col in res.columns:
                 coll = scan._cache_collectors.get(col.attr)

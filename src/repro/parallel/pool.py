@@ -8,14 +8,22 @@ CPU-bound tokenizing/parsing loops on multi-core machines (the OLA-RAW
 observation: in-situ engines need parallel chunked raw access to be
 practical at scale).
 
-Pools are created per scan phase and torn down immediately: the engine
-holds no long-lived executor, so forked children never outlive a query.
+Pools are **recycled across queries**: the underlying executor is
+created lazily on the first parallel dispatch and kept alive until
+:meth:`ScanPool.close` (the engine/service closes its pool on
+``close()`` / context-manager exit).  Under a concurrent query stream
+this amortizes thread/fork start-up cost over the whole stream instead
+of paying it per scan — and one engine-wide pool bounds total scan
+parallelism at ``scan_workers`` no matter how many queries are in
+flight.  ``Executor.map`` is thread-safe, so concurrent queries may
+dispatch to the same pool; each dispatch's results keep task order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from ..errors import ExecutionError
@@ -40,6 +48,60 @@ class ScanPool:
             raise ExecutionError(f"unknown scan pool backend {backend!r}")
         self.workers = workers
         self.backend = backend
+        self._executor: Executor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self.dispatches = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether a recycled executor currently exists."""
+        return self._executor is not None
+
+    def _ensure_executor(self) -> Executor:
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("scan pool is closed")
+            if self._executor is None:
+                if self.backend == "process":
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=_process_context(),
+                    )
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-scan",
+                    )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut the recycled executor down (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ScanPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: engines dropped without close()
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
 
     def run(
         self,
@@ -54,13 +116,8 @@ class ScanPool:
         """
         if not tasks:
             return []
-        n = min(self.workers, len(tasks))
-        if n == 1:
-            return [fn(task) for task in tasks]
-        if self.backend == "process":
-            with ProcessPoolExecutor(
-                max_workers=n, mp_context=_process_context()
-            ) as pool:
-                return list(pool.map(fn, tasks))
-        with ThreadPoolExecutor(max_workers=n) as pool:
-            return list(pool.map(fn, tasks))
+        self.dispatches += 1
+        if len(tasks) == 1:
+            return [fn(tasks[0])]
+        executor = self._ensure_executor()
+        return list(executor.map(fn, tasks))

@@ -81,6 +81,7 @@ class SpanHarvest:
     start_row: int
     matrix: np.ndarray
     valid: bool
+    benefit_seconds: float = 0.0
 
 
 @dataclass
@@ -196,7 +197,14 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
         if matrix is None:
             matrix = np.zeros((0, len(coll.attrs)), dtype=np.int64)
         spans.append(
-            SpanHarvest(key, coll.attrs, coll.start_row, matrix, coll.valid)
+            SpanHarvest(
+                key,
+                coll.attrs,
+                coll.start_row,
+                matrix,
+                coll.valid,
+                coll.benefit_seconds,
+            )
         )
     columns = []
     for attr, coll in scan._cache_collectors.items():

@@ -1,0 +1,194 @@
+"""The global memory governor: one budget for *all* adaptive state.
+
+The seed engine gave every table two independent silos — a positional
+map budget and a cache budget — so a hot table could thrash its own
+structures while a cold table's budget sat idle.  With
+``PostgresRawConfig(memory_budget=...)`` every positional-map chunk and
+cache entry of every table is charged against one engine-wide budget,
+and under pressure the governor evicts the item with the lowest
+*benefit per byte* across the whole engine:
+
+* a cache entry's benefit is the conversion time it saves per read
+  (the cost-aware signal the per-table cache already measured);
+* a positional chunk's benefit is the tokenizing time that was spent
+  discovering its offsets — the cost a future query pays again if the
+  chunk is gone.
+
+Both are "seconds saved per byte held", so map chunks and cache columns
+compete in one currency, across tables (the workload-driven partitioning
+observation: what survives should be decided by the *workload*, not by
+which structure happens to own the bytes).  Recency breaks ties, so an
+all-cold engine degrades to global LRU.
+
+Thread safety: the governor's reentrant ``lock`` serializes every
+budget decision *and* every container mutation of the structures bound
+to it (install, extend, evict), so a grant triggered by table A may
+safely evict from table B while B's installer is one lock-acquire away.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class GovernedStructure(Protocol):
+    """What the governor needs from a positional map or cache.
+
+    Structures report inventory as plain ``(token, nbytes,
+    value_density, last_used)`` tuples — keeping :mod:`repro.core` free
+    of any import on this package — and the governor wraps them in
+    :class:`GovernedItem` for arbitration.
+    """
+
+    def governed_bytes(self) -> int:
+        """Bytes currently charged against the global budget."""
+
+    def governed_items(self) -> list[tuple]:
+        """Evictable inventory (pinned state, e.g. line indexes, excluded)."""
+
+    def governed_evict(self, token: object) -> int:
+        """Drop one item by token; returns the bytes freed."""
+
+
+@dataclass
+class GovernedItem:
+    """One evictable unit of adaptive state (a chunk or a cache entry)."""
+
+    structure: "GovernedStructure"
+    token: object
+    nbytes: int
+    value_density: float  # seconds saved per byte held
+    last_used: int
+
+
+class MemoryGovernor:
+    """Arbitrates one byte budget across every registered structure."""
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget_bytes = int(budget_bytes)
+        self.lock = threading.RLock()
+        self._members: list[tuple[str, str, GovernedStructure]] = []
+        self.evictions = 0
+        self.cross_evictions = 0
+        self.rejected_grants = 0
+        self.released_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Membership.
+    # ------------------------------------------------------------------
+
+    def register(
+        self, structure: GovernedStructure, table: str, kind: str
+    ) -> None:
+        with self.lock:
+            self._members.append((table, kind, structure))
+
+    def unregister_table(self, table: str) -> int:
+        """Detach a dropped table's structures; returns bytes released."""
+        with self.lock:
+            freed = sum(
+                s.governed_bytes() for t, _, s in self._members if t == table
+            )
+            self._members = [m for m in self._members if m[0] != table]
+            self.released_bytes += freed
+            return freed
+
+    # ------------------------------------------------------------------
+    # Accounting.
+    # ------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        with self.lock:
+            return sum(s.governed_bytes() for _, _, s in self._members)
+
+    def pressure(self) -> float:
+        if self.budget_bytes <= 0:
+            return 0.0
+        return self.used_bytes / float(self.budget_bytes)
+
+    # ------------------------------------------------------------------
+    # Admission of new bytes.
+    # ------------------------------------------------------------------
+
+    def grant(
+        self,
+        requester: GovernedStructure,
+        nbytes: int,
+        protected: set | None = None,
+    ) -> bool:
+        """May ``requester`` grow by ``nbytes``?  Evicts to make room.
+
+        ``protected`` tokens (interpreted by the requester structure —
+        chunk ids for maps, attribute numbers for caches) are never
+        evicted *from the requester*; other structures are fully up for
+        grabs.  Returns ``False`` — and evicts nothing further — when
+        the bytes cannot fit even after evicting everything evictable.
+        """
+        protected = protected or set()
+        with self.lock:
+            if nbytes > self.budget_bytes:
+                self.rejected_grants += 1
+                return False
+            used = self.used_bytes
+            if used + nbytes <= self.budget_bytes:
+                return True
+            # Build and order the cross-table inventory once; the lock
+            # guarantees it cannot change while we walk it, and eviction
+            # returns the exact bytes freed, so no re-summing per victim.
+            for victim in self._victim_order(requester, protected):
+                used -= victim.structure.governed_evict(victim.token)
+                self.evictions += 1
+                if victim.structure is not requester:
+                    self.cross_evictions += 1
+                if used + nbytes <= self.budget_bytes:
+                    return True
+            self.rejected_grants += 1
+            return False
+
+    def _victim_order(
+        self, requester: GovernedStructure, protected: set
+    ) -> list[GovernedItem]:
+        """Evictable items, cheapest-to-lose first."""
+        candidates: list[GovernedItem] = []
+        for _, _, structure in self._members:
+            for token, nbytes, density, last_used in structure.governed_items():
+                if structure is requester and token in protected:
+                    continue
+                candidates.append(
+                    GovernedItem(structure, token, nbytes, density, last_used)
+                )
+        candidates.sort(
+            key=lambda i: (i.value_density, i.last_used, i.nbytes)
+        )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Introspection (monitoring panel).
+    # ------------------------------------------------------------------
+
+    def residency(self) -> list[dict[str, object]]:
+        """Per-structure residency for the governor panel."""
+        with self.lock:
+            return [
+                {
+                    "table": table,
+                    "kind": kind,
+                    "nbytes": structure.governed_bytes(),
+                    "items": len(structure.governed_items()),
+                }
+                for table, kind, structure in self._members
+            ]
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "budget_bytes": self.budget_bytes,
+            "used_bytes": self.used_bytes,
+            "pressure": round(self.pressure(), 4),
+            "evictions": self.evictions,
+            "cross_evictions": self.cross_evictions,
+            "rejected_grants": self.rejected_grants,
+            "released_bytes": self.released_bytes,
+        }

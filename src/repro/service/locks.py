@@ -1,0 +1,104 @@
+"""Per-table reader-writer locking for the concurrent serving layer.
+
+The adaptive structures are read far more often than they are grown:
+once a positional map or cache covers a table, most queries only *jump*
+through already-built state.  :class:`RWLock` lets any number of such
+readers proceed in parallel while structure installation (tokenizing
+scans, cache/map population, invalidation after a rewrite) takes the
+exclusive write path.
+
+The lock is writer-preferring — a waiting writer blocks new readers —
+so a stream of cheap cache-hit queries cannot starve the scan that
+would make *every* later query cheap.  Contention counters feed the
+monitoring panel (:func:`repro.monitor.render_concurrency_panel`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """A writer-preferring shared/exclusive lock with contention stats."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        # Telemetry (reads are approximate under contention; they are
+        # monitoring data, not synchronization state).
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+        self.read_contentions = 0
+        self.write_contentions = 0
+
+    # ------------------------------------------------------------------
+    # Shared (read) side.
+    # ------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            if self._writer or self._writers_waiting:
+                self.read_contentions += 1
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            self.read_acquisitions += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # Exclusive (write) side.
+    # ------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            if self._writer or self._readers:
+                self.write_contentions += 1
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+            self.write_acquisitions += 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "read_acquisitions": self.read_acquisitions,
+            "write_acquisitions": self.write_acquisitions,
+            "read_contentions": self.read_contentions,
+            "write_contentions": self.write_contentions,
+        }

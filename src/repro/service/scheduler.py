@@ -1,0 +1,100 @@
+"""Query admission control: bounded concurrency, bounded waiting.
+
+The service runs at most ``max_concurrent_queries`` queries at once;
+arrivals beyond that wait in a bounded queue, and once
+``admission_queue_depth`` queries are already waiting, new arrivals are
+rejected immediately with :class:`repro.errors.AdmissionError` instead
+of queueing without bound — under overload, fast rejection beats a
+latency collapse ("heavy traffic" behaves like a loaded server, not
+like a deadlocked one).
+
+One scheduler serves every session of a service; its counters (peaks,
+admissions, rejections) feed the concurrency monitoring panel.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from ..errors import AdmissionError
+
+
+class QueryScheduler:
+    """Counting-semaphore admission control with overload rejection."""
+
+    def __init__(self, max_concurrent: int, queue_depth: int) -> None:
+        self.max_concurrent = max_concurrent
+        self.queue_depth = queue_depth
+        self._slots = threading.Semaphore(max_concurrent)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._active = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.peak_concurrency = 0
+        self.peak_queue_depth = 0
+
+    @contextmanager
+    def slot(self):
+        """Hold one execution slot for the duration of the ``with`` body.
+
+        Raises :class:`AdmissionError` without blocking when no slot is
+        free and the wait queue is already full.
+        """
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                if self._waiting >= self.queue_depth:
+                    self.rejected += 1
+                    raise AdmissionError(
+                        f"service overloaded: {self.max_concurrent} queries "
+                        f"running and {self._waiting} waiting "
+                        f"(admission_queue_depth={self.queue_depth})"
+                    )
+                self._waiting += 1
+                self.peak_queue_depth = max(
+                    self.peak_queue_depth, self._waiting
+                )
+            try:
+                self._slots.acquire()
+            finally:
+                with self._lock:
+                    self._waiting -= 1
+        with self._lock:
+            self._active += 1
+            self.admitted += 1
+            self.peak_concurrency = max(self.peak_concurrency, self._active)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._active -= 1
+                self.completed += 1
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "max_concurrent": self.max_concurrent,
+                "queue_depth": self.queue_depth,
+                "active": self._active,
+                "waiting": self._waiting,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "peak_concurrency": self.peak_concurrency,
+                "peak_queue_depth": self.peak_queue_depth,
+            }

@@ -1,0 +1,456 @@
+"""The concurrent query service: sessions over one shared adaptive state.
+
+The paper's positional maps, caches and statistics accrete as a side
+effect of queries and are most valuable when *shared across the whole
+query stream* — every client's query makes every other client's next
+query cheaper.  :class:`PostgresRawService` is the serving layer that
+makes that sharing safe under concurrency:
+
+* **Sessions** (:class:`Session`) — lightweight per-client handles; any
+  number of threads may hold sessions against one service.
+* **Per-table reader-writer locking** — queries served entirely by
+  already-built structures (cache hits, positional-map jumps) run in
+  parallel under shared locks; scans that must tokenize raw data, and
+  all structure installation, take the exclusive path.  What a read-path
+  query *learns* (converted columns, combination chunks) is harvested
+  into an :class:`repro.core.raw_scan.InstallPlan` and installed under
+  the write lock after the rows are out — readers never mutate shared
+  containers.
+* **Admission control** (:class:`repro.service.scheduler.QueryScheduler`)
+  — at most ``max_concurrent_queries`` queries run at once; a bounded
+  queue smooths bursts and overload is rejected fast.
+* **One recycled scan pool** — parallel chunked scans
+  (:mod:`repro.parallel`) reuse a single engine-wide pool across
+  queries, amortizing thread/fork start-up and bounding total scan
+  parallelism.
+* **Global memory governor** — with ``memory_budget`` set, every
+  table's map chunks and cache entries compete for one budget on
+  benefit-per-byte (:class:`repro.service.governor.MemoryGovernor`).
+
+The classic single-threaded :class:`repro.core.engine.PostgresRaw`
+facade is now a thin wrapper holding one default session, so every
+existing call site keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from pathlib import Path
+
+from ..catalog.catalog import Catalog, RawTableEntry
+from ..catalog.schema import TableSchema
+from ..config import PostgresRawConfig
+from ..core.metrics import BreakdownComponent, QueryMetrics
+from ..core.raw_scan import InstallPlan, RawScan, RawTableState
+from ..core.stats import StatisticsStore
+from ..core.updates import FileChange, detect_change, fingerprint_file
+from ..errors import CatalogError, RawDataError, ServiceError
+from ..executor.result import QueryResult
+from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
+from ..rawio.sniffer import infer_schema
+from ..sql.ast import Expression, SelectStatement
+from ..sql.parser import parse_select
+from ..sql.planner import Planner
+from .governor import MemoryGovernor
+from .locks import RWLock
+from .scheduler import QueryScheduler
+
+
+class Session:
+    """A per-client handle on the shared service.
+
+    Sessions are cheap (no adaptive state of their own — that is the
+    point: all sessions share one set of maps/caches/statistics) and are
+    intended to be used by one client thread each; the service itself is
+    what many threads hammer concurrently.
+    """
+
+    def __init__(self, service: "PostgresRawService", session_id: int) -> None:
+        self.service = service
+        self.session_id = session_id
+        self.queries_issued = 0
+        self.rows_returned = 0
+        self.total_seconds = 0.0
+
+    def query(self, sql: str) -> QueryResult:
+        """Parse, plan and execute one SELECT statement."""
+        return self.execute(parse_select(sql))
+
+    def execute(self, stmt: SelectStatement) -> QueryResult:
+        result = self.service.execute(stmt)
+        self.queries_issued += 1
+        self.rows_returned += len(result)
+        self.total_seconds += result.metrics.total_seconds
+        return result
+
+    def explain(self, sql: str) -> str:
+        return self.service.explain(sql)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(id={self.session_id}, "
+            f"queries={self.queries_issued}, rows={self.rows_returned})"
+        )
+
+
+class PostgresRawService:
+    """A thread-safe in-situ SQL engine serving many sessions."""
+
+    def __init__(self, config: PostgresRawConfig | None = None) -> None:
+        self.config = config or PostgresRawConfig()
+        self.catalog = Catalog()
+        self._states: dict[str, RawTableState] = {}
+        self._table_locks: dict[str, RWLock] = {}
+        self._registry_lock = threading.Lock()
+        self.governor: MemoryGovernor | None = None
+        if self.config.memory_budget is not None:
+            self.governor = MemoryGovernor(self.config.memory_budget)
+        self.scheduler = QueryScheduler(
+            self.config.max_concurrent_queries,
+            self.config.admission_queue_depth,
+        )
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._session_ids = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the recycled scan pool; further queries error."""
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "PostgresRawService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _scan_pool(self):
+        """The engine-wide recycled scan pool (None on the serial path)."""
+        if self.config.scan_workers <= 1:
+            return None
+        with self._pool_lock:
+            if self._pool is None and not self._closed:
+                from ..parallel.pool import ScanPool
+
+                self._pool = ScanPool(
+                    self.config.scan_workers, self.config.parallel_backend
+                )
+            return self._pool
+
+    # ------------------------------------------------------------------
+    # Sessions.
+    # ------------------------------------------------------------------
+
+    def session(self) -> Session:
+        """Open a new client session."""
+        if self._closed:
+            raise ServiceError("cannot open a session on a closed service")
+        return Session(self, next(self._session_ids))
+
+    # ------------------------------------------------------------------
+    # Registration.
+    # ------------------------------------------------------------------
+
+    def register_csv(
+        self,
+        name: str,
+        path: str | Path,
+        schema: TableSchema | None = None,
+        dialect: CsvDialect = DEFAULT_DIALECT,
+    ) -> RawTableEntry:
+        """Register a raw file as a queryable table.
+
+        No data is read (beyond a small sample if ``schema`` is omitted
+        and must be inferred); queries can start immediately.
+        """
+        if schema is None:
+            schema = infer_schema(path, dialect)
+        with self._registry_lock:
+            entry = self.catalog.register_raw(name, schema, path, dialect)
+            state = RawTableState(entry, self.config)
+            if self.governor is not None:
+                state.positional_map.bind_governor(self.governor)
+                state.cache.bind_governor(self.governor)
+                self.governor.register(state.positional_map, name, "map")
+                self.governor.register(state.cache, name, "cache")
+            self._states[name] = state
+            self._table_locks[name] = RWLock()
+        return entry
+
+    def drop_table(self, name: str) -> None:
+        """Unregister a table, releasing its adaptive-state bytes.
+
+        Raises :class:`CatalogError` (never ``KeyError``) when the table
+        is unknown, mirroring :meth:`table_state`.
+        """
+        with self._registry_lock:
+            if name not in self._states:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            lock = self._table_locks[name]
+        with lock.write():
+            with self._registry_lock:
+                self.catalog.drop(name)
+                self._states.pop(name, None)
+                self._table_locks.pop(name, None)
+            if self.governor is not None:
+                self.governor.unregister_table(name)
+
+    def table_state(self, name: str) -> RawTableState:
+        """Adaptive state of a table (positional map, cache, statistics) —
+        what the demo's monitoring panels visualize."""
+        try:
+            return self._states[name]
+        except KeyError:
+            raise CatalogError(f"unknown raw table {name!r}") from None
+
+    def table_lock(self, name: str) -> RWLock:
+        """The table's reader-writer lock (monitoring / tests)."""
+        try:
+            return self._table_locks[name]
+        except KeyError:
+            raise CatalogError(f"unknown raw table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    # ------------------------------------------------------------------
+    # Querying.
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str) -> QueryResult:
+        """Parse, plan and execute one SELECT statement."""
+        return self.execute(parse_select(sql))
+
+    def execute(self, stmt: SelectStatement) -> QueryResult:
+        if self._closed:
+            raise ServiceError("service is closed")
+        with self.scheduler.slot():
+            return self._execute_admitted(stmt)
+
+    def explain(self, sql: str) -> str:
+        """The physical plan as indented text (EXPLAIN)."""
+        stmt = parse_select(sql)
+        metrics = QueryMetrics()
+        plan = self._planner(metrics, []).plan(stmt)
+        return plan.explain()
+
+    def refresh(self, name: str | None = None) -> dict[str, FileChange]:
+        """Force update detection now (instead of before the next query).
+
+        Returns the change detected per table.
+        """
+        names = [name] if name is not None else list(self._states)
+        changes = {}
+        for table in names:
+            state = self.table_state(table)
+            lock = self._table_locks.get(table)
+            if lock is None:
+                continue
+            with lock.write():
+                changes[table] = self._reconcile_file(state, force=True)
+        return changes
+
+    # ------------------------------------------------------------------
+    # Execution internals.
+    # ------------------------------------------------------------------
+
+    def _execute_admitted(self, stmt: SelectStatement) -> QueryResult:
+        metrics = QueryMetrics()
+        metrics.begin()
+
+        tables: list[tuple[str, RawTableState, RWLock]] = []
+        for name in sorted(self._referenced_tables(stmt)):
+            state = self._states.get(name)
+            lock = self._table_locks.get(name)
+            if state is None or lock is None:
+                continue  # planner raises CatalogError with context
+            tables.append((name, state, lock))
+
+        # Phase 1 — reconcile external file changes and tick the LRU
+        # clocks, one short exclusive section per table.
+        for _, state, lock in tables:
+            with lock.write():
+                with metrics.time(BreakdownComponent.NODB):
+                    self._reconcile_file(state)
+                state.begin_query()
+
+        # Phase 2 — plan.  Planning reads schemas and statistics only.
+        scans: list[RawScan] = []
+        planner = self._planner(metrics, scans)
+        plan = planner.plan(stmt)
+
+        # Phase 3 — classify: can every scan be served by already-built
+        # structures?  If so, run under shared locks and defer whatever
+        # the scan learns; otherwise take the exclusive path.
+        read_path = bool(tables) and all(
+            self._covered(scan) for scan in scans
+        )
+
+        deferred: list[tuple[RawScan, InstallPlan]] = []
+        if read_path:
+            self._acquire_all(tables, write=False)
+            # Re-check under the locks: another query's reconcile may
+            # have flagged an append/rewrite between classification and
+            # acquisition.  Once the shared locks are held no writer can
+            # change that verdict (reconcile needs the write lock); a
+            # cross-table governor eviction mid-read merely sends the
+            # scan down its fallback tokenize path, whose results are
+            # deferred like everything else.
+            if not all(self._covered(scan) for scan in scans):
+                self._release_all(tables, write=False)
+                read_path = False
+        if read_path:
+            for scan in scans:
+                scan._install_sink = lambda s, p, acc=deferred: acc.append(
+                    (s, p)
+                )
+            try:
+                batches = list(plan.root.execute())
+            finally:
+                self._release_all(tables, write=False)
+            # Install what the shared-lock scans learned (e.g. columns
+            # converted on the positional-map jump path, combination
+            # chunks) under the exclusive lock, after the rows are out.
+            for scan, install_plan in deferred:
+                if install_plan.empty():
+                    continue
+                lock = self._table_locks.get(scan.state.entry.name)
+                if lock is None:
+                    continue  # table dropped while we were reading
+                with lock.write():
+                    scan._install(install_plan)
+        else:
+            self._acquire_all(tables, write=True)
+            try:
+                batches = list(plan.root.execute())
+            finally:
+                self._release_all(tables, write=True)
+
+        for _, state, _ in tables:
+            metrics.rows_scanned += state.positional_map.n_rows
+
+        result = QueryResult.from_batches(batches, plan.output_types, metrics)
+        metrics.end()
+        metrics.settle_processing()
+        return result
+
+    @staticmethod
+    def _acquire_all(tables, write: bool) -> None:
+        # Tables are pre-sorted by name: a global acquisition order makes
+        # multi-table queries deadlock-free.
+        for _, _, lock in tables:
+            lock.acquire_write() if write else lock.acquire_read()
+
+    @staticmethod
+    def _release_all(tables, write: bool) -> None:
+        for _, _, lock in reversed(tables):
+            lock.release_write() if write else lock.release_read()
+
+    def _covered(self, scan: RawScan) -> bool:
+        """True when a scan cannot touch raw-file structure discovery:
+        bounds are known, nothing is pending, and every needed attribute
+        is served end-to-end by the cache or a positional-map jump."""
+        state = scan.state
+        if not self.config.enable_positional_map:
+            return False  # bounds are rebuilt per scan without the map
+        pm = state.positional_map
+        if state.pending_append or pm.line_bounds is None:
+            return False
+        n_rows = pm.n_rows
+        for attr in scan._needed_attrs:
+            if (
+                self.config.enable_cache
+                and state.cache.coverage_rows(attr) >= n_rows
+            ):
+                continue
+            if pm.coverage_rows(attr) >= n_rows:
+                continue
+            return False
+        return True
+
+    def _planner(self, metrics: QueryMetrics, scans: list[RawScan]) -> Planner:
+        def scan_factory(
+            table: str, columns: list[str], predicate: Expression | None
+        ) -> RawScan:
+            # The service-level config decides scan parallelism and the
+            # adaptive-structure knobs for every scan it plans; the
+            # recycled engine-wide pool is threaded through so parallel
+            # dispatches never rebuild their workers.
+            # table_state (not a bare dict lookup) so a concurrent
+            # drop_table surfaces as CatalogError, never KeyError.
+            scan = RawScan(
+                self.table_state(table),
+                metrics,
+                columns,
+                predicate,
+                config=self.config,
+                pool=self._scan_pool(),
+            )
+            scans.append(scan)
+            return scan
+
+        return Planner(self.catalog, scan_factory, self._stats_provider)
+
+    def _stats_provider(self, table: str) -> StatisticsStore | None:
+        if not self.config.enable_statistics:
+            return None
+        state = self._states.get(table)
+        return state.statistics if state is not None else None
+
+    @staticmethod
+    def _referenced_tables(stmt: SelectStatement) -> list[str]:
+        names = []
+        if stmt.from_table is not None:
+            names.append(stmt.from_table.name)
+        names.extend(j.table.name for j in stmt.joins)
+        return list(dict.fromkeys(names))
+
+    def _reconcile_file(
+        self, state: RawTableState, force: bool = False
+    ) -> FileChange:
+        """Detect external changes to the raw file and reconcile state.
+
+        Appends keep every prefix-shaped structure valid; rewrites drop
+        everything (the file is effectively new).  ``force`` bypasses the
+        ``auto_detect_updates`` knob (explicit :meth:`refresh`).  Callers
+        hold the table's write lock.
+        """
+        path = state.entry.path
+        if state.fingerprint is None:
+            state.fingerprint = fingerprint_file(path)
+            return FileChange.UNCHANGED
+        if not (self.config.auto_detect_updates or force):
+            return FileChange.UNCHANGED
+        change, fingerprint = detect_change(state.fingerprint, path)
+        if change is FileChange.MISSING:
+            raise RawDataError(f"raw file disappeared: {path}")
+        if change is FileChange.APPENDED:
+            state.pending_append = True
+            state.fingerprint = fingerprint
+        elif change is FileChange.REWRITTEN:
+            state.invalidate()
+            state.fingerprint = fingerprint
+        else:
+            state.fingerprint = fingerprint
+        return change
+
+    # ------------------------------------------------------------------
+    # Introspection (monitoring panels).
+    # ------------------------------------------------------------------
+
+    def lock_stats(self) -> dict[str, dict[str, int]]:
+        """Per-table RW-lock acquisition/contention counters."""
+        with self._registry_lock:
+            return {
+                name: lock.stats()
+                for name, lock in sorted(self._table_locks.items())
+            }

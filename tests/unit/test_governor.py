@@ -1,0 +1,191 @@
+"""The global memory governor: one budget across all adaptive state.
+
+Covers the arbitration rules in isolation (caches and positional maps
+bound to one governor, no engine) and the service-level release path
+(``drop_table`` returning bytes to the budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import ColumnVector
+from repro.core.cache import RawDataCache
+from repro.core.positional_map import PositionalMap
+from repro.datatypes import DataType
+from repro.service import MemoryGovernor
+
+
+def vector(n_rows: int) -> ColumnVector:
+    return ColumnVector(
+        DataType.INTEGER,
+        np.arange(n_rows, dtype=np.int64),
+        np.zeros(n_rows, dtype=np.bool_),
+    )
+
+
+def vector_bytes(n_rows: int) -> int:
+    return vector(n_rows).nbytes()
+
+
+def offsets(n_rows: int, n_attrs: int) -> np.ndarray:
+    return np.arange(n_rows * n_attrs, dtype=np.int64).reshape(
+        n_rows, n_attrs
+    )
+
+
+def governed_cache(governor: MemoryGovernor, table: str) -> RawDataCache:
+    cache = RawDataCache(budget_bytes=0)  # silo budget is irrelevant once bound
+    cache.bind_governor(governor)
+    governor.register(cache, table, "cache")
+    return cache
+
+
+def governed_map(governor: MemoryGovernor, table: str) -> PositionalMap:
+    pm = PositionalMap(budget_bytes=0)
+    pm.bind_governor(governor)
+    governor.register(pm, table, "map")
+    return pm
+
+
+class TestGovernorAccounting:
+    def test_used_bytes_tracks_members(self):
+        governor = MemoryGovernor(1 << 20)
+        cache_a = governed_cache(governor, "a")
+        pm_b = governed_map(governor, "b")
+        assert governor.used_bytes == 0
+        cache_a.put(0, vector(100), benefit_seconds=1.0)
+        pm_b.install((0, 1), offsets(100, 2), benefit_seconds=1.0)
+        assert governor.used_bytes == (
+            cache_a.used_bytes + pm_b.used_bytes
+        )
+        assert governor.used_bytes <= governor.budget_bytes
+
+    def test_budget_never_exceeded(self):
+        budget = vector_bytes(100) * 3
+        governor = MemoryGovernor(budget)
+        cache = governed_cache(governor, "a")
+        for attr in range(10):
+            cache.put(attr, vector(100), benefit_seconds=float(attr))
+            assert governor.used_bytes <= budget
+        assert cache.evictions > 0
+
+    def test_oversized_grant_rejected_without_eviction(self):
+        governor = MemoryGovernor(vector_bytes(100))
+        cache = governed_cache(governor, "a")
+        assert cache.put(0, vector(50), benefit_seconds=5.0)
+        before = governor.used_bytes
+        assert not cache.put(1, vector(10_000), benefit_seconds=99.0)
+        assert governor.used_bytes == before  # nothing was evicted for it
+        assert governor.rejected_grants == 1
+        assert cache.peek(0) is not None
+
+    def test_line_bounds_stay_pinned(self):
+        governor = MemoryGovernor(1 << 16)
+        pm = governed_map(governor, "a")
+        pm.set_line_bounds(np.arange(1000, dtype=np.int64))
+        # The tuple-boundary backbone is not governed (matches the
+        # silo-budget engine, which accounts it separately).
+        assert governor.used_bytes == 0
+        assert pm.line_index_bytes > 0
+
+
+class TestEvictionOrdering:
+    def test_lowest_benefit_per_byte_goes_first_across_tables(self):
+        budget = vector_bytes(100) * 2
+        governor = MemoryGovernor(budget)
+        cache_a = governed_cache(governor, "a")
+        cache_b = governed_cache(governor, "b")
+        cache_a.put(0, vector(100), benefit_seconds=10.0)  # dense
+        cache_b.put(0, vector(100), benefit_seconds=0.1)   # sparse
+        # A third column forces one eviction: table B's sparse entry
+        # must be the victim even though table A is the requester's peer.
+        assert cache_a.put(1, vector(100), benefit_seconds=5.0)
+        assert cache_a.peek(0) is not None
+        assert cache_a.peek(1) is not None
+        assert cache_b.peek(0) is None
+        assert governor.cross_evictions == 1
+
+    def test_map_chunks_and_cache_entries_share_one_currency(self):
+        n = 100
+        budget = vector_bytes(n) + offsets(n, 2).nbytes
+        governor = MemoryGovernor(budget)
+        cache = governed_cache(governor, "a")
+        pm = governed_map(governor, "b")
+        pm.install((0, 1), offsets(n, 2), benefit_seconds=0.01)  # sparse map
+        cache.put(0, vector(n), benefit_seconds=10.0)            # dense cache
+        # New dense chunk: the governor should sacrifice the *sparse
+        # chunk*, not the dense cache entry, despite kind differences.
+        installed = pm.install((2, 3), offsets(n, 2), benefit_seconds=8.0)
+        assert installed is not None
+        assert cache.peek(0) is not None
+        assert pm.find_exact((0, 1)) is None
+        assert pm.find_exact((2, 3)) is not None
+
+    def test_recency_breaks_density_ties(self):
+        budget = vector_bytes(100) * 2
+        governor = MemoryGovernor(budget)
+        cache = governed_cache(governor, "a")
+        cache.put(0, vector(100), benefit_seconds=1.0)
+        cache.tick()
+        cache.put(1, vector(100), benefit_seconds=1.0)
+        cache.tick()
+        cache.put(2, vector(100), benefit_seconds=1.0)
+        # Equal densities: the least recently installed/used entry loses.
+        assert cache.peek(0) is None
+        assert cache.peek(1) is not None
+        assert cache.peek(2) is not None
+
+    def test_protected_tokens_survive(self):
+        budget = vector_bytes(100) * 2
+        governor = MemoryGovernor(budget)
+        cache = governed_cache(governor, "a")
+        cache.put(0, vector(100), benefit_seconds=0.0)  # worst density
+        cache.put(1, vector(100), benefit_seconds=9.0)
+        # Requesting room while protecting attr 0 must evict attr 1
+        # (the only unprotected candidate), not the protected one.
+        assert cache.put(
+            2, vector(100), protected={0}, benefit_seconds=1.0
+        )
+        assert cache.peek(0) is not None
+        assert cache.peek(1) is None
+
+
+class TestRelease:
+    def test_unregister_table_returns_bytes(self):
+        governor = MemoryGovernor(1 << 20)
+        cache_a = governed_cache(governor, "a")
+        cache_b = governed_cache(governor, "b")
+        cache_a.put(0, vector(200), benefit_seconds=1.0)
+        cache_b.put(0, vector(100), benefit_seconds=1.0)
+        freed = governor.unregister_table("a")
+        assert freed == vector_bytes(200)
+        assert governor.used_bytes == vector_bytes(100)
+        assert governor.released_bytes == freed
+        assert all(r["table"] == "b" for r in governor.residency())
+
+    def test_drop_table_releases_and_raises_catalog_error(
+        self, small_csv
+    ):
+        from repro import PostgresRawConfig, PostgresRawService
+        from repro.errors import CatalogError
+
+        path, schema = small_csv
+        service = PostgresRawService(
+            PostgresRawConfig(memory_budget=64 * 1024 * 1024)
+        )
+        service.register_csv("t", path, schema)
+        session = service.session()
+        session.query("SELECT a0, a1 FROM t WHERE a2 < 500000")
+        assert service.governor.used_bytes > 0
+        service.drop_table("t")
+        assert service.governor.used_bytes == 0
+        with pytest.raises(CatalogError):
+            service.drop_table("t")
+        with pytest.raises(CatalogError):
+            service.table_state("t")
+        # The name is free again.
+        service.register_csv("t", path, schema)
+        assert len(session.query("SELECT a0 FROM t WHERE a0 >= 0")) > 0
+        service.close()

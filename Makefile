@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-parallel bench-concurrent stress verify
+.PHONY: test smoke bench bench-parallel bench-concurrent bench-streaming \
+	stress verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +23,12 @@ bench-parallel:
 
 bench-concurrent:
 	$(PYTHON) -m pytest benchmarks/bench_concurrent_throughput.py \
+		--benchmark-only --import-mode=importlib -q -s
+
+# Time-to-first-batch + peak-RSS contrast of the streaming query path
+# against full materialization on a cold parallel scan (asserts both).
+bench-streaming:
+	$(PYTHON) -m pytest benchmarks/bench_streaming.py \
 		--benchmark-only --import-mode=importlib -q -s
 
 # Heavier threaded stress run of the concurrent serving layer (the

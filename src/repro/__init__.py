@@ -70,6 +70,10 @@ from .errors import (
     AdmissionError,
     CatalogError,
     ConversionError,
+    CursorClosedError,
+    CursorError,
+    CursorInvalidError,
+    CursorTimeoutError,
     ExecutionError,
     PlanningError,
     RawDataError,
@@ -79,7 +83,7 @@ from .errors import (
     SQLSyntaxError,
     StorageError,
 )
-from .executor import QueryResult
+from .executor import Cursor, QueryResult
 from .service import (
     MemoryGovernor,
     PostgresRawService,
@@ -116,6 +120,10 @@ __all__ = [
     "AdmissionError",
     "CatalogError",
     "ConversionError",
+    "CursorClosedError",
+    "CursorError",
+    "CursorInvalidError",
+    "CursorTimeoutError",
     "ExecutionError",
     "PlanningError",
     "RawDataError",
@@ -124,6 +132,7 @@ __all__ = [
     "ServiceError",
     "SQLSyntaxError",
     "StorageError",
+    "Cursor",
     "QueryResult",
     "MemoryGovernor",
     "PostgresRawService",

@@ -123,6 +123,14 @@ class PostgresRawConfig:
     #: separate processes — the CPU-scalable choice for cold scans).
     parallel_backend: str = "thread"
 
+    #: In-flight window of the streaming chunk merge: how many chunk
+    #: results may exist at once (dispatched to workers or finished but
+    #: not yet folded into the shared state).  ``None`` (the default)
+    #: means ``2 * scan_workers`` — enough to keep every worker busy
+    #: while the merge consumes.  Peak additional memory of a parallel
+    #: scan is O(window x chunk) instead of O(result set).
+    parallel_inflight_chunks: int | None = None
+
     #: Engine-wide byte budget for *all* adaptive state (every table's
     #: positional-map chunks and cache entries together), arbitrated by
     #: the :class:`repro.service.MemoryGovernor` using the cost-aware
@@ -140,6 +148,30 @@ class PostgresRawConfig:
     #: service rejects new arrivals with
     #: :class:`repro.errors.AdmissionError`.
     admission_queue_depth: int = 64
+
+    #: Capacity (in batches) of the bounded handoff queue between a
+    #: streaming query's producing scan and its :class:`Cursor`.  The
+    #: producer runs at most this many batches ahead of the consumer,
+    #: so an open cursor holds O(stream_queue_batches x batch) memory
+    #: regardless of result-set size.
+    stream_queue_batches: int = 8
+
+    #: How long (seconds) a streaming query's producer waits for a slow
+    #: cursor consumer to make room in the handoff queue before
+    #: abandoning the query: locks are released, whatever the scan had
+    #: learned so far is installed, and the consumer receives a
+    #: :class:`repro.errors.CursorTimeoutError` once the already-queued
+    #: batches are drained.  ``None`` disables the timeout (an idle
+    #: cursor then holds its shared table locks indefinitely).
+    cursor_ttl_s: float | None = 60.0
+
+    #: Half-life (seconds) for decaying the ``benefit_seconds`` signal
+    #: of governed structures: a positional chunk or cache entry that
+    #: has not been touched for one half-life counts at half its
+    #: measured benefit-per-byte in the governor's eviction ordering, so
+    #: stale-but-expensive structures age out in favor of recently
+    #: useful ones.  ``None`` (the default) keeps benefit undecayed.
+    benefit_half_life_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.positional_map_budget < 0:
@@ -172,6 +204,19 @@ class PostgresRawConfig:
             raise BudgetError("max_concurrent_queries must be >= 1")
         if self.admission_queue_depth < 0:
             raise BudgetError("admission_queue_depth must be >= 0")
+        if (
+            self.parallel_inflight_chunks is not None
+            and self.parallel_inflight_chunks < 1
+        ):
+            raise BudgetError(
+                "parallel_inflight_chunks must be >= 1 (or None for auto)"
+            )
+        if self.stream_queue_batches < 1:
+            raise BudgetError("stream_queue_batches must be >= 1")
+        if self.cursor_ttl_s is not None and self.cursor_ttl_s <= 0:
+            raise BudgetError("cursor_ttl_s must be > 0 (or None)")
+        if self.benefit_half_life_s is not None and self.benefit_half_life_s <= 0:
+            raise BudgetError("benefit_half_life_s must be > 0 (or None)")
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.

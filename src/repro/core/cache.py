@@ -29,8 +29,9 @@ Faithful properties:
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..batch import ColumnVector
 from ..errors import ReproError
@@ -52,6 +53,10 @@ class CacheEntry:
     last_used: int = 0
     nbytes: int = 0
     benefit_seconds: float = 0.0
+    #: Wall-clock of the last touch — clocks tick per *query* and per
+    #: table, so cross-table benefit decay (the governor's half-life)
+    #: needs a shared time base.
+    last_used_ts: float = field(default_factory=time.monotonic)
 
     def __post_init__(self) -> None:
         if self.nbytes == 0:
@@ -104,8 +109,9 @@ class RawDataCache:
     def governed_bytes(self) -> int:
         return self.used_bytes
 
-    def governed_items(self) -> list[tuple[object, int, float, int]]:
-        """Evictable inventory: ``(token, nbytes, density, last_used)``.
+    def governed_items(self) -> list[tuple[object, int, float, int, float]]:
+        """Evictable inventory:
+        ``(token, nbytes, density, last_used, last_used_ts)``.
 
         The token is the attribute number; density is the cost-aware
         conversion-seconds-saved-per-byte signal, the same currency the
@@ -113,7 +119,7 @@ class RawDataCache:
         both structure kinds.
         """
         return [
-            (attr, e.nbytes, e.value_density, e.last_used)
+            (attr, e.nbytes, e.value_density, e.last_used, e.last_used_ts)
             for attr, e in list(self._entries.items())
         ]
 
@@ -150,6 +156,7 @@ class RawDataCache:
         entry = self._entries.get(attr)
         if entry is not None:
             entry.last_used = self._clock
+            entry.last_used_ts = time.monotonic()
         return entry
 
     def peek(self, attr: int) -> CacheEntry | None:
@@ -174,6 +181,7 @@ class RawDataCache:
             existing = self._entries.get(attr)
             if existing is not None and existing.rows >= len(vector):
                 existing.last_used = self._clock
+                existing.last_used_ts = time.monotonic()
                 return True
             entry = CacheEntry(
                 attr,
@@ -207,6 +215,7 @@ class RawDataCache:
             entry.vector = ColumnVector.concat([entry.vector, tail])
             entry.nbytes += extra
             entry.last_used = self._clock
+            entry.last_used_ts = time.monotonic()
             return True
 
     def _fits(self, nbytes: int, protected: set[int]) -> bool:

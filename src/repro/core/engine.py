@@ -43,7 +43,7 @@ from pathlib import Path
 from ..catalog.catalog import Catalog, RawTableEntry
 from ..catalog.schema import TableSchema
 from ..config import PostgresRawConfig
-from ..executor.result import QueryResult
+from ..executor.result import Cursor, QueryResult
 from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
 from ..sql.ast import SelectStatement
 from .raw_scan import RawTableState
@@ -128,11 +128,30 @@ class PostgresRaw:
     # ------------------------------------------------------------------
 
     def query(self, sql: str) -> QueryResult:
-        """Parse, plan and execute one SELECT statement."""
+        """Parse, plan and execute one SELECT statement.
+
+        Materialized convenience form — internally this is
+        :meth:`query_stream` drained by ``fetchall()``.
+        """
         return self._session.query(sql)
 
     def execute(self, stmt: SelectStatement) -> QueryResult:
         return self._session.execute(stmt)
+
+    def query_stream(self, sql: str) -> Cursor:
+        """Parse, plan and *stream* one SELECT statement.
+
+        Returns a lazy :class:`repro.executor.Cursor`: batches flow
+        from the scan as they are produced (``metrics.time_to_first_batch``
+        is stamped when the first one arrives) instead of materializing
+        the result.  Exhaust or ``close()`` the cursor promptly — it
+        holds the table's shared lock while open (``cursor_ttl_s``
+        bounds a stalled consumer).
+        """
+        return self._session.cursor(sql)
+
+    def execute_stream(self, stmt: SelectStatement) -> Cursor:
+        return self._session.execute_stream(stmt)
 
     def explain(self, sql: str) -> str:
         """The physical plan as indented text (EXPLAIN)."""

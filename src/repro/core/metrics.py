@@ -68,6 +68,12 @@ class QueryMetrics:
     nodb_seconds: float = 0.0
     total_seconds: float = 0.0
 
+    #: Wall-clock seconds from :meth:`begin` until the first result
+    #: batch reached the consumer (the streaming path's headline
+    #: number).  ``None`` until a first batch is delivered; for an
+    #: incremental scan this is far below ``total_seconds``.
+    time_to_first_batch: float | None = None
+
     bytes_read: int = 0
     rows_scanned: int = 0
     fields_tokenized: int = 0
@@ -106,6 +112,11 @@ class QueryMetrics:
         if self._start is not None:
             self.total_seconds = time.perf_counter() - self._start
             self._start = None
+
+    def mark_first_batch(self) -> None:
+        """Record time-to-first-batch (idempotent; needs an open begin())."""
+        if self._start is not None and self.time_to_first_batch is None:
+            self.time_to_first_batch = time.perf_counter() - self._start
 
     def component_seconds(self) -> dict[str, float]:
         """The Figure 3 stack as an ordered dict."""

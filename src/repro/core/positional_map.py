@@ -40,6 +40,7 @@ snapshots, so concurrent readers never observe a half-applied change.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -63,6 +64,10 @@ class PositionalChunk:
     offsets: np.ndarray
     last_used: int = 0
     benefit_seconds: float = 0.0
+    #: Wall-clock of the last touch — the shared time base the global
+    #: governor's benefit half-life decays against (per-table LRU
+    #: clocks are not comparable across tables).
+    last_used_ts: float = field(default_factory=time.monotonic)
 
     def __post_init__(self) -> None:
         if tuple(sorted(self.attrs)) != self.attrs:
@@ -145,10 +150,11 @@ class PositionalMap:
         backbone state and stays exempt, exactly as with the local silo)."""
         return self.used_bytes
 
-    def governed_items(self) -> list[tuple[object, int, float, int]]:
-        """Evictable inventory: ``(token, nbytes, density, last_used)``."""
+    def governed_items(self) -> list[tuple[object, int, float, int, float]]:
+        """Evictable inventory:
+        ``(token, nbytes, density, last_used, last_used_ts)``."""
         return [
-            (id(c), c.nbytes, c.value_density, c.last_used)
+            (id(c), c.nbytes, c.value_density, c.last_used, c.last_used_ts)
             for c in self._chunks
         ]
 
@@ -203,6 +209,7 @@ class PositionalMap:
 
     def touch(self, chunk: PositionalChunk) -> None:
         chunk.last_used = self._clock
+        chunk.last_used_ts = time.monotonic()
 
     def chunks(self) -> list[PositionalChunk]:
         return list(self._chunks)

@@ -77,3 +77,25 @@ class AdmissionError(ServiceError):
     """A query was rejected by admission control: the service is at
     ``max_concurrent_queries`` and the wait queue is already
     ``admission_queue_depth`` deep."""
+
+
+class CursorError(ServiceError):
+    """A streaming cursor could not deliver (more of) its result."""
+
+
+class CursorClosedError(CursorError):
+    """Rows were requested from a cursor that was already closed."""
+
+
+class CursorInvalidError(CursorError):
+    """The table(s) a cursor was opened against were dropped or
+    rewritten before the producing scan could serve it — the rows the
+    cursor would have returned describe state that no longer exists."""
+
+
+class CursorTimeoutError(CursorError):
+    """The cursor's consumer was too slow: the producing scan waited
+    longer than ``cursor_ttl_s`` for room in the handoff queue and
+    abandoned the query (releasing its table locks).  Batches produced
+    before the abandonment are still delivered; this error follows
+    them."""

@@ -19,7 +19,7 @@ from .operators import (
     Limit,
     Distinct,
 )
-from .result import QueryResult
+from .result import Cursor, QueryResult
 
 __all__ = [
     "evaluate",
@@ -35,5 +35,6 @@ __all__ = [
     "Sort",
     "Limit",
     "Distinct",
+    "Cursor",
     "QueryResult",
 ]

@@ -1,14 +1,199 @@
-"""Query results: materialized rows plus the execution metrics that the
-demo's monitoring panels visualize."""
+"""Query results: a lazy :class:`Cursor` streaming batches to the
+client, and the materialized :class:`QueryResult` built from one
+(``cursor.fetchall()``) — plus the execution metrics that the demo's
+monitoring panels visualize."""
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..batch import Batch
 from ..core.metrics import QueryMetrics
 from ..datatypes import DataType, days_to_date
-from ..errors import ExecutionError
+from ..errors import CursorClosedError, ExecutionError
+
+
+def batch_rows(batch: Batch, names: list[str]) -> list[tuple]:
+    """One batch's rows as tuples, columns ordered by ``names``."""
+    ordered = [batch.column(n).to_pylist() for n in names]
+    return list(zip(*ordered))
+
+
+class Cursor:
+    """A lazy result: batches are pulled from the producing scan on
+    demand instead of being materialized up front.
+
+    The executor is batch-at-a-time all the way down; the cursor is the
+    client-facing end of that pipeline.  Consumption styles:
+
+    * :meth:`batches` — iterate raw :class:`Batch` objects (cheapest);
+    * ``for row in cursor`` / :meth:`fetchone` / :meth:`fetchmany` —
+      row-at-a-time, DB-API style;
+    * :meth:`fetchall` — drain into a materialized
+      :class:`QueryResult` (what the classic ``query()`` API returns).
+
+    ``metrics.time_to_first_batch`` is stamped when the first batch
+    reaches the consumer; ``metrics.end()`` fires when the cursor is
+    exhausted or closed, so ``total_seconds`` covers the full stream.
+    Always :meth:`close` (or exhaust, or use as a context manager) a
+    cursor opened against the concurrent service — the producing scan
+    holds shared table locks until then.
+    """
+
+    def __init__(
+        self,
+        column_names: list[str],
+        column_types: list[DataType],
+        batches: Iterator[Batch],
+        metrics: QueryMetrics | None = None,
+        on_close: "Callable[[Cursor], None] | None" = None,
+    ) -> None:
+        self.column_names = list(column_names)
+        self.column_types = list(column_types)
+        self.metrics = metrics or QueryMetrics()
+        self._batches = batches
+        self._pending: list[tuple] = []  # rows decoded, not yet fetched
+        self._on_close = on_close
+        self.closed = False
+        self.exhausted = False
+        self.batches_fetched = 0
+        self.rows_fetched = 0
+
+    # ------------------------------------------------------------------
+    # Batch-level consumption.
+    # ------------------------------------------------------------------
+
+    def _next_batch(self) -> Batch | None:
+        """Pull the next batch; ``None`` at end of stream.
+
+        An error from the producing side (e.g. ``CursorTimeoutError``,
+        a mid-scan ``RawDataError``) finishes the cursor and propagates.
+        """
+        if self.closed:
+            raise CursorClosedError("cursor is closed")
+        if self.exhausted:
+            return None
+        try:
+            batch = next(self._batches)
+        except StopIteration:
+            self._finish()
+            return None
+        except BaseException:
+            self._finish()
+            raise
+        self.metrics.mark_first_batch()
+        self.batches_fetched += 1
+        # Counted at the stream, not at delivery: exhaustion fires the
+        # on_close accounting while rows may still sit in the row-level
+        # buffer, and batch-level consumers never call the row APIs.
+        self.rows_fetched += batch.num_rows
+        return batch
+
+    def batches(self) -> Iterator[Batch]:
+        """Iterate the remaining batches (row-level buffers excluded:
+        rows already pulled via ``fetchone``/``fetchmany`` stay with the
+        row-level API — don't mix the two styles mid-batch)."""
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            yield batch
+
+    # ------------------------------------------------------------------
+    # Row-level consumption (DB-API flavored).
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def fetchone(self) -> tuple | None:
+        rows = self.fetchmany(1)
+        return rows[0] if rows else None
+
+    def fetchmany(self, n: int) -> list[tuple]:
+        """Up to ``n`` rows; fewer only at end of stream."""
+        if n < 0:
+            raise ExecutionError(f"fetchmany needs n >= 0, got {n}")
+        while len(self._pending) < n:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            self._pending.extend(batch_rows(batch, self.column_names))
+        out, self._pending = self._pending[:n], self._pending[n:]
+        return out
+
+    def fetchall(self) -> "QueryResult":
+        """Drain the stream into a materialized :class:`QueryResult`."""
+        rows = self._pending
+        self._pending = []
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            rows.extend(batch_rows(batch, self.column_names))
+        return QueryResult(
+            self.column_names, self.column_types, rows, self.metrics
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def _finish(self) -> None:
+        """End of stream (natural or error): settle metrics, notify."""
+        if self.exhausted:
+            return
+        self.exhausted = True
+        self.metrics.end()
+        self.metrics.settle_processing()
+        if self._on_close is not None:
+            callback, self._on_close = self._on_close, None
+            callback(self)
+
+    def close(self) -> None:
+        """Abandon the stream (idempotent).
+
+        Closes the producing side — under the concurrent service that
+        releases the shared table locks and still installs whatever the
+        scan learned up to this point.
+        """
+        if self.closed:
+            return
+        closer = getattr(self._batches, "close", None)
+        if closer is not None:
+            closer()
+        self._finish()
+        self.closed = True
+        self._pending = []
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: leaked cursors release locks
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = (
+            "closed"
+            if self.closed
+            else "exhausted"
+            if self.exhausted
+            else "open"
+        )
+        return (
+            f"Cursor({', '.join(self.column_names)}; {state}, "
+            f"{self.rows_fetched} rows fetched)"
+        )
 
 
 class QueryResult:
@@ -36,8 +221,7 @@ class QueryResult:
         names = list(types)
         rows: list[tuple] = []
         for batch in batches:
-            ordered = [batch.column(n).to_pylist() for n in names]
-            rows.extend(zip(*ordered))
+            rows.extend(batch_rows(batch, names))
         return cls(names, [types[n] for n in names], rows, metrics)
 
     def __len__(self) -> int:

@@ -88,8 +88,11 @@ def render_governor_panel(service: PostgresRawService, width: int = 40) -> str:
 
 
 def render_concurrency_panel(service: PostgresRawService) -> str:
-    """Scheduler occupancy and per-table lock contention as text."""
+    """Scheduler occupancy, streaming cursors and lock contention."""
     sched = service.scheduler.stats()
+    cursors = service.cursor_stats()
+    avg_ttfb = cursors["avg_ttfb_s"]
+    last_ttfb = cursors["last_ttfb_s"]
     lines = [
         "=== Concurrency ===",
         (
@@ -101,6 +104,20 @@ def render_concurrency_panel(service: PostgresRawService) -> str:
         (
             f"admitted: {sched['admitted']}  completed: {sched['completed']}"
             f"  rejected: {sched['rejected']}"
+        ),
+        (
+            f"cursors: {cursors['open']} open / {cursors['opened']} opened"
+            f"  (finished: {cursors['finished']}, "
+            f"abandoned: {cursors['abandoned']})"
+        ),
+        (
+            "time-to-first-batch: "
+            + (
+                f"{avg_ttfb * 1000:.1f} ms avg / "
+                f"{last_ttfb * 1000:.1f} ms last"
+                if avg_ttfb is not None and last_ttfb is not None
+                else "(no batches streamed yet)"
+            )
         ),
         "",
         "per-table lock traffic (shared/exclusive, waits in parens):",

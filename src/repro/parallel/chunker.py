@@ -43,16 +43,26 @@ class ChunkSpec:
         return self.end - self.start
 
 
-def chunk_count(total_size: int, target_chunk_size: int, cap: int) -> int:
+def chunk_count(
+    total_size: int, target_chunk_size: int, cap: int | None
+) -> int:
     """How many chunks to cut ``total_size`` into.
 
-    At most ``cap`` (one per worker), and never so many that chunks fall
-    below ``target_chunk_size`` — the knob that keeps dispatch overhead
-    amortized.  Anything smaller than two target chunks stays whole.
+    Never so many that chunks fall below ``target_chunk_size`` — the
+    knob that keeps dispatch overhead amortized; anything smaller than
+    two target chunks stays whole.  ``cap`` limits the count (one per
+    worker — the right shape when every result is collected before the
+    merge); ``None`` means uncapped, the *streaming* shape: many
+    target-sized chunks flow through the bounded in-flight window, so
+    the first chunk — and with it the first result batch — completes
+    after ~one chunk's work instead of ~1/workers of the whole scan.
     """
     if total_size <= 0 or target_chunk_size <= 0:
         return 1
-    return max(1, min(cap, total_size // target_chunk_size))
+    n = total_size // target_chunk_size
+    if cap is not None:
+        n = min(cap, n)
+    return max(1, n)
 
 
 def _specs_from_cuts(cuts: list[int]) -> list[ChunkSpec]:
@@ -67,7 +77,7 @@ def _specs_from_cuts(cuts: list[int]) -> list[ChunkSpec]:
 
 
 def plan_file_chunks(
-    path: str | Path, target_chunk_bytes: int, max_chunks: int
+    path: str | Path, target_chunk_bytes: int, max_chunks: int | None
 ) -> list[ChunkSpec]:
     """Split ``path`` into newline-aligned byte-range chunks.
 

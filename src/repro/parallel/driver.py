@@ -1,5 +1,15 @@
 """Routing and orchestration of parallel chunked raw scans.
 
+Chunk results **stream** through an ordered merge: the pool dispatches
+chunks with a bounded in-flight window (:meth:`inflight_window`,
+``parallel_inflight_chunks``), each chunk's batches are yielded the
+moment the chunk is the next in row order, and its positional-map /
+cache / statistics contributions are folded into the scan's collectors
+incrementally (:func:`repro.parallel.merge.stitch_one`) — so a parallel
+cold scan's peak additional memory is O(window x chunk), not
+O(result set), and the first batch reaches the consumer while later
+chunks are still being scanned.
+
 Two scan shapes go through the pool (everything else stays serial):
 
 * **Cold scans, process backend** (:meth:`ParallelScanDriver.run_cold`)
@@ -30,13 +40,13 @@ scan is the degenerate case and stays byte-identical.
 from __future__ import annotations
 
 import os
-from typing import Iterator, TYPE_CHECKING
+from typing import Iterable, Iterator, TYPE_CHECKING
 
 from ..batch import Batch
-from ..core.metrics import Stopwatch
+from ..core.metrics import QueryMetrics, Stopwatch
 from ..errors import RawDataError
 from .chunker import chunk_count, plan_file_chunks
-from .merge import check_chunk_rows, merge_line_bounds, stitch_results
+from .merge import LineBoundsAccumulator, stitch_one
 from .pool import ScanPool
 from .worker import ChunkResult, ChunkTask, scan_chunk
 
@@ -135,55 +145,70 @@ class ParallelScanDriver:
         """Single-pass byte-chunked cold scan (process backend only).
 
         Workers read, decode, line-index and scan their own byte ranges
-        — no shared decoded content exists at all.  Results, line
-        bounds and the merged positional map are exactly the serial
-        scan's; under a selective predicate the *cache* may hold a
-        different (equally valid) prefix of the projection columns,
+        — no shared decoded content exists at all.  Chunk results
+        *stream* through an ordered merge: each chunk's batches are
+        yielded (and the result dropped) as soon as it is the next in
+        row order, with at most the in-flight window of results alive —
+        peak memory is O(window x chunk), not O(result set).  Results,
+        line bounds and the merged positional map are exactly the
+        serial scan's; under a selective predicate the *cache* may hold
+        a different (equally valid) prefix of the projection columns,
         because selective tuple formation decides per chunk-local batch.
         """
         scan, state, cfg = self.scan, self.state, self.config
         path = state.entry.path
-        specs = plan_file_chunks(
-            path, cfg.parallel_chunk_bytes, cfg.scan_workers
-        )
-        tasks = []
-        for spec in specs:
-            task = self._base_task(spec.index, first_chunk=spec.index == 0)
-            task.path = str(path)
-            task.byte_start = spec.start
-            task.byte_end = spec.end
-            tasks.append(task)
+        # Uncapped chunk count (streaming shape): target-sized chunks
+        # flow through the window, so the first batch arrives after ~one
+        # chunk's work instead of ~1/workers of the scan.
+        specs = plan_file_chunks(path, cfg.parallel_chunk_bytes, None)
 
-        results = self._dispatch(tasks)
-        n_total = check_chunk_rows(results, expected=None)
+        def tasks() -> Iterator[ChunkTask]:
+            for spec in specs:
+                task = self._base_task(spec.index, first_chunk=spec.index == 0)
+                task.path = str(path)
+                task.byte_start = spec.start
+                task.byte_end = spec.end
+                yield task
 
-        bounds = merge_line_bounds(results)
-        if len(bounds) - 1 != n_total:
-            raise RawDataError(
-                f"merged line index has {len(bounds) - 1} rows, "
-                f"chunks scanned {n_total}"
-            )
-        scan._bounds = bounds
-        if cfg.enable_positional_map:
-            state.positional_map.set_line_bounds(bounds)
-            state.pending_append = False
-        if cfg.enable_statistics:
-            state.statistics.set_row_estimate(n_total)
-
-        row_bases, char_bases = [], []
-        rows = chars = 0
-        for res in results:
-            row_bases.append(rows)
-            char_bases.append(chars)
-            rows += res.n_rows
-            chars += res.n_chars
-        stitch_results(scan, results, row_bases, char_bases)
-        self._account(results, cold=True)
+        bounds_acc = LineBoundsAccumulator()
+        worker_metrics: list[QueryMetrics] = []
+        watch = Stopwatch()
+        row_base = char_base = 0
         try:
-            for res in results:
+            for res in self._stream(tasks()):
+                bounds_acc.add(res)
+                stitch_one(scan, res, row_base, char_base)
+                worker_metrics.append(res.metrics)
+                row_base += res.n_rows
+                char_base += res.n_chars
                 yield from res.batches
+            # Every chunk consumed: install the merged line index.  An
+            # abandoned scan (consumer closed the cursor mid-stream)
+            # skips this — a partial index would silently truncate the
+            # table — but the finally below still installs the
+            # collected row-prefix structures, as a serial LIMIT
+            # abandonment does.
+            bounds = bounds_acc.materialize()
+            if len(bounds) - 1 != row_base:
+                # The chunks disagree with their own line indexes (file
+                # changed mid-scan): poison the harvest so the finally
+                # below installs nothing built from inconsistent chunks.
+                scan._span_collectors.clear()
+                scan._cache_collectors.clear()
+                raise RawDataError(
+                    f"merged line index has {len(bounds) - 1} rows, "
+                    f"chunks scanned {row_base}"
+                )
+            scan._bounds = bounds
+            if cfg.enable_positional_map:
+                state.positional_map.set_line_bounds(bounds)
+                state.pending_append = False
+            if cfg.enable_statistics:
+                state.statistics.set_row_estimate(row_base)
         finally:
-            scan._finalize(n_total)
+            self._wall = watch.elapsed()
+            self._account(worker_metrics, cold=True)
+            scan._finalize(row_base)
 
     # ------------------------------------------------------------------
     # Unmapped-tail scan.
@@ -196,9 +221,8 @@ class ParallelScanDriver:
         batch = cfg.batch_size
 
         tail_chars = int(bounds[n_rows] - bounds[tail_from])
-        n_chunks = chunk_count(
-            tail_chars, cfg.parallel_chunk_bytes, cfg.scan_workers
-        )
+        # Uncapped chunk count (streaming shape) — see run_cold.
+        n_chunks = chunk_count(tail_chars, cfg.parallel_chunk_bytes, None)
         # Row cuts land on global batch_size multiples so worker-local
         # batches coincide with the serial scan's batches exactly.
         total_batches = -(-(n_rows - tail_from) // batch)
@@ -212,10 +236,12 @@ class ParallelScanDriver:
         # decoded content string and numpy views, with offsets left in
         # file coordinates (char base 0) — no per-chunk copies, so peak
         # memory stays ~1x the file.  Process tasks must be shipped, so
-        # they carry rebased slices instead.
+        # they carry rebased slices instead; building tasks lazily (the
+        # streaming dispatch pulls them as the window frees up) bounds
+        # how many of those text copies exist at once.
         share = cfg.parallel_backend == "thread"
-        tasks = []
-        for i, (r0, r1) in enumerate(zip(cuts[:-1], cuts[1:])):
+
+        def make_task(i: int, r0: int, r1: int) -> ChunkTask:
             c0 = 0 if share else int(bounds[r0])
             task = self._base_task(i, first_chunk=False)
             task.path = str(state.entry.path)
@@ -237,30 +263,36 @@ class ParallelScanDriver:
                 )
                 for c in anchors
             ]
-            tasks.append(task)
+            return task
 
-        results = self._dispatch(tasks)
-        expected = [r1 - r0 for r0, r1 in zip(cuts[:-1], cuts[1:])]
-        check_chunk_rows(results, expected)
-        # Refresh recency only for anchors some worker actually jumped
-        # from — exactly the chunks the serial scan would have touched —
-        # so LRU eviction under budget pressure stays serial-identical.
-        used = set()
-        for res in results:
-            used.update(res.anchors_used)
-        for i in used:
-            state.positional_map.touch(anchors[i])
-        stitch_results(
-            scan,
-            results,
-            row_bases=cuts[:-1],
-            char_bases=[
-                0 if share else int(bounds[r0]) for r0 in cuts[:-1]
-            ],
-        )
-        self._account(results)
-        for res in results:
-            yield from res.batches
+        def tasks() -> Iterator[ChunkTask]:
+            for i, (r0, r1) in enumerate(zip(cuts[:-1], cuts[1:])):
+                yield make_task(i, r0, r1)
+
+        worker_metrics: list[QueryMetrics] = []
+        watch = Stopwatch()
+        try:
+            for i, res in enumerate(self._stream(tasks())):
+                r0, r1 = cuts[i], cuts[i + 1]
+                if res.n_rows != r1 - r0:
+                    raise RawDataError(
+                        f"chunk {i} scanned {res.n_rows} rows, expected "
+                        f"{r1 - r0} (file changed mid-scan?)"
+                    )
+                # Refresh recency only for anchors this worker actually
+                # jumped from — exactly the chunks the serial scan would
+                # have touched — so LRU eviction under budget pressure
+                # stays serial-identical.
+                for anchor_idx in res.anchors_used:
+                    state.positional_map.touch(anchors[anchor_idx])
+                stitch_one(
+                    scan, res, r0, 0 if share else int(bounds[r0])
+                )
+                worker_metrics.append(res.metrics)
+                yield from res.batches
+        finally:
+            self._wall = watch.elapsed()
+            self._account(worker_metrics)
 
     # ------------------------------------------------------------------
     # Shared plumbing.
@@ -285,29 +317,36 @@ class ParallelScanDriver:
             first_chunk=first_chunk,
         )
 
-    def _dispatch(self, tasks: list[ChunkTask]) -> list[ChunkResult]:
-        watch = Stopwatch()
+    def inflight_window(self) -> int:
+        """How many chunk results may be in flight or awaiting merge."""
+        override = self.config.parallel_inflight_chunks
+        if override is not None:
+            return max(override, 1)
+        return 2 * self.config.scan_workers
+
+    def _stream(
+        self, tasks: Iterable[ChunkTask]
+    ) -> Iterator[ChunkResult]:
+        """Ordered streaming dispatch with a bounded in-flight window."""
+        window = self.inflight_window()
         pool = self.scan.pool
         if pool is not None:
             # Engine-owned recycled pool: worker threads/processes are
             # amortized across every query of the stream.
-            results = pool.run(scan_chunk, tasks)
+            yield from pool.run_streaming(scan_chunk, tasks, window)
         else:
             # Stand-alone scan (no engine pool): ephemeral pool, torn
             # down with the dispatch as in the pre-service engine.
             with ScanPool(
                 self.config.scan_workers, self.config.parallel_backend
             ) as ephemeral:
-                results = ephemeral.run(scan_chunk, tasks)
-        wall = watch.elapsed()
-        self._wall = wall
-        return results
+                yield from ephemeral.run_streaming(scan_chunk, tasks, window)
 
     def _account(
-        self, results: list[ChunkResult], cold: bool = False
+        self, worker_metrics: list[QueryMetrics], cold: bool = False
     ) -> None:
         metrics = self.scan.metrics
-        metrics.absorb_workers(self._wall, [r.metrics for r in results])
+        metrics.absorb_workers(self._wall, worker_metrics)
         # Hit/miss counters mirror the serial planner's: a cold scan
         # plans one segment with every needed attribute missing both
         # structures.  (Tail scans already went through the real planner

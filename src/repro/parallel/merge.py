@@ -1,7 +1,11 @@
 """Deterministic stitching of per-chunk results into shared state.
 
 Chunk results are merged strictly in chunk (= row) order, so the merged
-structures are independent of worker scheduling:
+structures are independent of worker scheduling.  The merge is
+*streaming*: :func:`stitch_one` folds a single chunk's harvest into the
+scan's collectors the moment it is the next in row order, so the driver
+can yield that chunk's batches and drop the result immediately — no
+collect-all barrier, peak memory bounded by the in-flight window:
 
 * **Line bounds** — local per-chunk indexes are shifted by the running
   character base and concatenated; the result is identical to indexing
@@ -26,35 +30,99 @@ from ..errors import RawDataError
 from .worker import ChunkResult
 
 
-def merge_line_bounds(results: list[ChunkResult]) -> np.ndarray:
-    """Global line index from per-chunk local indexes (cold scans).
+class LineBoundsAccumulator:
+    """Global line index from per-chunk local indexes, built one chunk
+    at a time (cold scans).
 
     ``bounds[i][1:] + char_base`` continues exactly where the previous
     chunk's index ended, because every chunk boundary is one past a
     newline; the final chunk contributes the end sentinel (including the
     unterminated-last-record case, where it is ``len + 1``).
     """
-    starts = []
-    base = 0
-    sentinel = None
-    for res in results:
+
+    def __init__(self) -> None:
+        self._starts: list[np.ndarray] = []
+        self._sentinel: int | None = None
+        self._char_base = 0
+
+    def add(self, res: ChunkResult) -> None:
         if res.bounds is None:
             raise RawDataError("chunk result carries no line bounds")
         local = res.bounds
         if len(local) > 1:
-            starts.append(local[:-1] + base)
-            sentinel = int(local[-1]) + base
-        elif sentinel is None:
+            self._starts.append(local[:-1] + self._char_base)
+            self._sentinel = int(local[-1]) + self._char_base
+        elif self._sentinel is None:
             # Zero-row chunk (header-only file): its lone element is
             # already the end sentinel — serial build_line_index returns
             # [len + 1] for row-less content, and dropping it here would
             # make a later append re-tokenize the header line as data.
-            sentinel = int(local[0]) + base
-        base += res.n_chars
-    if sentinel is None:
-        return np.zeros(1, dtype=np.int64)
-    pieces = starts + [np.asarray([sentinel], dtype=np.int64)]
-    return np.concatenate(pieces).astype(np.int64, copy=False)
+            self._sentinel = int(local[0]) + self._char_base
+        self._char_base += res.n_chars
+
+    def materialize(self) -> np.ndarray:
+        if self._sentinel is None:
+            return np.zeros(1, dtype=np.int64)
+        pieces = self._starts + [
+            np.asarray([self._sentinel], dtype=np.int64)
+        ]
+        return np.concatenate(pieces).astype(np.int64, copy=False)
+
+
+def merge_line_bounds(results: list[ChunkResult]) -> np.ndarray:
+    """Global line index from a full list of chunk results (batch form
+    of :class:`LineBoundsAccumulator`, kept for tests/tools)."""
+    acc = LineBoundsAccumulator()
+    for res in results:
+        acc.add(res)
+    return acc.materialize()
+
+
+def stitch_one(
+    scan: RawScan,
+    res: ChunkResult,
+    row_base: int,
+    char_base: int,
+) -> None:
+    """Replay one worker harvest into ``scan``'s collectors.
+
+    Must be called in chunk (= row) order — the collectors' contiguity
+    check enforces it.  After the last chunk, the scan's ordinary
+    ``_finalize`` installs everything — the merge layer never touches
+    the positional map or cache directly.
+    """
+    for span in res.spans:
+        coll = scan._span_collectors.get(span.key)
+        if coll is None:
+            coll = _SpanCollector(span.attrs, span.start_row + row_base)
+            scan._span_collectors[span.key] = coll
+        if not span.valid:
+            coll.valid = False
+            coll.blocks.clear()
+            continue
+        coll.add(
+            span.start_row + row_base,
+            span.matrix + char_base,
+            span.benefit_seconds,
+        )
+    if scan.config.enable_cache:
+        for col in res.columns:
+            coll = scan._cache_collectors.get(col.attr)
+            if coll is None:
+                coll = _ColumnCollector(col.start_row + row_base)
+                scan._cache_collectors[col.attr] = coll
+            if not col.valid or col.vector is None:
+                coll.valid = False
+                coll.vectors.clear()
+                continue
+            coll.add(
+                col.start_row + row_base, col.vector, col.benefit_seconds
+            )
+    if scan.config.enable_statistics and scan.state.statistics is not None:
+        schema = scan.schema
+        statistics = scan.state.statistics
+        for attr, vector in res.stats_log:
+            statistics.observe(schema.columns[attr].name, vector)
 
 
 def stitch_results(
@@ -63,47 +131,9 @@ def stitch_results(
     row_bases: list[int],
     char_bases: list[int],
 ) -> None:
-    """Replay worker harvests into ``scan``'s collectors, in row order.
-
-    After this, the scan's ordinary ``_finalize`` installs everything —
-    the merge layer never touches the positional map or cache directly.
-    """
-    feed_stats = (
-        scan.config.enable_statistics and scan.state.statistics is not None
-    )
+    """Batch form of :func:`stitch_one` (kept for tests/tools)."""
     for res, row_base, char_base in zip(results, row_bases, char_bases):
-        for span in res.spans:
-            coll = scan._span_collectors.get(span.key)
-            if coll is None:
-                coll = _SpanCollector(span.attrs, span.start_row + row_base)
-                scan._span_collectors[span.key] = coll
-            if not span.valid:
-                coll.valid = False
-                coll.blocks.clear()
-                continue
-            coll.add(
-                span.start_row + row_base,
-                span.matrix + char_base,
-                span.benefit_seconds,
-            )
-        if scan.config.enable_cache:
-            for col in res.columns:
-                coll = scan._cache_collectors.get(col.attr)
-                if coll is None:
-                    coll = _ColumnCollector(col.start_row + row_base)
-                    scan._cache_collectors[col.attr] = coll
-                if not col.valid or col.vector is None:
-                    coll.valid = False
-                    coll.vectors.clear()
-                    continue
-                coll.add(
-                    col.start_row + row_base, col.vector, col.benefit_seconds
-                )
-        if feed_stats:
-            schema = scan.schema
-            statistics = scan.state.statistics
-            for attr, vector in res.stats_log:
-                statistics.observe(schema.columns[attr].name, vector)
+        stitch_one(scan, res, row_base, char_base)
 
 
 def check_chunk_rows(

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..errors import ExecutionError
 
@@ -121,3 +122,57 @@ class ScanPool:
             return [fn(tasks[0])]
         executor = self._ensure_executor()
         return list(executor.map(fn, tasks))
+
+    def run_streaming(
+        self,
+        fn: Callable[[_Task], _Result],
+        tasks: Iterable[_Task],
+        window: int,
+    ) -> Iterator[_Result]:
+        """Yield results in task order with a bounded in-flight window.
+
+        At most ``window`` tasks exist downstream of the ``tasks``
+        iterator at any moment — dispatched to workers or completed but
+        not yet consumed — so peak memory is O(window x result) instead
+        of O(all results).  ``tasks`` may be a lazy generator; it is
+        advanced only as the window frees up (a task's text payload is
+        then also built just-in-time).
+
+        A worker exception propagates to the consumer at the failed
+        task's position; closing the returned generator cancels every
+        not-yet-started task.
+        """
+        it = iter(tasks)
+        window = max(int(window), 1)
+        first = next(it, None)
+        if first is None:
+            return
+        self.dispatches += 1
+        lookahead = next(it, None)
+        if lookahead is None:
+            # Single chunk: run inline, as `run` does — no executor
+            # start-up for degenerate dispatches.
+            yield fn(first)
+            return
+        executor = self._ensure_executor()
+        pending: deque = deque()
+        pending.append(executor.submit(fn, first))
+        try:
+            # `lookahead` holds the one task pulled but not yet
+            # submitted, so exactly min(window, remaining) results are
+            # ever downstream of the task iterator — the popped result
+            # counts against the window until the consumer returns from
+            # its yield.
+            while len(pending) < window and lookahead is not None:
+                pending.append(executor.submit(fn, lookahead))
+                lookahead = next(it, None)
+            while pending:
+                result = pending.popleft().result()
+                yield result
+                del result  # consumed; its window slot is free again
+                if lookahead is not None:
+                    pending.append(executor.submit(fn, lookahead))
+                    lookahead = next(it, None)
+        finally:
+            for future in pending:
+                future.cancel()

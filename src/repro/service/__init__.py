@@ -27,8 +27,10 @@ from .governor import GovernedItem, MemoryGovernor
 from .locks import RWLock
 from .scheduler import QueryScheduler
 from .service import PostgresRawService, Session
+from .streaming import BatchChannel
 
 __all__ = [
+    "BatchChannel",
     "GovernedItem",
     "MemoryGovernor",
     "RWLock",

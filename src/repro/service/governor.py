@@ -20,6 +20,13 @@ observation: what survives should be decided by the *workload*, not by
 which structure happens to own the bytes).  Recency breaks ties, so an
 all-cold engine degrades to global LRU.
 
+**Benefit decay.**  With ``benefit_half_life_s`` set, an item's benefit
+is aged by how long it has gone untouched: an expensive-to-rebuild
+structure the workload stopped using loses half its effective
+benefit-per-byte every half-life, so it eventually ranks below (and is
+evicted in favor of) a cheaper but recently-useful one — the benefit
+signal tracks the *current* workload instead of fossilizing the past.
+
 Thread safety: the governor's reentrant ``lock`` serializes every
 budget decision *and* every container mutation of the structures bound
 to it (install, extend, evict), so a grant triggered by table A may
@@ -29,6 +36,7 @@ safely evict from table B while B's installer is one lock-acquire away.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -37,9 +45,9 @@ class GovernedStructure(Protocol):
     """What the governor needs from a positional map or cache.
 
     Structures report inventory as plain ``(token, nbytes,
-    value_density, last_used)`` tuples — keeping :mod:`repro.core` free
-    of any import on this package — and the governor wraps them in
-    :class:`GovernedItem` for arbitration.
+    value_density, last_used, last_used_ts)`` tuples — keeping
+    :mod:`repro.core` free of any import on this package — and the
+    governor wraps them in :class:`GovernedItem` for arbitration.
     """
 
     def governed_bytes(self) -> int:
@@ -59,15 +67,22 @@ class GovernedItem:
     structure: "GovernedStructure"
     token: object
     nbytes: int
-    value_density: float  # seconds saved per byte held
+    value_density: float  # seconds saved per byte held (decayed)
     last_used: int
 
 
 class MemoryGovernor:
-    """Arbitrates one byte budget across every registered structure."""
+    """Arbitrates one byte budget across every registered structure.
 
-    def __init__(self, budget_bytes: int) -> None:
+    ``benefit_half_life_s`` (``None`` = no decay) ages each item's
+    benefit-per-byte by its idle time when ordering eviction victims.
+    """
+
+    def __init__(
+        self, budget_bytes: int, benefit_half_life_s: float | None = None
+    ) -> None:
         self.budget_bytes = int(budget_bytes)
+        self.benefit_half_life_s = benefit_half_life_s
         self.lock = threading.RLock()
         self._members: list[tuple[str, str, GovernedStructure]] = []
         self.evictions = 0
@@ -151,19 +166,41 @@ class MemoryGovernor:
     def _victim_order(
         self, requester: GovernedStructure, protected: set
     ) -> list[GovernedItem]:
-        """Evictable items, cheapest-to-lose first."""
+        """Evictable items, cheapest-to-lose first (decayed benefit)."""
+        now = time.monotonic()
         candidates: list[GovernedItem] = []
         for _, _, structure in self._members:
-            for token, nbytes, density, last_used in structure.governed_items():
+            for (
+                token,
+                nbytes,
+                density,
+                last_used,
+                last_used_ts,
+            ) in structure.governed_items():
                 if structure is requester and token in protected:
                     continue
                 candidates.append(
-                    GovernedItem(structure, token, nbytes, density, last_used)
+                    GovernedItem(
+                        structure,
+                        token,
+                        nbytes,
+                        self._decayed(density, last_used_ts, now),
+                        last_used,
+                    )
                 )
         candidates.sort(
             key=lambda i: (i.value_density, i.last_used, i.nbytes)
         )
         return candidates
+
+    def _decayed(
+        self, density: float, last_used_ts: float, now: float
+    ) -> float:
+        """Benefit-per-byte halved for every half-life of idleness."""
+        if self.benefit_half_life_s is None:
+            return density
+        idle_s = max(now - last_used_ts, 0.0)
+        return density * 0.5 ** (idle_s / self.benefit_half_life_s)
 
     # ------------------------------------------------------------------
     # Introspection (monitoring panel).

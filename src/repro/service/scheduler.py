@@ -1,4 +1,5 @@
-"""Query admission control: bounded concurrency, bounded waiting.
+"""Query admission control: bounded concurrency, bounded waiting,
+per-session fairness.
 
 The service runs at most ``max_concurrent_queries`` queries at once;
 arrivals beyond that wait in a bounded queue, and once
@@ -8,6 +9,13 @@ of queueing without bound — under overload, fast rejection beats a
 latency collapse ("heavy traffic" behaves like a loaded server, not
 like a deadlocked one).
 
+Waiters are admitted **round-robin across sessions**, FIFO within a
+session: when a slot frees up it goes to the next session in rotation
+that has a waiter, so one greedy session queueing hundreds of queries
+cannot monopolize every slot — an interactive session's single query is
+admitted after at most one query per other session, not after the whole
+backlog.
+
 One scheduler serves every session of a service; its counters (peaks,
 admissions, rejections) feed the concurrency monitoring panel.
 """
@@ -15,63 +23,120 @@ admissions, rejections) feed the concurrency monitoring panel.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
 
 from ..errors import AdmissionError
 
 
+class _Ticket:
+    """One waiter's place in the admission queue."""
+
+    __slots__ = ("granted",)
+
+    def __init__(self) -> None:
+        self.granted = False
+
+
 class QueryScheduler:
-    """Counting-semaphore admission control with overload rejection."""
+    """Bounded-concurrency admission control with session round-robin."""
 
     def __init__(self, max_concurrent: int, queue_depth: int) -> None:
         self.max_concurrent = max_concurrent
         self.queue_depth = queue_depth
-        self._slots = threading.Semaphore(max_concurrent)
-        self._lock = threading.Lock()
-        self._waiting = 0
+        self._cond = threading.Condition()
         self._active = 0
+        self._waiting_total = 0
+        #: Per-session FIFO of waiting tickets.
+        self._queues: dict[object, deque[_Ticket]] = {}
+        #: Round-robin rotation of session ids with waiters.
+        self._rotation: deque[object] = deque()
         self.admitted = 0
         self.rejected = 0
         self.completed = 0
         self.peak_concurrency = 0
         self.peak_queue_depth = 0
 
-    @contextmanager
-    def slot(self):
-        """Hold one execution slot for the duration of the ``with`` body.
+    # ------------------------------------------------------------------
+    # Acquisition / release.
+    # ------------------------------------------------------------------
+
+    def acquire(self, session_id: object = 0) -> None:
+        """Take one execution slot, waiting fairly if none is free.
 
         Raises :class:`AdmissionError` without blocking when no slot is
         free and the wait queue is already full.
         """
-        if not self._slots.acquire(blocking=False):
-            with self._lock:
-                if self._waiting >= self.queue_depth:
-                    self.rejected += 1
-                    raise AdmissionError(
-                        f"service overloaded: {self.max_concurrent} queries "
-                        f"running and {self._waiting} waiting "
-                        f"(admission_queue_depth={self.queue_depth})"
-                    )
-                self._waiting += 1
-                self.peak_queue_depth = max(
-                    self.peak_queue_depth, self._waiting
+        with self._cond:
+            if self._active < self.max_concurrent and self._waiting_total == 0:
+                self._admit_locked()
+                return
+            if self._waiting_total >= self.queue_depth:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"service overloaded: {self.max_concurrent} queries "
+                    f"running and {self._waiting_total} waiting "
+                    f"(admission_queue_depth={self.queue_depth})"
                 )
-            try:
-                self._slots.acquire()
-            finally:
-                with self._lock:
-                    self._waiting -= 1
-        with self._lock:
-            self._active += 1
-            self.admitted += 1
-            self.peak_concurrency = max(self.peak_concurrency, self._active)
+            ticket = _Ticket()
+            queue = self._queues.get(session_id)
+            if queue is None:
+                queue = deque()
+                self._queues[session_id] = queue
+                self._rotation.append(session_id)
+            queue.append(ticket)
+            self._waiting_total += 1
+            self.peak_queue_depth = max(
+                self.peak_queue_depth, self._waiting_total
+            )
+            while not ticket.granted:
+                self._cond.wait()
+            # The releaser already ran _admit_locked on our behalf.
+
+    def release(self) -> None:
+        """Return a slot; hands it to the next session in rotation."""
+        with self._cond:
+            self._active -= 1
+            self.completed += 1
+            self._grant_next_locked()
+
+    @contextmanager
+    def slot(self, session_id: object = 0):
+        """Hold one execution slot for the duration of the ``with`` body."""
+        self.acquire(session_id)
         try:
             yield
         finally:
-            with self._lock:
-                self._active -= 1
-                self.completed += 1
-            self._slots.release()
+            self.release()
+
+    # ------------------------------------------------------------------
+    # Internals (callers hold the condition).
+    # ------------------------------------------------------------------
+
+    def _admit_locked(self) -> None:
+        self._active += 1
+        self.admitted += 1
+        self.peak_concurrency = max(self.peak_concurrency, self._active)
+
+    def _grant_next_locked(self) -> None:
+        if self._active >= self.max_concurrent:
+            return
+        while self._rotation:
+            session_id = self._rotation.popleft()
+            queue = self._queues.get(session_id)
+            if not queue:
+                self._queues.pop(session_id, None)
+                continue
+            ticket = queue.popleft()
+            if queue:
+                self._rotation.append(session_id)  # back of the rotation
+            else:
+                del self._queues[session_id]
+            self._waiting_total -= 1
+            ticket.granted = True
+            self._admit_locked()
+            self._cond.notify_all()
+            return
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -83,15 +148,15 @@ class QueryScheduler:
 
     @property
     def waiting(self) -> int:
-        return self._waiting
+        return self._waiting_total
 
     def stats(self) -> dict[str, int]:
-        with self._lock:
+        with self._cond:
             return {
                 "max_concurrent": self.max_concurrent,
                 "queue_depth": self.queue_depth,
                 "active": self._active,
-                "waiting": self._waiting,
+                "waiting": self._waiting_total,
                 "admitted": self.admitted,
                 "completed": self.completed,
                 "rejected": self.rejected,

@@ -18,7 +18,18 @@ makes that sharing safe under concurrency:
   containers.
 * **Admission control** (:class:`repro.service.scheduler.QueryScheduler`)
   — at most ``max_concurrent_queries`` queries run at once; a bounded
-  queue smooths bursts and overload is rejected fast.
+  queue smooths bursts (granted round-robin across sessions, so one
+  greedy session cannot monopolize the slots) and overload is rejected
+  fast.
+* **Streaming execution** — every query runs on a producer thread
+  feeding a bounded :class:`repro.service.streaming.BatchChannel`;
+  :meth:`Session.cursor` hands the consuming end to the client as a
+  lazy :class:`repro.executor.result.Cursor`, and the classic
+  ``query()``/``execute()`` APIs are just ``fetchall()`` over the same
+  stream.  The producing scan holds its table locks until the cursor
+  is exhausted or closed (``cursor_ttl_s`` abandons stalled consumers
+  cleanly); a ``drop_table``/rewrite that races an opening cursor is
+  generation-guarded into :class:`repro.errors.CursorInvalidError`.
 * **One recycled scan pool** — parallel chunked scans
   (:mod:`repro.parallel`) reuse a single engine-wide pool across
   queries, amortizing thread/fork start-up and bounding total scan
@@ -36,7 +47,9 @@ from __future__ import annotations
 
 import itertools
 import threading
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from ..catalog.catalog import Catalog, RawTableEntry
 from ..catalog.schema import TableSchema
@@ -45,16 +58,22 @@ from ..core.metrics import BreakdownComponent, QueryMetrics
 from ..core.raw_scan import InstallPlan, RawScan, RawTableState
 from ..core.stats import StatisticsStore
 from ..core.updates import FileChange, detect_change, fingerprint_file
-from ..errors import CatalogError, RawDataError, ServiceError
-from ..executor.result import QueryResult
+from ..errors import (
+    CatalogError,
+    CursorInvalidError,
+    RawDataError,
+    ServiceError,
+)
+from ..executor.result import Cursor, QueryResult
 from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
 from ..rawio.sniffer import infer_schema
 from ..sql.ast import Expression, SelectStatement
 from ..sql.parser import parse_select
-from ..sql.planner import Planner
+from ..sql.planner import LogicalPlan, Planner
 from .governor import MemoryGovernor
 from .locks import RWLock
 from .scheduler import QueryScheduler
+from .streaming import BatchChannel
 
 
 class Session:
@@ -78,11 +97,33 @@ class Session:
         return self.execute(parse_select(sql))
 
     def execute(self, stmt: SelectStatement) -> QueryResult:
-        result = self.service.execute(stmt)
+        result = self.service.execute(stmt, session_id=self.session_id)
         self.queries_issued += 1
         self.rows_returned += len(result)
         self.total_seconds += result.metrics.total_seconds
         return result
+
+    def cursor(self, sql: str) -> Cursor:
+        """Parse, plan and *stream* one SELECT statement.
+
+        Batches flow from the producing scan through a bounded handoff
+        queue as they are computed; iterate / ``fetchmany`` / close the
+        returned :class:`Cursor`.  The table's shared lock is held until
+        the cursor is exhausted or closed (``cursor_ttl_s`` bounds how
+        long an idle consumer can pin it).
+        """
+        return self.execute_stream(parse_select(sql))
+
+    def execute_stream(self, stmt: SelectStatement) -> Cursor:
+        def account(cursor: Cursor) -> None:
+            self.rows_returned += cursor.rows_fetched
+            self.total_seconds += cursor.metrics.total_seconds
+
+        cursor = self.service.execute_stream(
+            stmt, session_id=self.session_id, on_close=account
+        )
+        self.queries_issued += 1
+        return cursor
 
     def explain(self, sql: str) -> str:
         return self.service.explain(sql)
@@ -92,6 +133,15 @@ class Session:
             f"Session(id={self.session_id}, "
             f"queries={self.queries_issued}, rows={self.rows_returned})"
         )
+
+
+@dataclass
+class _StreamHandle:
+    """One open streaming query, tracked for monitoring and shutdown."""
+
+    stream_id: int
+    channel: BatchChannel
+    thread: threading.Thread | None = field(default=None)
 
 
 class PostgresRawService:
@@ -105,7 +155,10 @@ class PostgresRawService:
         self._registry_lock = threading.Lock()
         self.governor: MemoryGovernor | None = None
         if self.config.memory_budget is not None:
-            self.governor = MemoryGovernor(self.config.memory_budget)
+            self.governor = MemoryGovernor(
+                self.config.memory_budget,
+                benefit_half_life_s=self.config.benefit_half_life_s,
+            )
         self.scheduler = QueryScheduler(
             self.config.max_concurrent_queries,
             self.config.admission_queue_depth,
@@ -114,14 +167,42 @@ class PostgresRawService:
         self._pool_lock = threading.Lock()
         self._session_ids = itertools.count(1)
         self._closed = False
+        # Streaming-cursor bookkeeping (monitoring + orderly shutdown).
+        self._cursor_lock = threading.Lock()
+        self._cursor_ids = itertools.count(1)
+        self._open_streams: dict[int, _StreamHandle] = {}
+        self.cursors_opened = 0
+        self.cursors_finished = 0
+        self.cursors_abandoned = 0
+        self._ttfb_sum = 0.0
+        self._ttfb_count = 0
+        self._last_ttfb: float | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the recycled scan pool; further queries error."""
+        """Shut down the service; further queries error.
+
+        Open cursors are force-closed: their producers unblock, release
+        their locks and finish; a consumer still reading such a cursor
+        gets a :class:`repro.errors.CursorInvalidError`.
+        """
         self._closed = True
+        with self._cursor_lock:
+            handles = list(self._open_streams.values())
+        for handle in handles:
+            # Error first, then close: a consumer mid-drain gets a clean
+            # CursorInvalidError instead of a silently truncated result
+            # (the producer's own finish() never overwrites the error).
+            handle.channel.finish(
+                CursorInvalidError("service closed while cursor open")
+            )
+            handle.channel.close()
+        for handle in handles:
+            if handle.thread is not None:
+                handle.thread.join(timeout=10)
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
@@ -230,11 +311,113 @@ class PostgresRawService:
         """Parse, plan and execute one SELECT statement."""
         return self.execute(parse_select(sql))
 
-    def execute(self, stmt: SelectStatement) -> QueryResult:
+    def execute(
+        self, stmt: SelectStatement, session_id: object = 0
+    ) -> QueryResult:
+        """Execute to a materialized :class:`QueryResult`.
+
+        This *is* the streaming path fully drained —
+        ``execute_stream(...).fetchall()`` — so both APIs run the same
+        code and return row-for-row identical results.
+        """
+        return self.execute_stream(stmt, session_id=session_id).fetchall()
+
+    def query_stream(self, sql: str, session_id: object = 0) -> Cursor:
+        """Parse, plan and stream one SELECT statement."""
+        return self.execute_stream(parse_select(sql), session_id=session_id)
+
+    def execute_stream(
+        self,
+        stmt: SelectStatement,
+        session_id: object = 0,
+        on_close: Callable[[Cursor], None] | None = None,
+    ) -> Cursor:
+        """Admit, plan and launch one streaming query; return its cursor.
+
+        Admission control, per-table reconcile and planning run
+        synchronously in the caller (so :class:`AdmissionError`, SQL or
+        catalog errors raise here); execution runs on a producer thread
+        that holds the table locks and feeds a bounded
+        :class:`BatchChannel` (``stream_queue_batches`` deep,
+        ``cursor_ttl_s`` flow-control timeout).  Errors raised while
+        producing — including :class:`CursorInvalidError` when a
+        racing ``drop_table``/rewrite invalidated the plan, and
+        :class:`CursorTimeoutError` on a stalled consumer — surface
+        from the cursor after the batches that preceded them.
+        """
         if self._closed:
             raise ServiceError("service is closed")
-        with self.scheduler.slot():
-            return self._execute_admitted(stmt)
+        metrics = QueryMetrics()
+        metrics.begin()
+        self.scheduler.acquire(session_id)
+        try:
+            tables: list[tuple[str, RawTableState, RWLock]] = []
+            for name in sorted(self._referenced_tables(stmt)):
+                state = self._states.get(name)
+                lock = self._table_locks.get(name)
+                if state is None or lock is None:
+                    continue  # planner raises CatalogError with context
+                tables.append((name, state, lock))
+
+            # Phase 1 — reconcile external file changes and tick the LRU
+            # clocks, one short exclusive section per table.
+            for _, state, lock in tables:
+                with lock.write():
+                    with metrics.time(BreakdownComponent.NODB):
+                        self._reconcile_file(state)
+                    state.begin_query()
+
+            # Phase 2 — plan.  Planning reads schemas and statistics only.
+            scans: list[RawScan] = []
+            planner = self._planner(metrics, scans)
+            plan = planner.plan(stmt)
+            # The cursor contract is "rows from the table as admitted":
+            # the producer re-checks these generations under its locks
+            # and fails with CursorInvalidError rather than serve rows
+            # from a dropped or rewritten file.
+            generations = {
+                name: state.generation for name, state, _ in tables
+            }
+        except BaseException:
+            self.scheduler.release()
+            raise
+
+        channel = BatchChannel(
+            self.config.stream_queue_batches, self.config.cursor_ttl_s
+        )
+        handle = _StreamHandle(
+            stream_id=next(self._cursor_ids), channel=channel
+        )
+        with self._cursor_lock:
+            self._open_streams[handle.stream_id] = handle
+            self.cursors_opened += 1
+
+        def finished(cursor: Cursor) -> None:
+            self._retire_stream(handle, cursor)
+            if on_close is not None:
+                on_close(cursor)
+
+        cursor = Cursor(
+            list(plan.output_types),
+            list(plan.output_types.values()),
+            channel.drain(),
+            metrics,
+            on_close=finished,
+        )
+        thread = threading.Thread(
+            target=self._produce,
+            args=(plan, scans, tables, generations, metrics, channel),
+            name=f"repro-cursor-{handle.stream_id}",
+            daemon=True,
+        )
+        handle.thread = thread
+        try:
+            thread.start()
+        except BaseException:
+            self._retire_stream(handle, cursor)
+            self.scheduler.release()
+            raise
+        return cursor
 
     def explain(self, sql: str) -> str:
         """The physical plan as indented text (EXPLAIN)."""
@@ -263,31 +446,41 @@ class PostgresRawService:
     # Execution internals.
     # ------------------------------------------------------------------
 
-    def _execute_admitted(self, stmt: SelectStatement) -> QueryResult:
-        metrics = QueryMetrics()
-        metrics.begin()
+    def _produce(
+        self,
+        plan: LogicalPlan,
+        scans: list[RawScan],
+        tables: list[tuple[str, RawTableState, RWLock]],
+        generations: dict[str, int],
+        metrics: QueryMetrics,
+        channel: BatchChannel,
+    ) -> None:
+        """Producer-thread body: run the plan, feed the channel.
 
-        tables: list[tuple[str, RawTableState, RWLock]] = []
-        for name in sorted(self._referenced_tables(stmt)):
-            state = self._states.get(name)
-            lock = self._table_locks.get(name)
-            if state is None or lock is None:
-                continue  # planner raises CatalogError with context
-            tables.append((name, state, lock))
+        Owns the scheduler slot taken by :meth:`execute_stream`; always
+        releases it and finishes the channel (with the error, if any).
+        """
+        error: BaseException | None = None
+        try:
+            self._run_stream(plan, scans, tables, generations, metrics, channel)
+        except BaseException as exc:
+            # BaseException included: swallowing even SystemExit here is
+            # better than a channel that never finishes (consumer hang)
+            # or finishes clean (silent truncation).
+            error = exc
+        finally:
+            self.scheduler.release()
+            channel.finish(error)
 
-        # Phase 1 — reconcile external file changes and tick the LRU
-        # clocks, one short exclusive section per table.
-        for _, state, lock in tables:
-            with lock.write():
-                with metrics.time(BreakdownComponent.NODB):
-                    self._reconcile_file(state)
-                state.begin_query()
-
-        # Phase 2 — plan.  Planning reads schemas and statistics only.
-        scans: list[RawScan] = []
-        planner = self._planner(metrics, scans)
-        plan = planner.plan(stmt)
-
+    def _run_stream(
+        self,
+        plan: LogicalPlan,
+        scans: list[RawScan],
+        tables: list[tuple[str, RawTableState, RWLock]],
+        generations: dict[str, int],
+        metrics: QueryMetrics,
+        channel: BatchChannel,
+    ) -> None:
         # Phase 3 — classify: can every scan be served by already-built
         # structures?  If so, run under shared locks and defer whatever
         # the scan learns; otherwise take the exclusive path.
@@ -298,6 +491,11 @@ class PostgresRawService:
         deferred: list[tuple[RawScan, InstallPlan]] = []
         if read_path:
             self._acquire_all(tables, write=False)
+            try:
+                self._check_generations(tables, generations)
+            except BaseException:
+                self._release_all(tables, write=False)
+                raise
             # Re-check under the locks: another query's reconcile may
             # have flagged an append/rewrite between classification and
             # acquisition.  Once the shared locks are held no writer can
@@ -314,34 +512,115 @@ class PostgresRawService:
                     (s, p)
                 )
             try:
-                batches = list(plan.root.execute())
+                # The shared lock is held while the scan produces — the
+                # bounded channel flow-controls production, so this
+                # lasts until the cursor is exhausted or closed
+                # (bounded by cursor_ttl_s for stalled consumers).
+                self._pump(plan, channel)
             finally:
                 self._release_all(tables, write=False)
-            # Install what the shared-lock scans learned (e.g. columns
-            # converted on the positional-map jump path, combination
-            # chunks) under the exclusive lock, after the rows are out.
-            for scan, install_plan in deferred:
-                if install_plan.empty():
-                    continue
-                lock = self._table_locks.get(scan.state.entry.name)
-                if lock is None:
-                    continue  # table dropped while we were reading
-                with lock.write():
-                    scan._install(install_plan)
+                # Install what the shared-lock scans learned (e.g.
+                # columns converted on the positional-map jump path,
+                # combination chunks) under the exclusive lock, after
+                # the rows are out — also when the cursor was closed or
+                # timed out mid-stream: abandoning the consumer never
+                # wastes what the scan already discovered.
+                self._install_deferred(deferred)
         else:
             self._acquire_all(tables, write=True)
             try:
-                batches = list(plan.root.execute())
+                self._check_generations(tables, generations)
+                self._pump(plan, channel)
             finally:
                 self._release_all(tables, write=True)
 
         for _, state, _ in tables:
             metrics.rows_scanned += state.positional_map.n_rows
 
-        result = QueryResult.from_batches(batches, plan.output_types, metrics)
-        metrics.end()
-        metrics.settle_processing()
-        return result
+    def _pump(self, plan: LogicalPlan, channel: BatchChannel) -> None:
+        """Drive the operator tree into the channel.
+
+        A consumer hang-up (``put`` returning ``False``) or a flow-
+        control timeout stops the plan generators; their ``finally``
+        blocks run, so every scan still harvests the row prefix it
+        completed — exactly like a serial scan abandoned by a LIMIT.
+        """
+        batches = plan.root.execute()
+        try:
+            for batch in batches:
+                if not channel.put(batch):
+                    break
+        finally:
+            closer = getattr(batches, "close", None)
+            if closer is not None:
+                closer()
+
+    def _install_deferred(
+        self, deferred: list[tuple[RawScan, InstallPlan]]
+    ) -> None:
+        for scan, install_plan in deferred:
+            if install_plan.empty():
+                continue
+            lock = self._table_locks.get(scan.state.entry.name)
+            if lock is None:
+                continue  # table dropped while we were reading
+            with lock.write():
+                scan._install(install_plan)
+
+    def _check_generations(
+        self,
+        tables: list[tuple[str, RawTableState, RWLock]],
+        generations: dict[str, int],
+    ) -> None:
+        """Fail a cursor cleanly when its tables changed under it.
+
+        Called with the table locks held, before any batch is produced:
+        a ``drop_table`` or rewrite-reconcile that won the race between
+        admission and lock acquisition invalidates the plan's offsets,
+        so the cursor raises :class:`CursorInvalidError` instead of
+        serving rows from state that no longer exists.
+        """
+        for name, state, _ in tables:
+            if self._states.get(name) is not state:
+                raise CursorInvalidError(
+                    f"table {name!r} was dropped before the cursor "
+                    f"could stream it"
+                )
+            if state.generation != generations[name]:
+                raise CursorInvalidError(
+                    f"raw file behind table {name!r} was rewritten "
+                    f"before the cursor could stream it"
+                )
+
+    def _retire_stream(self, handle: "_StreamHandle", cursor: Cursor) -> None:
+        """Cursor finished (exhausted, closed or errored): bookkeeping.
+
+        Joins the producer first, so ``Cursor.close()`` returning means
+        the locks are released and the scan's learnings are installed.
+        """
+        thread = handle.thread
+        if (
+            thread is not None
+            and thread.ident is not None
+            and thread is not threading.current_thread()
+        ):
+            thread.join(timeout=10)
+            # A mid-stream close stamps total_seconds on the consumer
+            # side while the producer is still folding in its worker
+            # metrics; now that the producer is joined, re-derive the
+            # processing bucket so the Figure-3 stack stays coherent.
+            cursor.metrics.settle_processing()
+        with self._cursor_lock:
+            if self._open_streams.pop(handle.stream_id, None) is None:
+                return  # already retired
+            self.cursors_finished += 1
+            if handle.channel.timed_out:
+                self.cursors_abandoned += 1
+            ttfb = cursor.metrics.time_to_first_batch
+            if ttfb is not None:
+                self._ttfb_sum += ttfb
+                self._ttfb_count += 1
+                self._last_ttfb = ttfb
 
     @staticmethod
     def _acquire_all(tables, write: bool) -> None:
@@ -453,4 +732,19 @@ class PostgresRawService:
             return {
                 name: lock.stats()
                 for name, lock in sorted(self._table_locks.items())
+            }
+
+    def cursor_stats(self) -> dict[str, object]:
+        """Streaming-cursor gauges for the concurrency panel."""
+        with self._cursor_lock:
+            avg_ttfb = (
+                self._ttfb_sum / self._ttfb_count if self._ttfb_count else None
+            )
+            return {
+                "open": len(self._open_streams),
+                "opened": self.cursors_opened,
+                "finished": self.cursors_finished,
+                "abandoned": self.cursors_abandoned,
+                "avg_ttfb_s": avg_ttfb,
+                "last_ttfb_s": self._last_ttfb,
             }

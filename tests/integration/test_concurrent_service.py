@@ -44,8 +44,24 @@ def serial_reference(path, schema, config):
         return {sql: sorted(engine.query(sql).rows) for sql in QUERIES}
 
 
+def consume_via_cursor(session, sql, fetch_size):
+    """Stream the query through a cursor, fetchmany in odd sizes."""
+    out = []
+    with session.cursor(sql) as cursor:
+        while True:
+            got = cursor.fetchmany(fetch_size)
+            out.extend(got)
+            if len(got) < fetch_size:
+                break
+    return out
+
+
 def hammer(service, thread_id, reference, errors, mismatches):
     session = service.session()
+    # Half the clients consume through streaming cursors (odd fetch
+    # sizes), half through the classic materialized API — both against
+    # the same shared adaptive state, both must match serial exactly.
+    streaming_client = thread_id % 2 == 1
     try:
         for round_no in range(ROUNDS):
             # Each thread walks the sequence with a different rotation so
@@ -53,7 +69,12 @@ def hammer(service, thread_id, reference, errors, mismatches):
             offset = (thread_id + round_no) % len(QUERIES)
             for i in range(len(QUERIES)):
                 sql = QUERIES[(offset + i) % len(QUERIES)]
-                rows = sorted(session.query(sql).rows)
+                if streaming_client:
+                    rows = sorted(
+                        consume_via_cursor(session, sql, 61 + thread_id)
+                    )
+                else:
+                    rows = sorted(session.query(sql).rows)
                 if rows != reference[sql]:
                     mismatches.append(
                         (thread_id, sql, len(rows), len(reference[sql]))
@@ -114,6 +135,12 @@ def test_eight_threads_match_serial_engine(small_csv, label, config):
         assert sched["admitted"] == sched["completed"]
         assert sched["admitted"] == N_THREADS * ROUNDS * len(QUERIES)
         assert sched["peak_concurrency"] <= config.max_concurrent_queries
+
+        # Every streaming cursor was drained and retired.
+        cursors = service.cursor_stats()
+        assert cursors["open"] == 0
+        assert cursors["abandoned"] == 0
+        assert cursors["opened"] == cursors["finished"]
 
         # Adaptive-state byte accounting balances.
         state = service.table_state("t")

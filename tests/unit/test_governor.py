@@ -189,3 +189,52 @@ class TestRelease:
         service.register_csv("t", path, schema)
         assert len(session.query("SELECT a0 FROM t WHERE a0 >= 0")) > 0
         service.close()
+
+
+class TestBenefitDecay:
+    def test_stale_expensive_structure_loses_to_recent_useful_one(self):
+        budget = vector_bytes(100) * 2
+        governor = MemoryGovernor(budget, benefit_half_life_s=1.0)
+        cache = governed_cache(governor, "a")
+        # Attr 0 measured a huge benefit... a long time ago.
+        cache.put(0, vector(100), benefit_seconds=100.0)
+        cache.tick()
+        cache.put(1, vector(100), benefit_seconds=1.0)
+        # Age attr 0 by many half-lives: its effective benefit-per-byte
+        # decays below the recently-useful attr 1.
+        cache.peek(0).last_used_ts -= 1000.0
+        cache.tick()
+        assert cache.put(2, vector(100), benefit_seconds=1.0)
+        assert cache.peek(0) is None  # the cold, stale entry lost
+        assert cache.peek(1) is not None
+        assert cache.peek(2) is not None
+
+    def test_without_half_life_measured_benefit_wins_regardless_of_age(self):
+        budget = vector_bytes(100) * 2
+        governor = MemoryGovernor(budget)  # no decay configured
+        cache = governed_cache(governor, "a")
+        cache.put(0, vector(100), benefit_seconds=100.0)
+        cache.tick()
+        cache.put(1, vector(100), benefit_seconds=1.0)
+        cache.peek(0).last_used_ts -= 1000.0
+        cache.tick()
+        assert cache.put(2, vector(100), benefit_seconds=1.0)
+        # Undecayed: the high measured benefit keeps attr 0 resident and
+        # the low-benefit attr 1 is the victim.
+        assert cache.peek(0) is not None
+        assert cache.peek(1) is None
+
+    def test_decay_spans_structure_kinds(self):
+        n = 100
+        budget = vector_bytes(n) + int(offsets(n, 2).nbytes)
+        governor = MemoryGovernor(budget, benefit_half_life_s=1.0)
+        cache = governed_cache(governor, "a")
+        pm = governed_map(governor, "b")
+        # A stale-but-expensive map chunk vs a fresh cheap cache entry.
+        pm.install((0, 1), offsets(n, 2), benefit_seconds=50.0)
+        pm.chunks()[0].last_used_ts -= 1000.0
+        cache.put(0, vector(n), benefit_seconds=0.5)
+        # New bytes need room: the decayed chunk is the cheapest loss.
+        assert cache.put(1, vector(n), benefit_seconds=0.5)
+        assert pm.chunk_count == 0
+        assert cache.peek(0) is not None and cache.peek(1) is not None

@@ -1,0 +1,99 @@
+"""Per-session fairness of the admission scheduler: slots are granted
+round-robin across sessions, so a greedy session's backlog cannot starve
+another session's single query."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service import QueryScheduler
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+def test_single_waiter_not_starved_by_greedy_session():
+    scheduler = QueryScheduler(max_concurrent=1, queue_depth=16)
+    scheduler.acquire("holder")  # occupy the only slot
+    order: list[str] = []
+    threads = []
+
+    def worker(session_id):
+        scheduler.acquire(session_id)
+        order.append(session_id)
+        scheduler.release()
+
+    # Three queries from greedy session A queue up first...
+    for i in range(3):
+        t = threading.Thread(target=worker, args=("A",))
+        t.start()
+        threads.append(t)
+        wait_for(lambda n=i: scheduler.waiting == n + 1)
+    # ...then one interactive query from session B.
+    tb = threading.Thread(target=worker, args=("B",))
+    tb.start()
+    threads.append(tb)
+    wait_for(lambda: scheduler.waiting == 4)
+
+    scheduler.release()  # free the slot; grants cascade
+    for t in threads:
+        t.join(timeout=5)
+
+    # Round-robin: B's lone query is admitted right after one A query,
+    # not behind A's whole backlog (FIFO would give A, A, A, B).
+    assert order == ["A", "B", "A", "A"]
+    stats = scheduler.stats()
+    assert stats["active"] == 0 and stats["waiting"] == 0
+    assert stats["admitted"] == stats["completed"] == 5
+
+
+def test_fifo_within_one_session():
+    scheduler = QueryScheduler(max_concurrent=1, queue_depth=16)
+    scheduler.acquire("holder")
+    order: list[int] = []
+    threads = []
+
+    def worker(tag):
+        scheduler.acquire("A")
+        order.append(tag)
+        scheduler.release()
+
+    for i in range(4):
+        t = threading.Thread(target=worker, args=(i,))
+        t.start()
+        threads.append(t)
+        wait_for(lambda n=i: scheduler.waiting == n + 1)
+
+    scheduler.release()
+    for t in threads:
+        t.join(timeout=5)
+    assert order == [0, 1, 2, 3]
+
+
+def test_two_greedy_sessions_interleave():
+    scheduler = QueryScheduler(max_concurrent=1, queue_depth=32)
+    scheduler.acquire("holder")
+    order: list[str] = []
+    threads = []
+
+    def worker(session_id):
+        scheduler.acquire(session_id)
+        order.append(session_id)
+        scheduler.release()
+
+    # Enqueue A A A, then B B B — deterministic arrival order.
+    for n, sid in enumerate(["A", "A", "A", "B", "B", "B"]):
+        t = threading.Thread(target=worker, args=(sid,))
+        t.start()
+        threads.append(t)
+        wait_for(lambda k=n: scheduler.waiting == k + 1)
+
+    scheduler.release()
+    for t in threads:
+        t.join(timeout=5)
+    assert order == ["A", "B", "A", "B", "A", "B"]

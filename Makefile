@@ -4,14 +4,25 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-parallel bench-concurrent bench-streaming \
-	stress verify
+.PHONY: test smoke serve serve-smoke bench bench-parallel bench-concurrent \
+	bench-streaming bench-wire stress verify
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) examples/quickstart.py
+
+# Foreground wire-protocol server over a generated demo table
+# (Ctrl-C to stop); point repro.client.connect() at port 5433.
+serve:
+	$(PYTHON) -m repro.server --demo --port 5433
+
+# CI gate for the wire path: boots a server, drives a socket client
+# (materialized + streamed + abandoned queries) and asserts clean
+# shutdown with no leaked cursors, scheduler slots or connections.
+serve-smoke:
+	$(PYTHON) examples/wire_quickstart.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --import-mode=importlib \
@@ -31,6 +42,13 @@ bench-streaming:
 	$(PYTHON) -m pytest benchmarks/bench_streaming.py \
 		--benchmark-only --import-mode=importlib -q -s
 
+# Socket clients vs in-process sessions on one service: qps for both
+# paths and per-connection TTFB of streamed results (asserts TTFB <
+# materialized latency with 2 concurrent socket clients).
+bench-wire:
+	$(PYTHON) -m pytest benchmarks/bench_wire_throughput.py \
+		--benchmark-only --import-mode=importlib -q -s
+
 # Heavier threaded stress run of the concurrent serving layer (the
 # tier-1 suite runs the same tests at REPRO_STRESS_ROUNDS=2).  `timeout`
 # guards against a deadlocked lock/scheduler hanging CI forever.
@@ -38,4 +56,4 @@ stress:
 	REPRO_STRESS_ROUNDS=10 timeout 600 $(PYTHON) -m pytest \
 		tests/integration/test_concurrent_service.py -x -q
 
-verify: test smoke
+verify: test smoke serve-smoke

@@ -15,6 +15,11 @@ The library provides:
   control (``max_concurrent_queries``) and an optional global
   ``memory_budget`` arbitrated across all tables' maps and caches by
   the benefit-per-byte :class:`MemoryGovernor`;
+* :class:`RawServer` / :mod:`repro.client` — the wire protocol:
+  an asyncio socket server fronting a service (one session per
+  connection, streaming cursors pumped into socket writes with
+  end-to-end backpressure) and the matching blocking client whose
+  ``connect(...).cursor(sql)`` returns the same lazy cursor API;
 * :mod:`repro.parallel` — a parallel chunked raw-scan subsystem: cold
   scans and fully-unmapped tail scans split the file into newline-aligned
   chunks processed by a scan pool, with per-chunk positional maps, cache
@@ -83,6 +88,7 @@ from .errors import (
     SQLSyntaxError,
     StorageError,
 )
+from .errors import ProtocolError
 from .executor import Cursor, QueryResult
 from .service import (
     MemoryGovernor,
@@ -91,6 +97,7 @@ from .service import (
     RWLock,
     Session,
 )
+from .server import RawServer
 from .rawio import (
     ColumnSpec,
     CsvDialect,
@@ -126,7 +133,9 @@ __all__ = [
     "CursorTimeoutError",
     "ExecutionError",
     "PlanningError",
+    "ProtocolError",
     "RawDataError",
+    "RawServer",
     "ReproError",
     "SchemaError",
     "ServiceError",

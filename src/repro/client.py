@@ -1,0 +1,297 @@
+"""Blocking socket client for the repro wire protocol.
+
+:func:`connect` opens one TCP connection to a :class:`repro.server.RawServer`
+and returns a :class:`Connection`; ``connection.cursor(sql)`` streams a
+query through the very same lazy :class:`repro.executor.result.Cursor`
+the in-process API hands out — the only difference is that its batch
+source decodes ROWS frames off the socket instead of draining a local
+:class:`BatchChannel`.  ``fetchone``/``fetchmany``/``fetchall``/
+``batches`` therefore behave identically, and server-side failures
+re-raise the *same* exception classes (:class:`repro.errors.AdmissionError`,
+:class:`repro.errors.CursorTimeoutError`, ...) via their wire codes::
+
+    import repro.client
+
+    with repro.client.connect(port=server.port) as conn:
+        with conn.cursor("SELECT a0 FROM t WHERE a1 < 100") as cur:
+            for row in cur:
+                ...
+        result = conn.query("SELECT COUNT(*) AS n FROM t")  # materialized
+
+The protocol is sequential per connection (one active stream at a
+time, DB-API style): opening a new cursor first closes the active one.
+Closing a cursor mid-stream sends CLOSE and drains to the stream's END
+— on the server that closes the producing scan, releasing its table
+locks, exactly like an in-process ``Cursor.close()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Iterator
+
+from .batch import Batch, ColumnVector
+from .core.metrics import QueryMetrics
+from .datatypes import DataType
+from .errors import ProtocolError, error_from_wire
+from .executor.result import Cursor, QueryResult
+from .server.protocol import (
+    PROTOCOL_VERSION,
+    FrameType,
+    encode_frame,
+    read_frame_blocking,
+)
+
+#: Result frames may exceed the request-frame bound when a single row
+#: alone is larger than ``frame_bytes`` (the server cannot split it);
+#: the client therefore reads with this much slack before declaring the
+#: stream broken.
+_READ_SLACK = 64
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 5433,
+    *,
+    token: str | None = None,
+    timeout: float | None = None,
+    frame_bytes: int = 1 << 20,
+) -> "Connection":
+    """Open a connection and complete the handshake."""
+    return Connection(
+        host, port, token=token, timeout=timeout, frame_bytes=frame_bytes
+    )
+
+
+class Connection:
+    """One handshaken wire connection owning one server-side session."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        token: str | None = None,
+        timeout: float | None = None,
+        frame_bytes: int = 1 << 20,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._max_read = frame_bytes * _READ_SLACK
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._qids = itertools.count(1)
+        self._active: Cursor | None = None
+        self.closed = False
+        self.session_id: int | None = None
+        self.queries_issued = 0
+        hello: dict = {"version": PROTOCOL_VERSION}
+        if token is not None:
+            hello["token"] = token
+        try:
+            self._send(FrameType.HELLO, hello)
+            ftype, payload = self._expect_frame()
+            if ftype is FrameType.ERROR:
+                raise error_from_wire(
+                    payload.get("code", "internal"), payload.get("message", "")
+                )
+            if ftype is not FrameType.WELCOME:
+                raise ProtocolError(f"expected WELCOME, got {ftype.name}")
+            if payload.get("version") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"server speaks protocol {payload.get('version')}, "
+                    f"client {PROTOCOL_VERSION}"
+                )
+            self.session_id = payload.get("session_id")
+        except BaseException:
+            self._teardown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Querying.
+    # ------------------------------------------------------------------
+
+    def cursor(self, sql: str) -> Cursor:
+        """Stream one SELECT; returns the standard lazy cursor."""
+        if self.closed:
+            raise ProtocolError("connection is closed")
+        if self._active is not None and not self._active.closed:
+            # Sequential protocol: at most one live stream per
+            # connection, like a DB-API connection reusing its cursor.
+            self._active.close()
+        qid = next(self._qids)
+        metrics = QueryMetrics()
+        metrics.begin()
+        self._send(FrameType.QUERY, {"qid": qid, "sql": sql})
+        ftype, payload = self._expect_frame()
+        if ftype is FrameType.ERROR:
+            raise error_from_wire(
+                payload.get("code", "internal"), payload.get("message", "")
+            )
+        if ftype is not FrameType.ROWSET or payload.get("qid") != qid:
+            raise ProtocolError(f"expected ROWSET for qid={qid}")
+        names = list(payload.get("columns", []))
+        try:
+            dtypes = [DataType(t) for t in payload.get("types", [])]
+        except ValueError as exc:
+            raise ProtocolError(f"unknown column type from server: {exc}")
+        stream = _WireBatches(self, qid, names, dtypes)
+        cursor = Cursor(names, dtypes, stream, metrics)
+        self._active = cursor
+        self.queries_issued += 1
+        return cursor
+
+    def query(self, sql: str) -> QueryResult:
+        """Execute and materialize (``cursor(sql).fetchall()``)."""
+        return self.cursor(sql).fetchall()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the active stream (if any), say GOODBYE, hang up."""
+        if self.closed:
+            return
+        try:
+            if self._active is not None and not self._active.closed:
+                self._active.close()
+            self._send(FrameType.GOODBYE, {})
+        except (OSError, ProtocolError):
+            pass  # the server may already be gone; hang up regardless
+        finally:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        self.closed = True
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return (
+            f"Connection({self.host}:{self.port}, session "
+            f"{self.session_id}, {self.queries_issued} queries, {state})"
+        )
+
+    # ------------------------------------------------------------------
+    # Wire plumbing (used by _WireBatches).
+    # ------------------------------------------------------------------
+
+    def _send(self, ftype: FrameType, payload: dict) -> None:
+        self._sock.sendall(encode_frame(ftype, payload))
+
+    def _expect_frame(self) -> tuple[FrameType, dict]:
+        frame = read_frame_blocking(self._reader, self._max_read)
+        if frame is None:
+            raise ProtocolError("server closed the connection")
+        return frame
+
+
+class _WireBatches:
+    """Batch iterator decoding one query's ROWS/END/ERROR frames.
+
+    Mirrors :class:`repro.service.streaming._ChannelBatches`: a plain
+    iterator whose ``close()`` abandons the stream even when iteration
+    never started — here by sending CLOSE and draining to the stream's
+    END/ERROR so the connection stays usable for the next query.
+    """
+
+    __slots__ = ("_conn", "_qid", "_names", "_dtypes", "_finished")
+
+    def __init__(
+        self,
+        conn: Connection,
+        qid: int,
+        names: list[str],
+        dtypes: list[DataType],
+    ) -> None:
+        self._conn = conn
+        self._qid = qid
+        self._names = names
+        self._dtypes = dtypes
+        self._finished = False
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self
+
+    def __next__(self) -> Batch:
+        if self._finished:
+            raise StopIteration
+        try:
+            ftype, payload = self._next_stream_frame()
+        except BaseException:
+            self._finished = True  # a broken stream cannot continue
+            raise
+        if ftype is FrameType.END:
+            self._finished = True
+            raise StopIteration
+        return self._decode_rows(payload)
+
+    def _next_stream_frame(self) -> tuple[FrameType, dict]:
+        """Next ROWS or END frame of this stream; ERROR raises."""
+        while True:
+            ftype, payload = self._conn._expect_frame()
+            if payload.get("qid") != self._qid:
+                # A frame from a past stream (e.g. the END that raced a
+                # CLOSE whose drain was cut short) would desync — that
+                # is a protocol bug, fail loudly.
+                raise ProtocolError(
+                    f"frame for qid={payload.get('qid')} inside "
+                    f"stream qid={self._qid}"
+                )
+            if ftype is FrameType.ERROR:
+                raise error_from_wire(
+                    payload.get("code", "internal"),
+                    payload.get("message", ""),
+                )
+            if ftype in (FrameType.ROWS, FrameType.END):
+                return ftype, payload
+            raise ProtocolError(f"unexpected {ftype.name} frame in stream")
+
+    def _decode_rows(self, payload: dict) -> Batch:
+        rows = payload.get("rows", [])
+        columns = {}
+        for i, (name, dtype) in enumerate(zip(self._names, self._dtypes)):
+            columns[name] = ColumnVector.from_pylist(
+                dtype, [row[i] for row in rows]
+            )
+        if not columns:
+            return Batch({}, num_rows=len(rows))
+        return Batch(columns)
+
+    def close(self) -> None:
+        """Abandon the stream: CLOSE, then drain to its END/ERROR."""
+        if self._finished:
+            return
+        self._finished = True
+        conn = self._conn
+        if conn.closed:
+            return
+        conn._send(FrameType.CLOSE, {"qid": self._qid})
+        while True:
+            ftype, payload = conn._expect_frame()
+            if payload.get("qid") != self._qid:
+                raise ProtocolError(
+                    f"frame for qid={payload.get('qid')} while closing "
+                    f"stream qid={self._qid}"
+                )
+            if ftype in (FrameType.END, FrameType.ERROR):
+                return  # natural or closed END — either ends the stream
+            if ftype is not FrameType.ROWS:
+                raise ProtocolError(
+                    f"unexpected {ftype.name} frame while closing"
+                )

@@ -35,6 +35,12 @@ DEFAULT_PARALLEL_CHUNK_BYTES = 1 << 20
 #: Supported parallel scan-pool backends.
 PARALLEL_BACKENDS = ("thread", "process")
 
+#: Floor for ``frame_bytes``: a wire frame must always fit the
+#: protocol's control payloads plus at least one row's framing overhead
+#: (:mod:`repro.server.protocol` — which cannot be imported here
+#: without a cycle, so the bound lives with its validation).
+MIN_FRAME_BYTES = 1024
+
 
 @dataclass(frozen=True)
 class PostgresRawConfig:
@@ -165,6 +171,28 @@ class PostgresRawConfig:
     #: cursor then holds its shared table locks indefinitely).
     cursor_ttl_s: float | None = 60.0
 
+    #: Bind address of the wire-protocol server (:mod:`repro.server`).
+    server_host: str = "127.0.0.1"
+
+    #: TCP port of the wire-protocol server.  ``0`` asks the OS for an
+    #: ephemeral port (the bound port is reported by
+    #: :attr:`repro.server.RawServer.port` — handy for tests and
+    #: benchmarks that run many servers side by side).
+    server_port: int = 5433
+
+    #: Maximum simultaneously open client connections; arrivals beyond
+    #: this are turned away with a fast wire-level ERROR frame instead
+    #: of being accepted and starved (admission control for sockets,
+    #: mirroring ``admission_queue_depth`` for queries).
+    max_connections: int = 64
+
+    #: Upper bound (bytes) on one wire frame's payload.  Outgoing row
+    #: frames are split to stay under it (a huge batch becomes several
+    #: frames, so per-connection send buffers stay bounded); incoming
+    #: frames that exceed it are rejected as a protocol error rather
+    #: than buffered without bound.
+    frame_bytes: int = 1 << 20
+
     #: Half-life (seconds) for decaying the ``benefit_seconds`` signal
     #: of governed structures: a positional chunk or cache entry that
     #: has not been touched for one half-life counts at half its
@@ -217,6 +245,12 @@ class PostgresRawConfig:
             raise BudgetError("cursor_ttl_s must be > 0 (or None)")
         if self.benefit_half_life_s is not None and self.benefit_half_life_s <= 0:
             raise BudgetError("benefit_half_life_s must be > 0 (or None)")
+        if not (0 <= self.server_port <= 65535):
+            raise BudgetError("server_port must be in [0, 65535]")
+        if self.max_connections < 1:
+            raise BudgetError("max_connections must be >= 1")
+        if self.frame_bytes < MIN_FRAME_BYTES:
+            raise BudgetError(f"frame_bytes must be >= {MIN_FRAME_BYTES}")
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.

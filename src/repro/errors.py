@@ -4,9 +4,18 @@ Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still distinguishing the common cases (bad SQL, bad schema, malformed raw
 data) when they need to.
+
+The hierarchy also defines the **wire error codes** spoken by the socket
+server (:mod:`repro.server`): every class carries a stable string code,
+:func:`wire_code_for` picks the most specific code for an instance, and
+:func:`error_from_wire` rebuilds the matching exception on the client —
+so ``except AdmissionError`` works identically against an in-process
+session and a remote connection.
 """
 
 from __future__ import annotations
+
+import copy as _copy
 
 
 class ReproError(Exception):
@@ -99,3 +108,83 @@ class CursorTimeoutError(CursorError):
     abandoned the query (releasing its table locks).  Batches produced
     before the abandonment are still delivered; this error follows
     them."""
+
+
+class ProtocolError(ServiceError):
+    """The wire conversation broke: a malformed or oversized frame, a
+    version mismatch in the handshake, a rejected auth token, or a
+    frame that is illegal in the connection's current state."""
+
+
+def fresh_copy(exc: BaseException) -> BaseException:
+    """A new exception instance equivalent to ``exc``.
+
+    Raising a stored exception hands the *same* object to every
+    consumer: each ``raise`` rewrites its ``__traceback__`` and implicit
+    chaining mutates ``__context__``, so two independent readers of one
+    failed stream would see each other's stack fragments.  Copying via
+    the exception's reduce protocol preserves ``args`` and instance
+    attributes (e.g. ``RawDataError.row``) while giving the copy a clean
+    traceback; callers chain it with ``raise fresh_copy(e) from e`` so
+    the original producer-side traceback stays visible as the cause.
+    """
+    try:
+        duplicate = _copy.copy(exc)
+    except Exception:  # uncopyable exotic exception: reuse it
+        return exc
+    return duplicate
+
+
+#: Stable wire codes for the exception families the socket server can
+#: report.  Ordered most-specific-first: ``wire_code_for`` returns the
+#: first entry the instance is-a, so subclasses added later fall back to
+#: their nearest ancestor's code instead of an unknown code.
+_WIRE_CODES: list[tuple[str, type]] = []
+
+
+def _register_wire(code: str, cls: type) -> None:
+    _WIRE_CODES.append((code, cls))
+
+
+def wire_code_for(exc: BaseException) -> str:
+    """The most specific registered wire code for ``exc``
+    (``"internal"`` for anything outside the library hierarchy)."""
+    for code, cls in _WIRE_CODES:
+        if isinstance(exc, cls):
+            return code
+    return "internal"
+
+
+def error_from_wire(code: str, message: str) -> ReproError:
+    """Rebuild the exception class a wire code names.
+
+    Unknown codes (a newer server speaking to an older client) degrade
+    to plain :class:`ReproError` rather than failing the decode.
+    """
+    for known, cls in _WIRE_CODES:
+        if known == code:
+            return cls(message)
+    return ReproError(f"[{code}] {message}")
+
+
+for _code, _cls in (
+    ("admission", AdmissionError),
+    ("cursor_closed", CursorClosedError),
+    ("cursor_invalid", CursorInvalidError),
+    ("cursor_timeout", CursorTimeoutError),
+    ("cursor", CursorError),
+    ("protocol", ProtocolError),
+    ("service", ServiceError),
+    ("sql_syntax", SQLSyntaxError),
+    ("planning", PlanningError),
+    ("execution", ExecutionError),
+    ("conversion", ConversionError),
+    ("raw_data", RawDataError),
+    ("catalog", CatalogError),
+    ("schema", SchemaError),
+    ("storage", StorageError),
+    ("budget", BudgetError),
+    ("update_conflict", UpdateConflictError),
+    ("internal", ReproError),
+):
+    _register_wire(_code, _cls)

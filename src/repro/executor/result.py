@@ -10,7 +10,7 @@ from typing import Callable, Iterator
 from ..batch import Batch
 from ..core.metrics import QueryMetrics
 from ..datatypes import DataType, days_to_date
-from ..errors import CursorClosedError, ExecutionError
+from ..errors import CursorClosedError, ExecutionError, fresh_copy
 
 
 def batch_rows(batch: Batch, names: list[str]) -> list[tuple]:
@@ -54,6 +54,7 @@ class Cursor:
         self._batches = batches
         self._pending: list[tuple] = []  # rows decoded, not yet fetched
         self._on_close = on_close
+        self._stream_error: BaseException | None = None
         self.closed = False
         self.exhausted = False
         self.batches_fetched = 0
@@ -72,13 +73,20 @@ class Cursor:
         if self.closed:
             raise CursorClosedError("cursor is closed")
         if self.exhausted:
+            if self._stream_error is not None:
+                # A failed stream stays failed: every further fetch
+                # re-reports the failure (as a fresh instance — see
+                # errors.fresh_copy) instead of masquerading as a clean
+                # empty tail.
+                raise fresh_copy(self._stream_error) from self._stream_error
             return None
         try:
             batch = next(self._batches)
         except StopIteration:
             self._finish()
             return None
-        except BaseException:
+        except BaseException as exc:
+            self._stream_error = exc
             self._finish()
             raise
         self.metrics.mark_first_batch()

@@ -7,7 +7,9 @@
 * :mod:`repro.monitor.usage` — attribute access statistics;
 * :mod:`repro.monitor.governor` — the serving-layer panel: global
   memory-budget residency per table, governor pressure counters,
-  scheduler occupancy and per-table lock contention.
+  scheduler occupancy and per-table lock contention;
+* :mod:`repro.monitor.connections` — the wire-server panel: open
+  connections, frame/row throughput and per-connection TTFB.
 """
 
 from .breakdown import (
@@ -16,6 +18,7 @@ from .breakdown import (
     render_worker_breakdown,
     worker_report,
 )
+from .connections import connections_report, render_connections_panel
 from .governor import (
     governor_report,
     render_concurrency_panel,
@@ -29,6 +32,8 @@ __all__ = [
     "render_breakdown",
     "render_worker_breakdown",
     "worker_report",
+    "connections_report",
+    "render_connections_panel",
     "governor_report",
     "render_concurrency_panel",
     "render_governor_panel",

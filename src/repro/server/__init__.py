@@ -1,0 +1,23 @@
+"""The wire-protocol serving layer: PostgresRaw as a *server*.
+
+NoDB's premise is a DBMS serving declarative queries directly over raw
+files — PostgresRaw is a server, not a library.  This package puts a
+socket front end on :class:`repro.service.PostgresRawService`:
+
+* :mod:`repro.server.protocol` — the small length-prefixed framed
+  protocol (HELLO/WELCOME handshake with an auth stub, QUERY, ROWSET /
+  ROWS / END result streaming, ERROR frames carrying stable wire codes,
+  CLOSE for early cursor abandonment, GOODBYE);
+* :mod:`repro.server.server` — :class:`RawServer`, the asyncio socket
+  server: one :class:`repro.service.Session` per connection, batches
+  pumped from streaming cursors into socket writes with end-to-end
+  backpressure (bounded channel inside, ``writer.drain()`` outside).
+
+The matching blocking client lives in :mod:`repro.client`; run a
+standalone server with ``python -m repro.server`` (see ``--help``).
+"""
+
+from .protocol import PROTOCOL_VERSION, FrameType
+from .server import RawServer
+
+__all__ = ["PROTOCOL_VERSION", "FrameType", "RawServer"]

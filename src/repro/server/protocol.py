@@ -1,0 +1,183 @@
+"""The wire protocol spoken between :mod:`repro.server` and
+:mod:`repro.client`.
+
+A deliberately small, length-prefixed framed protocol — one frame is::
+
+    +----------------+------------+----------------------+
+    | length (4B BE) | type (1B)  | payload (JSON utf-8) |
+    +----------------+------------+----------------------+
+
+where ``length`` counts the type byte plus the payload.  JSON keeps the
+payloads debuggable with ``tcpdump`` and dependency-free; Python's
+encoder/decoder round-trips ``NaN``/``Infinity`` floats, and every SQL
+value the engine produces (int, float, str, bool, NULL, DATE as
+epoch-days) is JSON-representable.
+
+Conversation::
+
+    client                         server
+    HELLO {version, token?}  -->
+                             <--   WELCOME {version, session_id}
+    QUERY {qid, sql}         -->
+                             <--   ROWSET {qid, columns, types}
+                             <--   ROWS {qid, rows}          (repeated)
+                             <--   END {qid, rows, closed}
+    CLOSE {qid}              -->   (abandon the active stream early;
+                             <--    END {qid, closed: true} acks it)
+    GOODBYE {}               -->   (connection closes)
+
+An ERROR frame ``{qid?, code, message}`` may replace ROWSET (the query
+failed to admit/parse/plan) or interrupt a ROWS stream (the producing
+scan failed mid-flight); ``code`` is a stable string from
+:func:`repro.errors.wire_code_for`, so the client re-raises the matching
+exception class.  A CLOSE for a stream that already ended is silently
+ignored (the natural END is already in flight — the client drains to
+it), which makes the close race benign.
+
+Frames are bounded by ``frame_bytes``: outgoing ROWS frames are *split*
+(:func:`iter_row_frames` packs rows greedily by encoded size, starting
+a new frame whenever the next row would overflow the bound), and
+incoming frames over the limit are rejected as a
+:class:`repro.errors.ProtocolError` instead of buffered without bound.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from typing import BinaryIO, Iterator
+
+from ..errors import ProtocolError
+
+#: Protocol revision carried in HELLO/WELCOME; a mismatch fails the
+#: handshake with a ``protocol`` ERROR frame.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("!I")
+_HEADER_BYTES = _HEADER.size
+
+
+class FrameType(enum.IntEnum):
+    """One byte on the wire; grouped by direction."""
+
+    HELLO = 0x01  # client -> server: {version, token?}
+    WELCOME = 0x02  # server -> client: {version, session_id, server}
+    QUERY = 0x03  # client -> server: {qid, sql}
+    ROWSET = 0x04  # server -> client: {qid, columns, types}
+    ROWS = 0x05  # server -> client: {qid, rows: [[...], ...]}
+    END = 0x06  # server -> client: {qid, rows, closed}
+    ERROR = 0x07  # server -> client: {qid?, code, message}
+    CLOSE = 0x08  # client -> server: {qid}
+    GOODBYE = 0x09  # client -> server: {}
+
+
+def encode_frame(ftype: FrameType, payload: dict) -> bytes:
+    """One wire frame: header + type byte + JSON payload."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(body) + 1) + bytes((int(ftype),)) + body
+
+
+def decode_payload(ftype_byte: int, body: bytes) -> tuple[FrameType, dict]:
+    """Parse a frame's type byte + JSON body (header already consumed)."""
+    try:
+        ftype = FrameType(ftype_byte)
+    except ValueError:
+        raise ProtocolError(f"unknown frame type 0x{ftype_byte:02x}") from None
+    try:
+        payload = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable {ftype.name} payload: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{ftype.name} payload must be a JSON object")
+    return ftype, payload
+
+
+def iter_row_frames(
+    qid: int, rows: list, frame_bytes: int
+) -> Iterator[bytes]:
+    """Encode ``rows`` as one or more ROWS frames, each under
+    ``frame_bytes`` where possible.
+
+    Single pass, each row JSON-encoded exactly once: rows are packed
+    greedily by encoded size and the payload is assembled from the
+    pre-encoded pieces (this is the per-batch hot path of every
+    streamed result).  A single row whose encoding alone exceeds the
+    limit is still sent as its own (oversized) frame — the receiving
+    side's limit applies to *incoming request* frames; result frames
+    this large mean the operator should raise ``frame_bytes``.
+    """
+    if not rows:
+        return
+    prefix = f'{{"qid":{qid:d},"rows":['.encode("utf-8")
+    overhead = _HEADER_BYTES + 1 + len(prefix) + len(b"]}")
+    chunk: list[bytes] = []
+    size = 0
+    for row in rows:
+        piece = json.dumps(row, separators=(",", ":")).encode("utf-8")
+        extra = len(piece) + (1 if chunk else 0)  # +1 for the comma
+        if chunk and overhead + size + extra > frame_bytes:
+            yield _assemble_rows_frame(prefix, chunk)
+            chunk, size = [], 0
+            extra = len(piece)
+        chunk.append(piece)
+        size += extra
+    yield _assemble_rows_frame(prefix, chunk)
+
+
+def _assemble_rows_frame(prefix: bytes, pieces: list[bytes]) -> bytes:
+    body = prefix + b",".join(pieces) + b"]}"
+    return _HEADER.pack(len(body) + 1) + bytes((int(FrameType.ROWS),)) + body
+
+
+def read_frame_blocking(
+    stream: BinaryIO, max_bytes: int
+) -> tuple[FrameType, dict] | None:
+    """Read one frame from a blocking file-like socket stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on a truncated or oversized frame.
+    """
+    header = stream.read(_HEADER_BYTES)
+    if not header:
+        return None
+    if len(header) < _HEADER_BYTES:
+        raise ProtocolError("connection died mid frame header")
+    (length,) = _HEADER.unpack(header)
+    if length < 1:
+        raise ProtocolError("frame with no type byte")
+    if length - 1 > max_bytes:
+        raise ProtocolError(
+            f"incoming frame of {length - 1} bytes exceeds "
+            f"frame_bytes={max_bytes}"
+        )
+    body = stream.read(length)
+    if len(body) < length:
+        raise ProtocolError("connection died mid frame body")
+    return decode_payload(body[0], body[1:])
+
+
+async def read_frame(reader, max_bytes: int) -> tuple[FrameType, dict] | None:
+    """Async twin of :func:`read_frame_blocking` over an
+    ``asyncio.StreamReader``."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection died mid frame header") from None
+    (length,) = _HEADER.unpack(header)
+    if length < 1:
+        raise ProtocolError("frame with no type byte")
+    if length - 1 > max_bytes:
+        raise ProtocolError(
+            f"incoming frame of {length - 1} bytes exceeds "
+            f"frame_bytes={max_bytes}"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection died mid frame body") from None
+    return decode_payload(body[0], body[1:])

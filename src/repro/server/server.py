@@ -1,0 +1,606 @@
+"""The wire-protocol query server: sockets in front of the service.
+
+:class:`RawServer` is an asyncio socket server fronting one
+:class:`repro.service.PostgresRawService`.  Each accepted connection
+owns one :class:`repro.service.Session`; its handler coroutine pumps
+every streaming cursor's batches into socket writes.  The two
+flow-control domains compose end-to-end:
+
+* inside the service, the producing scan is throttled by the bounded
+  :class:`repro.service.streaming.BatchChannel` (``stream_queue_batches``
+  deep, ``cursor_ttl_s`` abandoning stalled consumers);
+* on the wire, ``await writer.drain()`` throttles the handler against
+  the client's TCP receive window.
+
+The handler *is* the channel's consumer, so a client that stops reading
+stalls ``drain()``, which stops the handler pulling batches, which
+fills the channel, which blocks the producer — and after ``cursor_ttl_s``
+the producer abandons the query and releases its table locks.  The
+in-process lock-lifetime contract carries over the wire unchanged.
+
+Blocking service calls (admission, planning, batch pulls, cursor
+close) run on worker threads via ``asyncio.to_thread``; the event loop
+only ever parses frames and writes sockets, so hundreds of connections
+multiplex over one loop while at most ``max_concurrent_queries``
+producers run.
+
+Use it embedded (tests, benchmarks)::
+
+    server = RawServer(service).start()     # background event loop
+    ... repro.client.connect(port=server.port) ...
+    server.stop()
+
+or standalone (``make serve``)::
+
+    python -m repro.server --data t.csv --table t --port 5433
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    wire_code_for,
+)
+from ..executor.result import batch_rows
+from ..service.service import PostgresRawService, Session
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameType,
+    encode_frame,
+    iter_row_frames,
+    read_frame,
+)
+
+
+@dataclass
+class _Connection:
+    """Book-keeping for one live client connection."""
+
+    conn_id: int
+    peer: str
+    opened_monotonic: float
+    task: "asyncio.Task | None" = None
+    session: Session | None = None
+    queries: int = 0
+    frames_sent: int = 0
+    rows_sent: int = 0
+    last_ttfb_s: float | None = None
+    cursor: object | None = field(default=None, repr=False)
+
+
+class RawServer:
+    """Serve one :class:`PostgresRawService` over TCP.
+
+    Knobs default to the service's config (``server_host``,
+    ``server_port``, ``max_connections``, ``frame_bytes``); keyword
+    overrides exist for embedding several servers in one process.
+    ``auth_token`` is the handshake's auth stub: when set, HELLO frames
+    must carry the same token or the connection is refused.
+    """
+
+    def __init__(
+        self,
+        service: PostgresRawService,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        max_connections: int | None = None,
+        frame_bytes: int | None = None,
+        auth_token: str | None = None,
+    ) -> None:
+        config = service.config
+        self.service = service
+        self.host = config.server_host if host is None else host
+        self.requested_port = config.server_port if port is None else port
+        self.max_connections = (
+            config.max_connections if max_connections is None else max_connections
+        )
+        self.frame_bytes = (
+            config.frame_bytes if frame_bytes is None else frame_bytes
+        )
+        self.auth_token = auth_token
+        self.port: int | None = None  # bound port, set by start
+        # Dedicated worker pool for blocking service calls, sized so
+        # every connection always has a worker.  The loop's *default*
+        # executor is min(32, cpus + 4) threads — on small hosts that
+        # deadlocks under load: every worker can end up parked in a
+        # query-open (waiting for a table lock a streaming producer
+        # holds) while the one batch-pull that would drain that producer
+        # sits queued with no worker, until cursor_ttl_s breaks the cycle.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_connections + 4,
+            thread_name_prefix="repro-wire",
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._conn_ids = itertools.count(1)
+        self._connections: dict[int, _Connection] = {}
+        self._stats_lock = threading.Lock()
+        self._started_monotonic: float | None = None
+        self.connections_accepted = 0
+        self.connections_rejected = 0
+        self.connections_closed = 0
+        self.queries_served = 0
+        self.frames_sent = 0
+        self.rows_sent = 0
+        self.errors_sent = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle (async core).
+    # ------------------------------------------------------------------
+
+    async def start_async(self) -> "RawServer":
+        """Bind and start accepting (on the running event loop)."""
+        if self._server is not None:
+            raise ServiceError("server already started")
+        if self._stopped:
+            # The worker pool is gone; a rebind would accept connections
+            # whose every query fails.  One RawServer = one lifetime.
+            raise ServiceError("server was stopped; build a new RawServer")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
+        return self
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: stop accepting, then close every live
+        connection (their handlers close any open cursor on the way
+        out, so no scheduler slot or table lock outlives the server)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        with self._stats_lock:
+            live = list(self._connections.values())
+        tasks = [conn.task for conn in live if conn.task is not None]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        # Handlers are gone; their in-flight cursor closes are done
+        # (each close joins its producer), so no cursor or slot leaks.
+        self._stopped = True
+        self._executor.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the standalone ``__main__`` entry)."""
+        if self._server is None:
+            await self.start_async()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (blocking wrappers: background event-loop thread).
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RawServer":
+        """Start serving on a dedicated event-loop thread and return
+        once the port is bound (``server.port`` is then set)."""
+        if self._thread is not None:
+            raise ServiceError("server already started")
+        if self._stopped:
+            raise ServiceError("server was stopped; build a new RawServer")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.start_async(), self._loop)
+        try:
+            future.result(timeout=30)
+        except BaseException:
+            self._shutdown_loop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        """Blocking graceful shutdown of a :meth:`start`-ed server."""
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.aclose(), self._loop)
+        try:
+            future.result(timeout=30)
+        finally:
+            self._shutdown_loop()
+
+    def _shutdown_loop(self) -> None:
+        loop, self._loop = self._loop, None
+        thread, self._thread = self._thread, None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10)
+        if loop is not None and not loop.is_running():
+            loop.close()
+
+    def __enter__(self) -> "RawServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        if len(self._connections) >= self.max_connections:
+            # Turned away *before* any service state is touched: the
+            # socket-level analogue of fast admission rejection.  Read
+            # the client's HELLO first — closing with unread bytes in
+            # the receive buffer would RST the socket and the kernel
+            # could discard the ERROR frame before the client reads it.
+            with self._stats_lock:
+                self.connections_rejected += 1
+            try:
+                await asyncio.wait_for(
+                    read_frame(reader, self.frame_bytes), timeout=2.0
+                )
+            except (ProtocolError, ConnectionError, asyncio.TimeoutError):
+                pass
+            await self._try_send_error(
+                writer,
+                None,
+                ServiceError(
+                    f"server at max_connections={self.max_connections}"
+                ),
+                conn=None,
+            )
+            writer.close()
+            return
+        conn = _Connection(
+            conn_id=next(self._conn_ids),
+            peer=peer,
+            opened_monotonic=time.monotonic(),
+            task=asyncio.current_task(),
+        )
+        # Registry mutations share _stats_lock with connection_stats():
+        # the panel iterates this dict from arbitrary threads.
+        with self._stats_lock:
+            self._connections[conn.conn_id] = conn
+            self.connections_accepted += 1
+        # Bounded: a client spraying frames stalls its own reader task
+        # (TCP backpressure) instead of growing server memory.
+        frames: asyncio.Queue = asyncio.Queue(maxsize=32)
+        pump = asyncio.create_task(self._pump_frames(reader, frames))
+        try:
+            if not await self._handshake(conn, frames, writer):
+                return
+            await self._request_loop(conn, frames, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client vanished: cleanup below is all that matters
+        except ProtocolError as exc:
+            await self._try_send_error(writer, None, exc, conn)
+        except asyncio.CancelledError:
+            # Server shutdown: finish via cleanup and end *quietly* —
+            # re-raising would make asyncio.streams' connection_made
+            # callback log every handler as a crashed task.
+            pass
+        finally:
+            pump.cancel()
+            try:
+                await self._close_conn_cursor(conn)
+            except asyncio.CancelledError:
+                pass  # the shielded close still finishes on its thread
+            with self._stats_lock:
+                self._connections.pop(conn.conn_id, None)
+                self.connections_closed += 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _call(self, fn, *args):
+        """Run a blocking service call on the server's own worker pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(fn, *args)
+        )
+
+    async def _pump_frames(
+        self, reader: asyncio.StreamReader, frames: asyncio.Queue
+    ) -> None:
+        """Single reader task per connection: decoded frames flow into a
+        queue so the handler can notice a CLOSE while mid-stream."""
+        try:
+            while True:
+                frame = await read_frame(reader, self.frame_bytes)
+                await frames.put(frame)
+                if frame is None:
+                    return
+        except ProtocolError as exc:
+            await frames.put(exc)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            await frames.put(None)
+
+    @staticmethod
+    async def _next_frame(frames: asyncio.Queue):
+        """Next decoded frame; EOF -> None; reader errors re-raised."""
+        frame = await frames.get()
+        if isinstance(frame, ProtocolError):
+            raise frame
+        return frame
+
+    async def _handshake(
+        self, conn: _Connection, frames: asyncio.Queue, writer
+    ) -> bool:
+        frame = await self._next_frame(frames)
+        if frame is None:
+            return False
+        ftype, payload = frame
+        if ftype is not FrameType.HELLO:
+            raise ProtocolError(f"expected HELLO, got {ftype.name}")
+        version = payload.get("version")
+        if version != PROTOCOL_VERSION:
+            await self._send_error(
+                writer,
+                None,
+                ProtocolError(
+                    f"protocol version mismatch: client {version}, "
+                    f"server {PROTOCOL_VERSION}"
+                ),
+                conn,
+            )
+            return False
+        if self.auth_token is not None and payload.get("token") != self.auth_token:
+            await self._send_error(
+                writer, None, ProtocolError("auth token rejected"), conn
+            )
+            return False
+        try:
+            conn.session = self.service.session()
+        except ReproError as exc:
+            await self._send_error(writer, None, exc, conn)
+            return False
+        await self._send(
+            writer,
+            conn,
+            FrameType.WELCOME,
+            {
+                "version": PROTOCOL_VERSION,
+                "session_id": conn.session.session_id,
+                "server": "repro-postgresraw",
+            },
+        )
+        return True
+
+    async def _request_loop(
+        self, conn: _Connection, frames: asyncio.Queue, writer
+    ) -> None:
+        while True:
+            frame = await self._next_frame(frames)
+            if frame is None:
+                return  # client hung up without GOODBYE; same cleanup
+            ftype, payload = frame
+            if ftype is FrameType.GOODBYE:
+                return
+            if ftype is FrameType.CLOSE:
+                continue  # stale close for a stream that already ended
+            if ftype is not FrameType.QUERY:
+                raise ProtocolError(
+                    f"unexpected {ftype.name} frame between queries"
+                )
+            await self._serve_query(conn, frames, writer, payload)
+
+    async def _serve_query(
+        self, conn: _Connection, frames: asyncio.Queue, writer, payload: dict
+    ) -> None:
+        qid = payload.get("qid")
+        sql = payload.get("sql")
+        if not isinstance(qid, int) or not isinstance(sql, str):
+            raise ProtocolError("QUERY frame needs an int qid and a str sql")
+        session = conn.session
+        # Admission control, reconcile and planning run here — on a
+        # worker thread, so a queue wait never stalls the loop.
+        open_task = asyncio.ensure_future(self._call(session.cursor, sql))
+        try:
+            cursor = await asyncio.shield(open_task)
+        except asyncio.CancelledError:
+            # Cancelled (server shutdown) while the worker thread is
+            # mid-open: the thread cannot be interrupted and may hand
+            # back a live cursor holding a scheduler slot and table
+            # locks.  Wait it out and park the cursor on the connection
+            # so the handler's cleanup closes it — never leak the open.
+            try:
+                conn.cursor = await open_task
+            except Exception:
+                pass  # the open itself failed: nothing to reap
+            raise
+        except Exception as exc:  # any failure maps to a wire code
+            await self._send_error(writer, qid, exc, conn)
+            return
+        conn.cursor = cursor
+        conn.queries += 1
+        with self._stats_lock:
+            self.queries_served += 1
+        rows_sent = 0
+        closed = False
+        try:
+            await self._send(
+                writer,
+                conn,
+                FrameType.ROWSET,
+                {
+                    "qid": qid,
+                    "columns": cursor.column_names,
+                    "types": [t.value for t in cursor.column_types],
+                },
+            )
+            batches = cursor.batches()
+            while True:
+                try:
+                    batch = await self._call(next, batches, None)
+                except Exception as exc:
+                    # Producer-side failure (TTL, racing drop, raw-data
+                    # error) after some batches may already be out: the
+                    # ERROR frame takes the END's place.
+                    await self._send_error(writer, qid, exc, conn)
+                    return
+                if batch is None:
+                    break
+                # Tuples go straight to the encoder (json serializes
+                # them as arrays) — no per-row copy on the hot path.
+                rows = batch_rows(batch, cursor.column_names)
+                for wire_frame in iter_row_frames(qid, rows, self.frame_bytes):
+                    writer.write(wire_frame)
+                    # The consumer side of the bounded channel: TCP
+                    # backpressure throttles the pull loop, the pull
+                    # loop throttles the producing scan.
+                    await writer.drain()
+                    conn.frames_sent += 1
+                    with self._stats_lock:
+                        self.frames_sent += 1
+                rows_sent += len(rows)
+                conn.rows_sent += len(rows)
+                with self._stats_lock:
+                    self.rows_sent += len(rows)
+                if await self._close_requested(conn, frames, qid):
+                    closed = True
+                    break
+            await self._send(
+                writer,
+                conn,
+                FrameType.END,
+                {"qid": qid, "rows": rows_sent, "closed": closed},
+            )
+        finally:
+            await self._close_conn_cursor(conn)
+
+    async def _close_requested(
+        self, conn: _Connection, frames: asyncio.Queue, qid: int
+    ) -> bool:
+        """Did the client CLOSE the active stream (or vanish)?
+
+        Checked between row frames so an early hang-up stops the
+        producing scan instead of streaming a result nobody reads.
+        """
+        while True:
+            try:
+                frame = frames.get_nowait()
+            except asyncio.QueueEmpty:
+                return False
+            if frame is None:
+                raise ConnectionResetError("client went away mid stream")
+            if isinstance(frame, ProtocolError):
+                raise frame
+            ftype, payload = frame
+            if ftype is FrameType.CLOSE and payload.get("qid") == qid:
+                await self._call(conn.cursor.close)
+                return True
+            if ftype is FrameType.GOODBYE:
+                raise ConnectionResetError("client said GOODBYE mid stream")
+            raise ProtocolError(
+                f"unexpected {ftype.name} frame while streaming qid={qid}"
+            )
+
+    async def _close_conn_cursor(self, conn: _Connection) -> None:
+        """Close the connection's active cursor (idempotent) and record
+        its time-to-first-batch for the connections panel."""
+        cursor, conn.cursor = conn.cursor, None
+        if cursor is None:
+            return
+        try:
+            await asyncio.shield(self._call(cursor.close))
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass  # already surfaced to the client as an ERROR frame
+        ttfb = cursor.metrics.time_to_first_batch
+        if ttfb is not None:
+            conn.last_ttfb_s = ttfb
+
+    # ------------------------------------------------------------------
+    # Frame writing.
+    # ------------------------------------------------------------------
+
+    async def _send(
+        self, writer, conn: _Connection | None, ftype: FrameType, payload: dict
+    ) -> None:
+        writer.write(encode_frame(ftype, payload))
+        await writer.drain()
+        if conn is not None:
+            conn.frames_sent += 1
+        with self._stats_lock:
+            self.frames_sent += 1
+
+    async def _send_error(
+        self, writer, qid: int | None, exc: BaseException, conn
+    ) -> None:
+        with self._stats_lock:
+            self.errors_sent += 1
+        await self._send(
+            writer,
+            conn,
+            FrameType.ERROR,
+            {"qid": qid, "code": wire_code_for(exc), "message": str(exc)},
+        )
+
+    async def _try_send_error(self, writer, qid, exc, conn) -> None:
+        try:
+            await self._send_error(writer, qid, exc, conn)
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection (connections panel).
+    # ------------------------------------------------------------------
+
+    def connection_stats(self) -> dict[str, object]:
+        """Server-wide counters plus one row per open connection."""
+        now = time.monotonic()
+        uptime = (
+            now - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        with self._stats_lock:
+            connections = [
+                {
+                    "id": conn.conn_id,
+                    "peer": conn.peer,
+                    "age_s": now - conn.opened_monotonic,
+                    "queries": conn.queries,
+                    "frames_sent": conn.frames_sent,
+                    "rows_sent": conn.rows_sent,
+                    "last_ttfb_s": conn.last_ttfb_s,
+                    "streaming": conn.cursor is not None,
+                }
+                for conn in sorted(
+                    self._connections.values(), key=lambda c: c.conn_id
+                )
+            ]
+            return {
+                "host": self.host,
+                "port": self.port,
+                "uptime_s": uptime,
+                "open": len(connections),
+                "max_connections": self.max_connections,
+                "accepted": self.connections_accepted,
+                "rejected": self.connections_rejected,
+                "closed": self.connections_closed,
+                "queries": self.queries_served,
+                "frames_sent": self.frames_sent,
+                "rows_sent": self.rows_sent,
+                "errors_sent": self.errors_sent,
+                "frames_per_s": self.frames_sent / uptime if uptime else 0.0,
+                "connections": connections,
+            }

@@ -89,8 +89,17 @@ class QueryScheduler:
             self.peak_queue_depth = max(
                 self.peak_queue_depth, self._waiting_total
             )
-            while not ticket.granted:
-                self._cond.wait()
+            try:
+                while not ticket.granted:
+                    self._cond.wait()
+            except BaseException:
+                # The wait was interrupted (KeyboardInterrupt, a raising
+                # signal handler, ...).  Undo this waiter's footprint or
+                # the queue shrinks — and, if a releaser granted the
+                # ticket between the interrupt and here, a slot leaks to
+                # a waiter that will never run.
+                self._abandon_wait_locked(session_id, ticket)
+                raise
             # The releaser already ran _admit_locked on our behalf.
 
     def release(self) -> None:
@@ -112,6 +121,37 @@ class QueryScheduler:
     # ------------------------------------------------------------------
     # Internals (callers hold the condition).
     # ------------------------------------------------------------------
+
+    def _abandon_wait_locked(self, session_id: object, ticket: _Ticket) -> None:
+        """An enqueued waiter died before being granted (its
+        ``_cond.wait`` raised): settle the books.
+
+        * Not yet granted — the ticket still sits in its session queue:
+          remove it (dropping the session from the rotation when that
+          empties its queue) and shrink ``_waiting_total``.
+        * Already granted — the releaser dequeued the ticket, shrank
+          ``_waiting_total`` and ran ``_admit_locked`` on behalf of a
+          waiter that will never run: give the slot straight to the
+          next waiter (and un-count the phantom admission).
+        """
+        if ticket.granted:
+            self._active -= 1
+            self.admitted -= 1
+            self._grant_next_locked()
+            return
+        queue = self._queues.get(session_id)
+        if queue is not None:
+            try:
+                queue.remove(ticket)
+            except ValueError:  # pragma: no cover - defensive
+                return
+            if not queue:
+                del self._queues[session_id]
+                try:
+                    self._rotation.remove(session_id)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            self._waiting_total -= 1
 
     def _admit_locked(self) -> None:
         self._active += 1

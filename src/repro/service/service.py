@@ -199,7 +199,7 @@ class PostgresRawService:
             handle.channel.finish(
                 CursorInvalidError("service closed while cursor open")
             )
-            handle.channel.close()
+            handle.channel.close(by_consumer=False)
         for handle in handles:
             if handle.thread is not None:
                 handle.thread.join(timeout=10)

@@ -35,7 +35,12 @@ from collections import deque
 from typing import Iterator
 
 from ..batch import Batch
-from ..errors import CursorInvalidError, CursorTimeoutError
+from ..errors import (
+    CursorClosedError,
+    CursorInvalidError,
+    CursorTimeoutError,
+    fresh_copy,
+)
 
 
 class BatchChannel:
@@ -48,7 +53,8 @@ class BatchChannel:
         self._items: deque[Batch] = deque()
         self._done = False
         self._error: BaseException | None = None
-        self._closed = False  # consumer hung up
+        self._closed = False  # consumer hung up (or was force-closed)
+        self._closed_by_consumer = False
         self.batches_through = 0
         self.peak_depth = 0
 
@@ -111,8 +117,21 @@ class BatchChannel:
                 return item
             if self._done:
                 if self._error is not None:
-                    raise self._error
+                    # A *fresh* instance per delivery: re-raising the
+                    # stored object would hand every consumer retry the
+                    # same exception, each raise mutating/chaining its
+                    # __traceback__ across deliveries.  The original
+                    # (with the producer-side traceback) rides along as
+                    # the cause.
+                    raise fresh_copy(self._error) from self._error
                 raise StopIteration
+            if self._closed_by_consumer:
+                # The consumer itself hung up (Cursor.close or a broken
+                # drain) and then asked for more: its own doing, not a
+                # service shutdown.
+                raise CursorClosedError(
+                    "cursor channel was closed by its own consumer"
+                )
             # Closed from a third party (service shutdown) while the
             # producer was still running.
             raise CursorInvalidError(
@@ -129,9 +148,19 @@ class BatchChannel:
         """
         return _ChannelBatches(self)
 
-    def close(self) -> None:
-        """Consumer hangs up: drop queued batches, unblock the producer."""
+    def close(self, *, by_consumer: bool = True) -> None:
+        """Hang up: drop queued batches, unblock the producer.
+
+        ``by_consumer`` records *who* hung up, so a later ``get`` can
+        tell a self-closed cursor (:class:`CursorClosedError`) from a
+        third-party force-close such as service shutdown
+        (:class:`CursorInvalidError`).  Consumer-close wins once set —
+        a force-close racing a consumer that already hung up must not
+        re-label the cursor's own action.
+        """
         with self._cond:
+            if not self._closed and by_consumer:
+                self._closed_by_consumer = True
             self._closed = True
             self._items.clear()
             self._cond.notify_all()

@@ -1,0 +1,323 @@
+"""The wire protocol end-to-end: a real asyncio server over localhost,
+blocking clients, row-for-row identity with the in-process path, the
+CLOSE/lock-lifetime contract over the socket, error-code round-trips,
+the handshake stub, connection capping, and a concurrent socket stress
+run sharing one service's adaptive state."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.client
+from repro import (
+    PostgresRawConfig,
+    PostgresRawService,
+    RawServer,
+    generate_csv,
+    uniform_table_spec,
+)
+from repro.errors import (
+    CatalogError,
+    CursorClosedError,
+    PlanningError,
+    ProtocolError,
+    ServiceError,
+)
+
+SQL = "SELECT a0, a1 FROM t WHERE a2 < 500000"
+
+QUERIES = [
+    SQL,
+    "SELECT SUM(a2) AS s FROM t WHERE a1 < 600000",
+    "SELECT a0, a3 FROM t WHERE a2 < 150000",
+    "SELECT COUNT(*) AS n FROM t WHERE a3 < 400000",
+]
+
+
+@pytest.fixture
+def table_csv(tmp_path):
+    path = tmp_path / "t.csv"
+    schema = generate_csv(
+        path, uniform_table_spec(n_attrs=6, n_rows=4_000, seed=99)
+    )
+    return path, schema
+
+
+@pytest.fixture
+def served(table_csv):
+    """A service with one table behind a started wire server."""
+    path, schema = table_csv
+    config = PostgresRawConfig(
+        server_port=0, batch_size=128, stream_queue_batches=2
+    )
+    with PostgresRawService(config) as service:
+        service.register_csv("t", path, schema)
+        server = RawServer(service).start()
+        try:
+            yield service, server
+        finally:
+            server.stop()
+
+
+def wire_connect(server, **kwargs):
+    return repro.client.connect(port=server.port, **kwargs)
+
+
+def assert_write_lock_free(service, table, timeout=5.0):
+    """The table's exclusive lock is takeable within ``timeout``."""
+    lock = service.table_lock(table)
+    acquired = threading.Event()
+
+    def taker():
+        lock.acquire_write()
+        acquired.set()
+        lock.release_write()
+
+    t = threading.Thread(target=taker, daemon=True)
+    t.start()
+    assert acquired.wait(timeout), f"write lock on {table!r} still held"
+    t.join(timeout=timeout)
+
+
+class TestWireIdentity:
+    def test_socket_rows_match_in_process_rows(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with wire_connect(server) as conn:
+            assert conn.query(SQL).rows == reference
+
+    def test_multi_batch_stream_is_batched_on_the_wire(self, served):
+        service, server = served
+        reference = service.query("SELECT a0 FROM t").rows
+        with wire_connect(server) as conn:
+            with conn.cursor("SELECT a0 FROM t") as cursor:
+                batches = list(cursor.batches())
+            assert len(batches) > 1  # 4000 rows / batch_size 128
+            rows = [
+                row for batch in batches
+                for row in zip(batch.column("a0").to_pylist())
+            ]
+        assert rows == reference
+
+    def test_every_query_shape_round_trips(self, served):
+        service, server = served
+        with wire_connect(server) as conn:
+            for sql in QUERIES:
+                assert conn.query(sql).rows == service.query(sql).rows
+
+    def test_fetch_styles_agree_over_the_wire(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with wire_connect(server) as conn:
+            one_by_one = []
+            with conn.cursor(SQL) as cursor:
+                while True:
+                    row = cursor.fetchone()
+                    if row is None:
+                        break
+                    one_by_one.append(row)
+            assert one_by_one == reference
+            chunks = []
+            with conn.cursor(SQL) as cursor:
+                while True:
+                    got = cursor.fetchmany(97)
+                    chunks.extend(got)
+                    if len(got) < 97:
+                        break
+            assert chunks == reference
+
+    def test_mixed_types_and_nulls_round_trip(self, served, mixed_csv):
+        # ints, floats, low-cardinality text, dates, booleans, NULLs.
+        service, server = served
+        path, schema = mixed_csv
+        service.register_csv("m", path, schema)
+        sql = "SELECT id, price, label, day, flag, qty FROM m"
+        reference = service.query(sql).rows
+        with wire_connect(server) as conn:
+            got = conn.query(sql).rows
+        assert got == reference
+        assert any(v is None for row in got for v in row)  # NULLs kept
+
+
+class TestWireLifecycle:
+    def test_early_close_releases_server_side_cursor(self, served):
+        service, server = served
+        with wire_connect(server) as conn:
+            cursor = conn.cursor("SELECT a0 FROM t")
+            assert cursor.fetchone() is not None
+            cursor.close()
+            # The producing scan is gone: exclusive-path work (a write
+            # lock) proceeds immediately, and no cursor stays open.
+            assert service.cursor_stats()["open"] == 0
+            assert_write_lock_free(service, "t")
+            # The connection is immediately reusable.
+            assert conn.query("SELECT COUNT(*) AS n FROM t").scalar() == 4000
+
+    def test_closed_cursor_refuses_fetches(self, served):
+        _, server = served
+        with wire_connect(server) as conn:
+            cursor = conn.cursor(SQL)
+            cursor.close()
+            with pytest.raises(CursorClosedError):
+                cursor.fetchone()
+
+    def test_new_cursor_supersedes_active_stream(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with wire_connect(server) as conn:
+            first = conn.cursor("SELECT a0 FROM t")
+            first.fetchone()
+            second = conn.cursor(SQL)  # implicitly closes `first`
+            assert first.closed
+            assert second.fetchall().rows == reference
+
+    def test_connection_close_mid_stream_frees_service(self, served):
+        service, server = served
+        conn = wire_connect(server)
+        cursor = conn.cursor("SELECT a0 FROM t")
+        assert cursor.fetchone() is not None
+        conn.close()  # closes the active stream first, then GOODBYE
+        assert_write_lock_free(service, "t")
+        assert service.cursor_stats()["open"] == 0
+
+    def test_server_stop_leaves_no_leaked_slots_or_cursors(self, table_csv):
+        path, schema = table_csv
+        config = PostgresRawConfig(server_port=0, batch_size=128)
+        with PostgresRawService(config) as service:
+            service.register_csv("t", path, schema)
+            server = RawServer(service).start()
+            conn = wire_connect(server)
+            cursor = conn.cursor("SELECT a0 FROM t")
+            assert cursor.fetchone() is not None
+            server.stop()  # client still holds an open stream
+            assert service.cursor_stats()["open"] == 0
+            stats = service.scheduler.stats()
+            assert stats["active"] == 0 and stats["waiting"] == 0
+            conn.close()
+
+    def test_connection_stats_track_traffic(self, served):
+        _, server = served
+        with wire_connect(server) as conn:
+            conn.query(SQL)
+            stats = server.connection_stats()
+            assert stats["open"] == 1
+            assert stats["queries"] == 1
+            assert stats["rows_sent"] > 0
+            assert stats["frames_sent"] >= 3  # WELCOME + ROWSET + ROWS...
+            (connection,) = stats["connections"]
+            assert connection["queries"] == 1
+
+
+class TestWireErrors:
+    def test_planning_error_round_trips(self, served):
+        _, server = served
+        with wire_connect(server) as conn:
+            with pytest.raises(PlanningError, match="nope"):
+                conn.query("SELECT nope FROM t")
+            # The connection survives a failed query.
+            assert conn.query("SELECT COUNT(*) AS n FROM t").scalar() == 4000
+
+    def test_catalog_error_round_trips(self, served):
+        _, server = served
+        with wire_connect(server) as conn:
+            with pytest.raises(CatalogError):
+                conn.query("SELECT a0 FROM missing_table")
+
+    def test_sql_syntax_error_round_trips(self, served):
+        from repro.errors import SQLSyntaxError
+
+        _, server = served
+        with wire_connect(server) as conn:
+            with pytest.raises(SQLSyntaxError):
+                conn.query("SELEKT a0 FROM t")
+
+    def test_auth_token_stub(self, table_csv):
+        path, schema = table_csv
+        config = PostgresRawConfig(server_port=0)
+        with PostgresRawService(config) as service:
+            service.register_csv("t", path, schema)
+            server = RawServer(service, auth_token="sesame").start()
+            try:
+                with pytest.raises(ProtocolError, match="auth token"):
+                    wire_connect(server)
+                with pytest.raises(ProtocolError, match="auth token"):
+                    wire_connect(server, token="wrong")
+                with wire_connect(server, token="sesame") as conn:
+                    assert conn.session_id is not None
+            finally:
+                server.stop()
+
+    def test_max_connections_turns_extras_away(self, table_csv):
+        path, schema = table_csv
+        config = PostgresRawConfig(server_port=0)
+        with PostgresRawService(config) as service:
+            service.register_csv("t", path, schema)
+            server = RawServer(service, max_connections=2).start()
+            try:
+                first = wire_connect(server)
+                second = wire_connect(server)
+                with pytest.raises(ServiceError, match="max_connections"):
+                    wire_connect(server)
+                first.close()
+                second.close()
+            finally:
+                server.stop()
+            assert server.connection_stats()["rejected"] == 1
+
+
+class TestWireStress:
+    """The ISSUE's stress variant: many socket clients, one shared
+    adaptive state, row-for-row identity under concurrency."""
+
+    N_CLIENTS = 6
+    ROUNDS = 3
+
+    def test_concurrent_socket_clients_share_one_service(self, served):
+        service, server = served
+        reference = {sql: service.query(sql).rows for sql in QUERIES}
+        start = threading.Barrier(self.N_CLIENTS + 1, timeout=60)
+        failures: list[str] = []
+
+        def client(idx: int) -> None:
+            try:
+                with wire_connect(server) as conn:
+                    start.wait()
+                    for round_no in range(self.ROUNDS):
+                        for sql in QUERIES:
+                            got = conn.query(sql).rows
+                            if got != reference[sql]:
+                                failures.append(
+                                    f"client {idx} round {round_no}: "
+                                    f"rows diverged for {sql!r}"
+                                )
+                        # Every other round, abandon a stream mid-way so
+                        # CLOSE frames interleave with full streams.
+                        if round_no % 2 == 0:
+                            cursor = conn.cursor("SELECT a0 FROM t")
+                            cursor.fetchone()
+                            cursor.close()
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(f"client {idx}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(self.N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join(timeout=120)
+        assert failures == []
+        # Accounting balances: every admitted query completed, every
+        # cursor retired, no connection left open.
+        stats = service.scheduler.stats()
+        assert stats["active"] == 0 and stats["waiting"] == 0
+        assert stats["admitted"] == stats["completed"]
+        assert service.cursor_stats()["open"] == 0
+        server_stats = server.connection_stats()
+        assert server_stats["queries"] == self.N_CLIENTS * (
+            self.ROUNDS * len(QUERIES) + 2  # + the abandoned streams
+        )

@@ -1,0 +1,204 @@
+"""Regression tests for interrupted admission waits.
+
+A waiter whose ``Condition.wait`` raises (KeyboardInterrupt, a raising
+signal handler) used to leave its ticket enqueued and ``_waiting_total``
+inflated — permanently shrinking the effective ``admission_queue_depth``
+— and, if a releaser granted the abandoned ticket, leaked an execution
+slot forever.  ``QueryScheduler.acquire`` now settles the books on the
+way out; these tests inject a raising ``wait`` and assert every counter
+and slot is recovered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.service import QueryScheduler
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+def balanced(scheduler: QueryScheduler) -> None:
+    stats = scheduler.stats()
+    assert stats["active"] == 0
+    assert stats["waiting"] == 0
+    assert stats["admitted"] == stats["completed"]
+
+
+def test_interrupted_wait_restores_queue_capacity():
+    scheduler = QueryScheduler(max_concurrent=1, queue_depth=2)
+    scheduler.acquire("holder")  # occupy the only slot
+
+    def raising_wait(timeout=None):
+        raise KeyboardInterrupt
+
+    original_wait = scheduler._cond.wait
+    scheduler._cond.wait = raising_wait
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.acquire("victim")
+    finally:
+        scheduler._cond.wait = original_wait
+
+    # The abandoned ticket is gone: queue depth is fully recovered...
+    assert scheduler.waiting == 0
+    assert scheduler._queues == {}
+    assert list(scheduler._rotation) == []
+    # ...so the queue still accepts queue_depth waiters (an inflated
+    # _waiting_total would reject the second one).
+    admitted = []
+
+    def waiter(tag):
+        scheduler.acquire(tag)
+        admitted.append(tag)
+        scheduler.release()
+
+    threads = [
+        threading.Thread(target=waiter, args=(f"w{i}",)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    wait_for(lambda: scheduler.waiting == 2)
+    scheduler.release()  # holder leaves; both waiters cascade through
+    for t in threads:
+        t.join(timeout=5)
+    assert sorted(admitted) == ["w0", "w1"]
+    balanced(scheduler)
+    assert scheduler.stats()["peak_queue_depth"] == 2
+
+
+def test_interrupt_after_grant_returns_the_slot():
+    """The nastier race: the releaser grants the ticket, then the wait
+    raises before the waiter observes the grant.  The slot must go to
+    the next waiter (or back to the pool), not leak to a dead thread."""
+    scheduler = QueryScheduler(max_concurrent=1, queue_depth=4)
+    scheduler.acquire("holder")
+
+    def wait_granted_then_raise(timeout=None):
+        # The condition's lock is an RLock, so the interrupted waiter's
+        # own thread can drive the holder's release reentrantly: the
+        # ticket is granted *during* the wait, then the wait raises.
+        scheduler.release()
+        raise KeyboardInterrupt
+
+    original_wait = scheduler._cond.wait
+    scheduler._cond.wait = wait_granted_then_raise
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.acquire("victim")
+    finally:
+        scheduler._cond.wait = original_wait
+
+    # The granted-then-abandoned slot was returned, not leaked.
+    assert scheduler.active == 0
+    assert scheduler.waiting == 0
+    balanced(scheduler)
+    # All max_concurrent slots are reusable.
+    scheduler.acquire("next")
+    assert scheduler.active == 1
+    scheduler.release()
+    balanced(scheduler)
+
+
+def test_interrupt_after_grant_hands_slot_to_next_waiter():
+    scheduler = QueryScheduler(max_concurrent=1, queue_depth=4)
+    scheduler.acquire("holder")
+    admitted = []
+    doomed_thread = threading.current_thread()
+
+    # A healthy waiter from another session queues up *behind* the
+    # doomed one (rotation: doomed session first).
+    def healthy():
+        scheduler.acquire("B")
+        admitted.append("B")
+
+    t = threading.Thread(target=healthy)
+    original_wait = scheduler._cond.wait
+
+    def selective_wait(timeout=None):
+        if threading.current_thread() is not doomed_thread:
+            return original_wait(timeout)
+        # Emulate a real wait for the doomed waiter: drop the condition
+        # lock so the healthy waiter can enqueue behind it, reacquire,
+        # then have the holder's release grant the doomed ticket — and
+        # die before ever observing the grant.
+        scheduler._cond.release()
+        try:
+            t.start()
+            wait_for(lambda: scheduler.waiting == 2)
+        finally:
+            scheduler._cond.acquire()
+        scheduler.release()  # grants the doomed ticket ("A" leads)
+        assert scheduler.active == 1  # the grant happened
+        raise KeyboardInterrupt
+
+    scheduler._cond.wait = selective_wait
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.acquire("A")
+    finally:
+        scheduler._cond.wait = original_wait
+
+    # The dead waiter's slot cascaded to the healthy one.
+    t.join(timeout=5)
+    assert admitted == ["B"]
+    assert scheduler.active == 1  # B holds it
+    scheduler.release()
+    balanced(scheduler)
+
+
+def test_partial_interruption_leaves_fifo_order_intact():
+    scheduler = QueryScheduler(max_concurrent=1, queue_depth=8)
+    scheduler.acquire("holder")
+    order = []
+    threads = []
+
+    def worker(tag):
+        scheduler.acquire("A")
+        order.append(tag)
+        scheduler.release()
+
+    for i in range(2):
+        t = threading.Thread(target=worker, args=(i,))
+        t.start()
+        threads.append(t)
+        wait_for(lambda n=i: scheduler.waiting == n + 1)
+
+    # A doomed waiter joins the same session's queue, then dies waiting.
+    def raising_wait(timeout=None):
+        raise KeyboardInterrupt
+
+    original_wait = scheduler._cond.wait
+    scheduler._cond.wait = raising_wait
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.acquire("A")
+    finally:
+        scheduler._cond.wait = original_wait
+    assert scheduler.waiting == 2  # dead ticket gone, healthy pair left
+
+    scheduler.release()
+    for t in threads:
+        t.join(timeout=5)
+    assert order == [0, 1]
+    balanced(scheduler)
+
+
+def test_admission_rejection_unaffected_by_prior_interruption():
+    scheduler = QueryScheduler(max_concurrent=1, queue_depth=0)
+    scheduler.acquire("holder")
+    # queue_depth=0: the first over-capacity arrival is rejected fast —
+    # and must still be after an interrupted wait elsewhere never ran.
+    with pytest.raises(AdmissionError):
+        scheduler.acquire("other")
+    scheduler.release()
+    balanced(scheduler)

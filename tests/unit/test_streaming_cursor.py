@@ -223,6 +223,58 @@ class TestBatchChannel:
 
     def test_force_close_surfaces_invalid_error(self):
         channel = BatchChannel(capacity=1, ttl_s=None)
-        channel.close()  # third party closed; producer never finished
+        # Third party (service shutdown) closed; producer never finished.
+        channel.close(by_consumer=False)
         with pytest.raises(CursorInvalidError):
             next(channel.drain())
+
+    def test_self_close_surfaces_closed_error_not_invalid(self):
+        channel = BatchChannel(capacity=1, ttl_s=None)
+        channel.close()  # the consumer hung up on itself...
+        with pytest.raises(CursorClosedError):
+            channel.get()  # ...then asked for more: its own doing
+
+    def test_self_close_wins_over_later_force_close(self):
+        channel = BatchChannel(capacity=1, ttl_s=None)
+        channel.close()
+        channel.close(by_consumer=False)  # shutdown races the hang-up
+        with pytest.raises(CursorClosedError):
+            channel.get()
+
+    def test_producer_error_redelivered_as_fresh_instances(self):
+        channel = BatchChannel(capacity=4, ttl_s=None)
+        original = CursorTimeoutError("producer gave up")
+        try:
+            raise original  # give it a producer-side traceback
+        except CursorTimeoutError as exc:
+            channel.finish(exc)
+        seen = []
+        for _ in range(2):
+            with pytest.raises(CursorTimeoutError) as info:
+                channel.get()
+            seen.append(info.value)
+        first, second = seen
+        assert first is not original and second is not original
+        assert first is not second  # no shared, traceback-mutated instance
+        assert str(first) == str(second) == "producer gave up"
+        # The producer-side traceback stays reachable through the cause.
+        assert first.__cause__ is original
+        assert original.__traceback__ is not None
+
+    def test_cursor_fetchone_twice_after_producer_error(self):
+        # Regression: a cursor over a failed channel must re-report the
+        # failure on every subsequent fetch, not return a clean empty
+        # tail, and each delivery must be a distinct instance.
+        channel = BatchChannel(capacity=4, ttl_s=None)
+        channel.put(make_batch(0, 1))
+        channel.finish(CursorTimeoutError("consumer too slow"))
+        cursor = Cursor(
+            ["a", "b"], [DataType.INTEGER, DataType.INTEGER], channel.drain()
+        )
+        assert cursor.fetchone() == (0, 0)
+        with pytest.raises(CursorTimeoutError) as first:
+            cursor.fetchone()
+        with pytest.raises(CursorTimeoutError) as second:
+            cursor.fetchone()
+        assert first.value is not second.value
+        assert cursor.exhausted and not cursor.closed

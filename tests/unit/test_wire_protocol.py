@@ -1,0 +1,156 @@
+"""The wire protocol's building blocks in isolation: frame round-trips,
+oversized-frame rejection, row-frame splitting, and the exception <->
+wire-code mapping."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    CatalogError,
+    CursorInvalidError,
+    CursorTimeoutError,
+    ExecutionError,
+    ProtocolError,
+    ReproError,
+    SQLSyntaxError,
+    error_from_wire,
+    fresh_copy,
+    wire_code_for,
+)
+from repro.server.protocol import (
+    FrameType,
+    encode_frame,
+    iter_row_frames,
+    read_frame_blocking,
+)
+
+
+def roundtrip(ftype: FrameType, payload: dict, max_bytes=1 << 20):
+    stream = io.BytesIO(encode_frame(ftype, payload))
+    return read_frame_blocking(stream, max_bytes)
+
+
+class TestFraming:
+    def test_roundtrip_preserves_type_and_payload(self):
+        ftype, payload = roundtrip(
+            FrameType.QUERY, {"qid": 7, "sql": "SELECT 1"}
+        )
+        assert ftype is FrameType.QUERY
+        assert payload == {"qid": 7, "sql": "SELECT 1"}
+
+    def test_roundtrip_value_types_survive(self):
+        rows = [[1, 1.5, "x", True, None], [-2, float("nan"), "", False, 0]]
+        _, payload = roundtrip(FrameType.ROWS, {"qid": 1, "rows": rows})
+        got = payload["rows"]
+        assert got[0] == rows[0]
+        # NaN != NaN: compare field-by-field.
+        assert got[1][0] == -2 and got[1][1] != got[1][1]
+        assert got[1][2:] == ["", False, 0]
+
+    def test_eof_at_boundary_is_none(self):
+        assert read_frame_blocking(io.BytesIO(b""), 1024) is None
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid frame header"):
+            read_frame_blocking(io.BytesIO(b"\x00\x00"), 1024)
+
+    def test_truncated_body_raises(self):
+        whole = encode_frame(FrameType.HELLO, {"version": 1})
+        with pytest.raises(ProtocolError, match="mid frame body"):
+            read_frame_blocking(io.BytesIO(whole[:-3]), 1024)
+
+    def test_oversized_frame_rejected_without_reading_body(self):
+        big = encode_frame(FrameType.ROWS, {"rows": [["x" * 5000]]})
+        with pytest.raises(ProtocolError, match="exceeds frame_bytes"):
+            read_frame_blocking(io.BytesIO(big), 1024)
+
+    def test_unknown_frame_type_raises(self):
+        body = b'{"a":1}'
+        raw = struct.pack("!I", len(body) + 1) + b"\x7f" + body
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            read_frame_blocking(io.BytesIO(raw), 1024)
+
+    def test_non_object_payload_raises(self):
+        body = b"[1,2]"
+        raw = struct.pack("!I", len(body) + 1) + bytes(
+            (int(FrameType.HELLO),)
+        ) + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_frame_blocking(io.BytesIO(raw), 1024)
+
+
+class TestRowFrameSplitting:
+    def decode_all(self, frames):
+        rows = []
+        for frame in frames:
+            _, payload = read_frame_blocking(io.BytesIO(frame), 1 << 30)
+            rows.extend(payload["rows"])
+        return rows
+
+    def test_small_rowset_is_one_frame(self):
+        rows = [[i, i * 10] for i in range(10)]
+        frames = list(iter_row_frames(1, rows, 1 << 20))
+        assert len(frames) == 1
+        assert self.decode_all(frames) == rows
+
+    def test_large_rowset_splits_preserving_order(self):
+        rows = [[i, "v" * 50] for i in range(500)]
+        frames = list(iter_row_frames(3, rows, 2048))
+        assert len(frames) > 1
+        assert all(len(f) <= 2048 for f in frames)
+        assert self.decode_all(frames) == rows
+
+    def test_single_giant_row_still_sent(self):
+        rows = [["x" * 10_000]]
+        frames = list(iter_row_frames(1, rows, 1024))
+        assert len(frames) == 1  # unsplittable: oversized but delivered
+        assert self.decode_all(frames) == rows
+
+    def test_empty_rowset_yields_no_frames(self):
+        assert list(iter_row_frames(1, [], 1024)) == []
+
+
+class TestWireCodes:
+    @pytest.mark.parametrize(
+        "exc, code",
+        [
+            (AdmissionError("x"), "admission"),
+            (CursorTimeoutError("x"), "cursor_timeout"),
+            (CursorInvalidError("x"), "cursor_invalid"),
+            (CatalogError("x"), "catalog"),
+            (SQLSyntaxError("x"), "sql_syntax"),
+            (ExecutionError("x"), "execution"),
+            (ProtocolError("x"), "protocol"),
+            (ReproError("x"), "internal"),
+            (ValueError("x"), "internal"),  # outside the hierarchy
+        ],
+    )
+    def test_code_for_exception(self, exc, code):
+        assert wire_code_for(exc) == code
+
+    def test_roundtrip_reconstructs_class_and_message(self):
+        exc = error_from_wire(
+            wire_code_for(AdmissionError("overloaded")), "overloaded"
+        )
+        assert isinstance(exc, AdmissionError)
+        assert str(exc) == "overloaded"
+
+    def test_unknown_code_degrades_to_repro_error(self):
+        exc = error_from_wire("from_the_future", "boom")
+        assert type(exc) is ReproError
+        assert "from_the_future" in str(exc) and "boom" in str(exc)
+
+    def test_fresh_copy_preserves_attributes(self):
+        from repro.errors import RawDataError
+
+        original = RawDataError("bad row", row=17)
+        duplicate = fresh_copy(original)
+        assert duplicate is not original
+        assert isinstance(duplicate, RawDataError)
+        assert str(duplicate) == "bad row" and duplicate.row == 17
+        assert duplicate.__traceback__ is None

@@ -5,10 +5,17 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test smoke serve serve-smoke bench bench-parallel bench-concurrent \
-	bench-streaming bench-wire stress verify
+	bench-streaming bench-wire stress stress-process lint verify
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static gate: ruff lint (pyflakes + pycodestyle error core) and
+# formatting drift, over everything CI lints.  `pip install -r
+# requirements-dev.txt` provides ruff.
+lint:
+	ruff check src tests benchmarks
+	ruff format --check src tests benchmarks
 
 smoke:
 	$(PYTHON) examples/quickstart.py
@@ -55,5 +62,11 @@ bench-wire:
 stress:
 	REPRO_STRESS_ROUNDS=10 timeout 600 $(PYTHON) -m pytest \
 		tests/integration/test_concurrent_service.py -x -q
+
+# Process-backend leg: multiprocessing scan workers racing the serving
+# layer's locks, governor and cursors (CI runs this after `stress`).
+stress-process:
+	REPRO_STRESS_BACKEND=process REPRO_STRESS_ROUNDS=3 timeout 600 \
+		$(PYTHON) -m pytest tests/integration/test_concurrent_service.py -x -q
 
 verify: test smoke serve-smoke

@@ -7,7 +7,6 @@ map and cache adapt; tight budgets cause the previous epoch's state to
 be evicted.
 """
 
-import pytest
 
 from repro import PostgresRaw, PostgresRawConfig
 from repro.workload import EpochWorkload

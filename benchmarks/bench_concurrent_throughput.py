@@ -23,11 +23,10 @@ from __future__ import annotations
 import os
 import threading
 
-import pytest
 
 from repro import PostgresRawConfig, PostgresRawService
 
-from .conftest import print_records, scaled_rows
+from .conftest import emit_bench_artifact, print_records, scaled_rows
 
 THREAD_COUNTS = [1, 2, 4, 8]
 CORES = os.cpu_count() or 1
@@ -133,6 +132,17 @@ def test_concurrent_throughput(benchmark, tmp_path_factory):
     )
     print_records(title, records)
     benchmark.extra_info["concurrent_throughput"] = records
+    client_rows = [r for r in records if isinstance(r["threads"], int)]
+    emit_bench_artifact(
+        "concurrent_throughput",
+        {
+            **{f"qps_{r['threads']}_clients": r["qps"] for r in client_rows},
+            **{
+                f"speedup_{r['threads']}_clients": r["speedup"]
+                for r in client_rows
+            },
+        },
+    )
 
     by_threads = {r["threads"]: r for r in records}
     # The serving layer must never make a loaded service *slower* than

@@ -7,7 +7,6 @@ allows, then plateau; the coverage grid shows exactly the attributes the
 workload touched.
 """
 
-import pytest
 
 from repro import PostgresRaw, PostgresRawConfig
 from repro.monitor import SystemMonitorPanel

@@ -9,7 +9,6 @@ the baseline grows with both — more attributes to skip, and wider fields
 make each skipped byte count.
 """
 
-import pytest
 
 from repro import (
     PostgresRaw,

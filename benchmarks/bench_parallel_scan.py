@@ -29,7 +29,7 @@ from repro import (
     uniform_table_spec,
 )
 
-from .conftest import print_records, scaled_rows
+from .conftest import emit_bench_artifact, print_records, scaled_rows
 
 WORKER_COUNTS = [1, 2, 4, 8]
 CHUNK_BYTES = 64 * 1024  # small enough that scaled-down CI files still chunk
@@ -88,7 +88,9 @@ def _sweep(path, schema, sql, backend):
     "label,n_attrs,rows",
     [("wide", 32, 120_000), ("narrow", 4, 120_000)],
 )
-def test_parallel_scan_sweep(benchmark, tmp_path_factory, label, n_attrs, rows):
+def test_parallel_scan_sweep(
+    benchmark, tmp_path_factory, label, n_attrs, rows
+):
     tmp = tmp_path_factory.mktemp(f"par_{label}")
     n_rows = scaled_rows(rows)
     path = tmp / f"{label}.csv"
@@ -111,6 +113,17 @@ def test_parallel_scan_sweep(benchmark, tmp_path_factory, label, n_attrs, rows):
     )
     print_records(title, records)
     benchmark.extra_info[f"parallel_{label}"] = records
+    emit_bench_artifact(
+        f"parallel_scan_{label}",
+        {
+            "rows": n_rows,
+            "serial_cold_s": records[0]["cold_s"],
+            **{
+                f"{r['backend']}_w{r['workers']}_speedup": r["speedup"]
+                for r in records
+            },
+        },
+    )
 
     serial_cold = records[0]["cold_s"]
     for r in records:

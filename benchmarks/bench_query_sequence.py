@@ -9,7 +9,6 @@ decays toward a steady state an order of magnitude under its first
 query; the baseline's stays flat at first-query cost.
 """
 
-import pytest
 
 from repro import PostgresRaw, PostgresRawConfig
 from repro.workload import RandomSelectProjectWorkload

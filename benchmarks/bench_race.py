@@ -11,7 +11,6 @@ never improves; conventional systems answer nothing until loading ends,
 then run individual queries fast.
 """
 
-import pytest
 
 from repro.baselines import DBMS_X, MYSQL, POSTGRESQL
 from repro.workload import (
@@ -73,7 +72,9 @@ def test_friendly_race(benchmark, bench_csv, tmp_path_factory):
     assert external.total_seconds > raw.total_seconds
 
 
-def test_race_queries_answered_timeline(benchmark, bench_csv, tmp_path_factory):
+def test_race_queries_answered_timeline(
+    benchmark, bench_csv, tmp_path_factory
+):
     """The audience view: queries answered as wall-clock advances."""
     path, schema = bench_csv
     queries = RandomSelectProjectWorkload("t", schema, seed=31).queries(6)

@@ -8,7 +8,6 @@ fits, then flattens; below the working set LRU thrashes and warm queries
 degrade toward the baseline.
 """
 
-import pytest
 
 from repro import PostgresRaw, PostgresRawConfig
 from repro.workload import RandomSelectProjectWorkload
@@ -16,7 +15,9 @@ from repro.workload import RandomSelectProjectWorkload
 from .conftest import print_records
 
 PM_BUDGETS = [0, 64 * 1024, 512 * 1024, 4 * 1024 * 1024, 64 * 1024 * 1024]
-CACHE_BUDGETS = [0, 128 * 1024, 1024 * 1024, 8 * 1024 * 1024, 256 * 1024 * 1024]
+CACHE_BUDGETS = [
+    0, 128 * 1024, 1024 * 1024, 8 * 1024 * 1024, 256 * 1024 * 1024
+]
 
 
 def _workload_times(engine, schema, n=8, seed=3):

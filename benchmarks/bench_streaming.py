@@ -20,7 +20,6 @@ stitch barrier and ``QueryResult.from_batches`` used to materialize).
 import os
 import tracemalloc
 
-import pytest
 
 from repro import (
     PostgresRaw,
@@ -29,7 +28,7 @@ from repro import (
     uniform_table_spec,
 )
 
-from .conftest import print_records, scaled_rows
+from .conftest import emit_bench_artifact, print_records, scaled_rows
 
 CHUNK_BYTES = 64 * 1024
 CORES = os.cpu_count() or 1
@@ -114,12 +113,23 @@ def test_streaming_ttfb_and_bounded_memory(benchmark, tmp_path_factory):
     records = benchmark.pedantic(run, rounds=1, iterations=1)
     materialized, streamed = records
     title = (
-        f"E13: streaming vs materialized cold parallel scan "
+        "E13: streaming vs materialized cold parallel scan "
         f"({n_rows} rows, {path.stat().st_size >> 20} MiB, "
         f"{WORKERS} workers, {CORES} cores)"
     )
     print_records(title, records)
     benchmark.extra_info["streaming"] = records
+    emit_bench_artifact(
+        "streaming",
+        {
+            "rows": streamed["rows"],
+            "ttfb_s": streamed["ttfb_s"],
+            "streamed_total_s": streamed["total_s"],
+            "materialized_total_s": materialized["total_s"],
+            "streamed_peak_mib": streamed["peak_mib"],
+            "materialized_peak_mib": materialized["peak_mib"],
+        },
+    )
 
     # Identity: streaming delivers every row the materialized run does.
     assert streamed["rows"] == materialized["rows"] > 0

@@ -1,45 +1,66 @@
 """E14 — wire-protocol serving throughput (repro.server / repro.client).
 
-The socket front end against the in-process baseline it wraps: N
-concurrent socket clients vs N in-process sessions hammering the same
-warmed service with the hot-query batch, reporting queries/sec for both
-paths plus the wire's overhead factor — and, for the streaming
-contract, per-connection time-to-first-row of a large streamed result
-against the same query's full materialization (the first frame must
-arrive while the server is still producing, with >= 2 socket clients
-sharing one service's adaptive state).
+The socket front end against the in-process baseline it wraps, across
+protocol v2's negotiated dimensions:
 
-The wire path pays JSON encode/decode and two socket hops per frame, so
-it will not match in-process throughput; what must hold is that it
-*scales* (more clients, more qps until the service saturates) and that
-streaming delivers first rows early.
+* **Encodings** — N concurrent socket clients vs N in-process sessions
+  hammering the same warmed service with the hot-query batch, once per
+  ROWS encoding (the JSON floor vs v2's binary columnar vectors),
+  reporting queries/sec and each encoding's overhead factor.  Binary
+  skips the per-value serialize/parse on both ends, so its overhead
+  factor must not exceed JSON's by more than noise — and on row-heavy
+  results it should cut it.
+* **Multiplexing** — K cursors streaming a large result over ONE
+  connection (demultiplexed by qid) vs the same K streams on K
+  separate connections: row-identical, with one connection's wall
+  clock in the same ballpark.
+* **Pooling** — per-query ``connect()`` vs a warmed
+  :class:`repro.client.ConnectionPool`: the pool amortizes TCP +
+  handshake + session setup, so pooled qps must win.
+* **Streaming** — per-connection time-to-first-row of a large streamed
+  result against the same query's full materialization (the first
+  frame must arrive while the server is still producing, with >= 2
+  socket clients sharing one service's adaptive state).
+
+Emits ``BENCH_wire_throughput.json`` (see ``conftest.emit_bench_artifact``)
+so CI accumulates the qps/TTFB trajectory.
 """
-
-from __future__ import annotations
 
 import os
 import threading
 
 import repro.client
 from repro import PostgresRawConfig, PostgresRawService, RawServer
+from repro.client import ConnectionPool
 
-from .conftest import print_records, scaled_rows
+from .conftest import emit_bench_artifact, print_records, scaled_rows
 
 CLIENT_COUNTS = [1, 2, 4]
 CORES = os.cpu_count() or 1
 
-#: Hot batch: all coverable by the warmed structures.
+#: Hot batch: all coverable by the warmed structures.  The last two
+#: return thousands of rows, so the ROWS encoding cost is on the
+#: scoreboard, not just connection round trips.
 HOT_QUERIES = [
     "SELECT SUM(a2) AS s FROM t WHERE a1 < 600000",
     "SELECT a0, a3 FROM t WHERE a2 < 150000",
     "SELECT AVG(a4) AS m FROM t WHERE a0 < 800000",
     "SELECT COUNT(*) AS n FROM t WHERE a3 < 400000",
+    "SELECT a0, a1 FROM t WHERE a2 < 400000",
+    "SELECT a1, a2, a4 FROM t WHERE a0 < 500000",
 ]
 
-BATCHES_PER_CLIENT = 4
+BATCHES_PER_CLIENT = 3
 
-#: The large streamed result used for the TTFB contrast.
+#: The large streamed result used for the TTFB and multiplex contrasts.
 STREAM_SQL = "SELECT a0, a1, a2 FROM t"
+
+#: Cursors per connection in the multiplex leg.
+MUX_STREAMS = 3
+
+#: Queries in the pooled-vs-fresh-connection leg.
+POOL_QUERIES = 24
+POOL_SQL = "SELECT COUNT(*) AS n FROM t WHERE a1 < 500000"
 
 
 def _run_inprocess(service, n_clients: int) -> tuple[float, int]:
@@ -70,7 +91,7 @@ def _run_inprocess(service, n_clients: int) -> tuple[float, int]:
     return wall, n_clients * BATCHES_PER_CLIENT * len(HOT_QUERIES)
 
 
-def _run_wire(server, n_clients: int) -> tuple[float, int]:
+def _run_wire(server, n_clients: int, encodings) -> tuple[float, int]:
     from repro.core.metrics import Stopwatch
 
     start = threading.Barrier(n_clients + 1, timeout=60)
@@ -78,7 +99,10 @@ def _run_wire(server, n_clients: int) -> tuple[float, int]:
 
     def client():
         try:
-            with repro.client.connect(port=server.port) as conn:
+            with repro.client.connect(
+                port=server.port, encodings=encodings
+            ) as conn:
+                assert conn.encoding == encodings[0]
                 start.wait()
                 for _ in range(BATCHES_PER_CLIENT):
                     for sql in HOT_QUERIES:
@@ -96,6 +120,76 @@ def _run_wire(server, n_clients: int) -> tuple[float, int]:
     wall = watch.elapsed()
     assert errors == []
     return wall, n_clients * BATCHES_PER_CLIENT * len(HOT_QUERIES)
+
+
+def _run_multiplexed(server) -> tuple[float, list]:
+    """K cursors on ONE connection, drained round-robin."""
+    from repro.core.metrics import Stopwatch
+
+    watch = Stopwatch()
+    with repro.client.connect(port=server.port) as conn:
+        cursors = [conn.cursor(STREAM_SQL) for _ in range(MUX_STREAMS)]
+        results: list = [[] for _ in cursors]
+        live = set(range(len(cursors)))
+        while live:
+            for i in sorted(live):
+                got = cursors[i].fetchmany(512)
+                results[i].extend(got)
+                if len(got) < 512:
+                    live.discard(i)
+    return watch.elapsed(), results
+
+
+def _run_separate_connections(server) -> tuple[float, list]:
+    """The same K streams, one connection each, drained in threads."""
+    from repro.core.metrics import Stopwatch
+
+    results: list = [None] * MUX_STREAMS
+    errors: list = []
+
+    def client(idx: int) -> None:
+        try:
+            with repro.client.connect(port=server.port) as conn:
+                results[idx] = conn.query(STREAM_SQL).rows
+        except Exception as exc:
+            errors.append(repr(exc))
+
+    watch = Stopwatch()
+    threads = [
+        threading.Thread(target=client, args=(i,))
+        for i in range(MUX_STREAMS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    wall = watch.elapsed()
+    assert errors == []
+    return wall, results
+
+
+def _run_pool_contrast(server) -> dict:
+    """Per-query connect() vs a warmed ConnectionPool."""
+    from repro.core.metrics import Stopwatch
+
+    watch = Stopwatch()
+    for _ in range(POOL_QUERIES):
+        with repro.client.connect(port=server.port) as conn:
+            conn.query(POOL_SQL)
+    fresh_wall = watch.elapsed()
+    with ConnectionPool(port=server.port, min_size=1, max_size=2) as pool:
+        watch.restart()
+        for _ in range(POOL_QUERIES):
+            pool.query(POOL_SQL)
+        pooled_wall = watch.elapsed()
+        stats = pool.stats()
+    return {
+        "queries": POOL_QUERIES,
+        "fresh_conn_qps": POOL_QUERIES / fresh_wall if fresh_wall else 0.0,
+        "pooled_qps": POOL_QUERIES / pooled_wall if pooled_wall else 0.0,
+        "pool_speedup": fresh_wall / pooled_wall if pooled_wall else 0.0,
+        "reused": stats["reused"],
+    }
 
 
 def _measure_ttfb(server, results: list, idx: int) -> None:
@@ -145,28 +239,59 @@ def test_wire_throughput(benchmark, tmp_path_factory):
         with PostgresRawService(config) as service:
             service.register_csv("t", path, schema)
             warm = service.session()
-            for sql in HOT_QUERIES + [STREAM_SQL]:
+            for sql in HOT_QUERIES + [STREAM_SQL, POOL_SQL]:
                 warm.query(sql)
             server = RawServer(service).start()
             try:
                 for n_clients in CLIENT_COUNTS:
                     wall_in, queries = _run_inprocess(service, n_clients)
-                    wall_wire, _ = _run_wire(server, n_clients)
+                    wall_json, _ = _run_wire(
+                        server, n_clients, ("json",)
+                    )
+                    wall_bin, _ = _run_wire(
+                        server, n_clients, ("binary", "json")
+                    )
                     qps_in = queries / wall_in if wall_in else float("inf")
-                    qps_wire = (
-                        queries / wall_wire if wall_wire else float("inf")
+                    qps_json = (
+                        queries / wall_json if wall_json else float("inf")
+                    )
+                    qps_bin = (
+                        queries / wall_bin if wall_bin else float("inf")
                     )
                     records.append(
                         {
                             "clients": n_clients,
                             "queries": queries,
                             "inproc_qps": qps_in,
-                            "wire_qps": qps_wire,
-                            "wire_overhead_x": qps_in / qps_wire
-                            if qps_wire
-                            else float("inf"),
+                            "json_qps": qps_json,
+                            "binary_qps": qps_bin,
+                            "json_overhead_x": (
+                                qps_in / qps_json if qps_json else 0.0
+                            ),
+                            "binary_overhead_x": (
+                                qps_in / qps_bin if qps_bin else 0.0
+                            ),
                         }
                     )
+                # Wire bytes per encoding over the *identical* sweep
+                # workloads (snapshotted before the binary-only legs
+                # below add traffic): the apples-to-apples size story.
+                sweep_bytes = dict(
+                    server.connection_stats()["bytes_by_encoding"]
+                )
+                # Multiplexed cursors on one connection vs the same
+                # K streams on K connections: row identity + timing.
+                mux_wall, mux_rows = _run_multiplexed(server)
+                sep_wall, sep_rows = _run_separate_connections(server)
+                for got, reference in zip(mux_rows, sep_rows):
+                    assert got == reference  # row-identical, in order
+                mux = {
+                    "streams": MUX_STREAMS,
+                    "mux_one_conn_s": mux_wall,
+                    "separate_conns_s": sep_wall,
+                    "rows_per_stream": len(mux_rows[0]),
+                }
+                pool = _run_pool_contrast(server)
                 # TTFB: two concurrent socket clients streaming a large
                 # result over one shared service.
                 ttfb_records: list = [None, None]
@@ -188,31 +313,61 @@ def test_wire_throughput(benchmark, tmp_path_factory):
             # Clean shutdown: nothing leaked anywhere in the stack.
             assert service.cursor_stats()["open"] == 0
             assert sched["active"] == 0 and sched["waiting"] == 0
-            assert server_stats["open"] <= 2  # TTFB conns may linger briefly
-            records.append(
-                {
-                    "clients": "server",
-                    "queries": server_stats["queries"],
-                    "inproc_qps": server_stats["rows_sent"],
-                    "wire_qps": server_stats["frames_sent"],
-                    "wire_overhead_x": server_stats["errors_sent"],
-                }
-            )
-        return {"throughput": records, "ttfb": ttfb_records}
+            assert server_stats["open"] <= 2  # TTFB conns may linger
+        return {
+            "throughput": records,
+            "mux": mux,
+            "pool": pool,
+            "ttfb": ttfb_records,
+            "sweep_bytes": sweep_bytes,
+            "server": server_stats,
+        }
 
     report = benchmark.pedantic(sweep, rounds=1, iterations=1)
     records = report["throughput"]
     print_records(
-        f"E14: wire vs in-process throughput, {n_rows} rows x 6 attrs, "
-        f"{CORES} cores (last row: queries, rows, frames, errors)",
+        f"E14: wire qps by ROWS encoding vs in-process, {n_rows} rows x "
+        f"6 attrs, {CORES} cores",
         records,
     )
     print_records(
-        "E14b: per-connection TTFB, 2 concurrent socket clients "
+        f"E14b: {MUX_STREAMS} multiplexed cursors on one connection vs "
+        f"{MUX_STREAMS} separate connections",
+        [report["mux"]],
+    )
+    print_records(
+        "E14c: pooled vs per-query connections", [report["pool"]]
+    )
+    print_records(
+        "E14d: per-connection TTFB, 2 concurrent socket clients "
         "streaming the full table",
         report["ttfb"],
     )
-    benchmark.extra_info["wire_throughput"] = report
+    benchmark.extra_info["wire_throughput"] = {
+        k: v for k, v in report.items() if k != "server"
+    }
+
+    by_clients = {r["clients"]: r for r in records}
+    bytes_by_encoding = report["sweep_bytes"]
+    emit_bench_artifact(
+        "wire_throughput",
+        {
+            "rows": n_rows,
+            "inproc_qps_4_clients": by_clients[4]["inproc_qps"],
+            "json_qps_4_clients": by_clients[4]["json_qps"],
+            "binary_qps_4_clients": by_clients[4]["binary_qps"],
+            "json_overhead_x": by_clients[4]["json_overhead_x"],
+            "binary_overhead_x": by_clients[4]["binary_overhead_x"],
+            "mux_one_conn_s": report["mux"]["mux_one_conn_s"],
+            "separate_conns_s": report["mux"]["separate_conns_s"],
+            "pooled_qps": report["pool"]["pooled_qps"],
+            "fresh_conn_qps": report["pool"]["fresh_conn_qps"],
+            "pool_speedup": report["pool"]["pool_speedup"],
+            "ttfb_s": min(r["ttfb_s"] for r in report["ttfb"]),
+            "json_wire_bytes": bytes_by_encoding.get("json", 0),
+            "binary_wire_bytes": bytes_by_encoding.get("binary", 0),
+        },
+    )
 
     ttfb_rows = report["ttfb"]
     assert len(ttfb_rows) == 2
@@ -232,7 +387,20 @@ def test_wire_throughput(benchmark, tmp_path_factory):
             assert row["ttfb_s"] < row["materialized_s"]
     else:
         assert any(r["ttfb_s"] < r["materialized_s"] for r in ttfb_rows)
-    by_clients = {r["clients"]: r for r in records if "wire_qps" in r}
-    # The wire must not collapse under concurrency: 4 clients never drop
-    # below half of one client's throughput.
-    assert by_clients[4]["wire_qps"] > by_clients[1]["wire_qps"] * 0.5
+    # The wire must not collapse under concurrency: 4 clients never
+    # drop below half of one client's throughput (binary path).
+    assert by_clients[4]["binary_qps"] > by_clients[1]["binary_qps"] * 0.5
+    # (Wire bytes per encoding stay informational: for small-integer
+    # data an int64 vector is size-parity with its decimal text — the
+    # binary win is the skipped per-value serialize/parse, i.e. qps.)
+    assert bytes_by_encoding["binary"] > 0 and bytes_by_encoding["json"] > 0
+    # The binary encoding must not be meaningfully slower than the
+    # JSON floor — on multi-core hosts it should cut the overhead; the
+    # hard gate tolerates scheduler noise.
+    if CORES >= 2:
+        assert (
+            by_clients[4]["binary_qps"] > by_clients[4]["json_qps"] * 0.8
+        )
+    # The pool amortizes connect cost: pooled qps beats fresh-connect
+    # qps (generously gated — localhost connects are cheap).
+    assert report["pool"]["pooled_qps"] > report["pool"]["fresh_conn_qps"] * 0.9

@@ -5,6 +5,14 @@ DESIGN.md §3).  Dataset sizes scale with ``REPRO_BENCH_SCALE`` (default
 1.0): absolute numbers are Python-scale, the *shapes* are what the
 benchmarks assert and print.
 
+Key benchmarks also emit a machine-readable ``BENCH_<name>.json``
+(:func:`emit_bench_artifact`) into ``$REPRO_BENCH_ARTIFACT_DIR``
+(default ``bench_artifacts/``): qps, TTFB, speedups, the scale and the
+python version — CI uploads the directory as a workflow artifact, so
+the repo's perf trajectory accumulates run over run.  When a committed
+baseline exists under ``benchmarks/baselines/``, an informational
+delta against it is printed (never a gate: hosted runners are noisy).
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -12,7 +20,10 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+from pathlib import Path
 
 import pytest
 
@@ -61,3 +72,55 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def emit_bench_artifact(name: str, record: dict) -> None:
+    """Write this run's key metrics as ``BENCH_<name>.json``.
+
+    ``record`` is a flat dict of the benchmark's headline numbers
+    (qps, TTFB seconds, speedup factors, ...); run context (scale,
+    python version, platform, core count) is stamped alongside.  The
+    artifact lands in ``$REPRO_BENCH_ARTIFACT_DIR`` (default
+    ``bench_artifacts/``) for CI to upload.
+    """
+    payload = {
+        "bench": name,
+        "scale": SCALE,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cores": os.cpu_count(),
+        **record,
+    }
+    out_dir = Path(
+        os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "bench_artifacts")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nbench artifact: {path}")
+    baseline_path = Path(__file__).parent / "baselines" / f"BENCH_{name}.json"
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        _print_baseline_delta(name, payload, baseline)
+
+
+def _print_baseline_delta(name: str, current: dict, baseline: dict) -> None:
+    """Informational drift report against the committed baseline."""
+    print(f"=== {name}: delta vs committed baseline (informational) ===")
+    if baseline.get("scale") != current.get("scale"):
+        print(
+            f"  (baseline scale {baseline.get('scale')} != "
+            f"run scale {current.get('scale')}; numbers not comparable)"
+        )
+    for key in sorted(current):
+        value, base = current[key], baseline.get(key)
+        numeric = (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and isinstance(base, (int, float))
+            and not isinstance(base, bool)
+        )
+        if not numeric or base == 0:
+            continue
+        delta = (value - base) / base * 100.0
+        print(f"  {key}: {_fmt(value)} vs {_fmt(base)} ({delta:+.1f}%)")

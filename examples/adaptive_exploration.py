@@ -11,7 +11,12 @@ Run:  python examples/adaptive_exploration.py
 import tempfile
 from pathlib import Path
 
-from repro import PostgresRaw, PostgresRawConfig, generate_csv, uniform_table_spec
+from repro import (
+    PostgresRaw,
+    PostgresRawConfig,
+    generate_csv,
+    uniform_table_spec,
+)
 from repro.monitor import SystemMonitorPanel
 from repro.workload import EpochWorkload
 

@@ -11,7 +11,12 @@ Run:  python examples/execution_breakdown.py
 import tempfile
 from pathlib import Path
 
-from repro import PostgresRaw, PostgresRawConfig, generate_csv, uniform_table_spec
+from repro import (
+    PostgresRaw,
+    PostgresRawConfig,
+    generate_csv,
+    uniform_table_spec,
+)
 from repro.baselines import ConventionalDBMS, POSTGRESQL
 from repro.monitor import BreakdownReport, render_breakdown
 
@@ -29,7 +34,7 @@ def main() -> None:
     pg = ConventionalDBMS(POSTGRESQL, storage_dir=workdir / "pg")
     load_report = pg.load_csv("t", raw_file, schema)
     print(
-        f"PostgreSQL loaded the file first: "
+        "PostgreSQL loaded the file first: "
         f"{load_report.total_seconds:.2f}s "
         f"(tokenize {load_report.tokenize_seconds:.2f}s, "
         f"convert {load_report.convert_seconds:.2f}s, "

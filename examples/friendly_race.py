@@ -30,7 +30,7 @@ def main() -> None:
     )
     print(
         f"course: {raw_file.stat().st_size / (1024 * 1024):.1f} MiB raw file, "
-        f"10 queries, data NOT loaded into any system"
+        "10 queries, data NOT loaded into any system"
     )
 
     queries = RandomSelectProjectWorkload(
@@ -66,7 +66,7 @@ def main() -> None:
     raw = lanes["PostgresRaw"]
     print(
         f"\nwhile PostgreSQL was still loading ({pg.init_seconds:.2f}s), "
-        f"PostgresRaw had already answered "
+        "PostgresRaw had already answered "
         f"{raw.answered_by(pg.init_seconds)} of {len(queries)} queries"
     )
 

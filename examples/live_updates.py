@@ -76,7 +76,7 @@ def main() -> None:
     print(result.format_table())
     state = engine.table_state("telemetry")
     print(
-        f"structures were invalidated and relearned: map now covers "
+        "structures were invalidated and relearned: map now covers "
         f"{state.positional_map.n_rows} row(s)"
     )
 

@@ -57,7 +57,7 @@ def main() -> None:
 
     state = engine.table_state("m")
     print(
-        f"\nlearned as a side effect of the queries: "
+        "\nlearned as a side effect of the queries: "
         f"{state.positional_map.chunk_count} positional chunks "
         f"({state.positional_map.used_bytes / 1024:.0f} KiB), "
         f"{state.cache.entry_count} cached columns "

@@ -2,10 +2,13 @@
 
 Boots a :class:`repro.RawServer` on localhost (ephemeral port) over a
 freshly generated raw CSV, runs queries through the blocking
-:mod:`repro.client` — materialized, streamed, and abandoned mid-stream —
-verifies row-for-row identity with the in-process path, then shuts
-down and asserts nothing leaked: no open cursors, no busy scheduler
-slots, no open connections.  CI runs this as the wire smoke gate.
+:mod:`repro.client` — materialized, streamed, abandoned mid-stream,
+multiplexed (several cursors on one connection, protocol v2's binary
+columnar ROWS encoding), through both negotiated encodings, and via a
+:class:`repro.client.ConnectionPool` — verifies row-for-row identity
+with the in-process path, then shuts down and asserts nothing leaked:
+no open cursors, no busy scheduler slots, no open connections.  CI
+runs this as the wire smoke gate.
 
 Run:  python examples/wire_quickstart.py
 """
@@ -53,7 +56,7 @@ def main() -> None:
                 assert [first] + rest == reference
                 ttfb = cursor.metrics.time_to_first_batch
                 print(
-                    f"streamed: first row after "
+                    "streamed: first row after "
                     f"{ttfb * 1000:.1f} ms, {1 + len(rest)} rows total"
                 )
 
@@ -65,8 +68,46 @@ def main() -> None:
                 assert service.cursor_stats()["open"] == 0
                 print("abandoned stream closed server-side")
 
-                print()
-                print(render_connections_panel(server))
+                # Multiplexed: three cursors on ONE connection, frames
+                # demultiplexed by qid, results row-identical.
+                assert conn.encoding == "binary"  # negotiated default
+                mux_sql = [
+                    sql,
+                    "SELECT a3 FROM m WHERE a4 < 250000",
+                    "SELECT a5, a6 FROM m WHERE a7 < 750000",
+                ]
+                cursors = [conn.cursor(s) for s in mux_sql]
+                mux_rows = [c.fetchall().rows for c in reversed(cursors)]
+                for s, rows in zip(reversed(mux_sql), mux_rows):
+                    assert rows == service.query(s).rows, "mux diverged!"
+                print(
+                    f"multiplexed: {len(cursors)} cursors on one "
+                    f"connection ({conn.encoding} encoding), identical rows"
+                )
+
+            # The JSON floor answers identically to the binary default.
+            with repro.client.connect(
+                port=server.port, encodings=("json",)
+            ) as floor:
+                assert floor.encoding == "json"
+                assert floor.query(sql).rows == reference
+            print("json floor: negotiated and identical")
+
+            # Pooled connections skip the per-query connect cost.
+            with repro.client.ConnectionPool(
+                port=server.port, min_size=1, max_size=2
+            ) as pool:
+                for _ in range(4):
+                    assert pool.query(sql).rows == reference
+                stats = pool.stats()
+                assert stats["opened"] == 1 and stats["reused"] >= 3
+                print(
+                    f"pool: {stats['reused']} checkouts reused "
+                    f"{stats['opened']} connection"
+                )
+
+            print()
+            print(render_connections_panel(server))
         finally:
             server.stop()
 

@@ -27,9 +27,9 @@ from ..config import DEFAULT_BATCH_SIZE
 from ..core.metrics import QueryMetrics
 from ..core.stats import StatisticsStore
 from ..datatypes import DataType
-from ..errors import CatalogError, PlanningError
+from ..errors import CatalogError
 from ..executor.expressions import predicate_mask
-from ..executor.operators import Filter, Operator
+from ..executor.operators import Operator
 from ..executor.result import QueryResult
 from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
 from ..sql.ast import (
@@ -333,7 +333,12 @@ class ConventionalDBMS:
             ):
                 block_filter = self._zone_filter(table, predicate)
             return _StoredScan(
-                table, columns, predicate, metrics, self.batch_size, block_filter
+                table,
+                columns,
+                predicate,
+                metrics,
+                self.batch_size,
+                block_filter,
             )
 
         return factory

@@ -35,7 +35,7 @@ class ColumnVector:
     def __post_init__(self) -> None:
         if len(self.values) != len(self.null_mask):
             raise ExecutionError(
-                f"values/null_mask length mismatch: "
+                "values/null_mask length mismatch: "
                 f"{len(self.values)} != {len(self.null_mask)}"
             )
 
@@ -44,17 +44,24 @@ class ColumnVector:
 
     @classmethod
     def from_values(
-        cls, dtype: DataType, values: np.ndarray, null_mask: np.ndarray | None = None
+        cls,
+        dtype: DataType,
+        values: np.ndarray,
+        null_mask: np.ndarray | None = None,
     ) -> "ColumnVector":
         if null_mask is None:
             null_mask = np.zeros(len(values), dtype=np.bool_)
         return cls(dtype, values, null_mask)
 
     @classmethod
-    def from_pylist(cls, dtype: DataType, items: Iterable[object]) -> "ColumnVector":
+    def from_pylist(
+        cls, dtype: DataType, items: Iterable[object]
+    ) -> "ColumnVector":
         """Build a vector from Python objects, treating ``None`` as NULL."""
         items = list(items)
-        mask = np.fromiter((v is None for v in items), dtype=np.bool_, count=len(items))
+        mask = np.fromiter(
+            (v is None for v in items), dtype=np.bool_, count=len(items)
+        )
         if dtype is DataType.TEXT:
             values = np.empty(len(items), dtype=object)
             for i, v in enumerate(items):
@@ -68,11 +75,15 @@ class ColumnVector:
 
     def take(self, indices: np.ndarray) -> "ColumnVector":
         """Gather rows by position (join/sort/filter materialization)."""
-        return ColumnVector(self.dtype, self.values[indices], self.null_mask[indices])
+        return ColumnVector(
+            self.dtype, self.values[indices], self.null_mask[indices]
+        )
 
     def filter(self, keep: np.ndarray) -> "ColumnVector":
         """Keep rows where ``keep`` is True."""
-        return ColumnVector(self.dtype, self.values[keep], self.null_mask[keep])
+        return ColumnVector(
+            self.dtype, self.values[keep], self.null_mask[keep]
+        )
 
     def slice(self, start: int, stop: int) -> "ColumnVector":
         return ColumnVector(
@@ -128,7 +139,9 @@ class Batch:
         self.columns: dict[str, ColumnVector] = dict(columns or {})
         lengths = {len(v) for v in self.columns.values()}
         if len(lengths) > 1:
-            raise ExecutionError(f"ragged batch: column lengths {sorted(lengths)}")
+            raise ExecutionError(
+                f"ragged batch: column lengths {sorted(lengths)}"
+            )
         if lengths:
             self.num_rows = lengths.pop()
             if num_rows is not None and num_rows != self.num_rows:
@@ -175,12 +188,16 @@ class Batch:
         return Batch({n: v.take(indices) for n, v in self.columns.items()})
 
     def slice(self, start: int, stop: int) -> "Batch":
-        return Batch({n: v.slice(start, stop) for n, v in self.columns.items()})
+        return Batch(
+            {n: v.slice(start, stop) for n, v in self.columns.items()}
+        )
 
     def rows(self) -> Iterator[tuple[object, ...]]:
         """Yield rows as Python tuples (result materialization path)."""
         lists = [v.to_pylist() for v in self.columns.values()]
-        return iter(zip(*lists)) if lists else iter(() for _ in range(self.num_rows))
+        if not lists:
+            return iter(() for _ in range(self.num_rows))
+        return iter(zip(*lists))
 
     def to_pydict(self) -> dict[str, list[object]]:
         return {n: v.to_pylist() for n, v in self.columns.items()}
@@ -192,7 +209,10 @@ class Batch:
             return Batch()
         names = parts[0].column_names()
         return Batch(
-            {n: ColumnVector.concat([p.column(n) for p in parts]) for n in names}
+            {
+                n: ColumnVector.concat([p.column(n) for p in parts])
+                for n in names
+            }
         )
 
     @staticmethod
@@ -201,5 +221,7 @@ class Batch:
         cols = {}
         for name, dtype in schema.items():
             values = np.zeros(0, dtype=dtype.numpy_dtype)
-            cols[name] = ColumnVector(dtype, values, np.zeros(0, dtype=np.bool_))
+            cols[name] = ColumnVector(
+                dtype, values, np.zeros(0, dtype=np.bool_)
+            )
         return Batch(cols)

@@ -7,7 +7,7 @@ executing queries immediately".  :class:`TableSchema` is that declaration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..datatypes import DataType
@@ -45,7 +45,9 @@ class TableSchema:
         self._index = {c.name: i for i, c in enumerate(self.columns)}
 
     @classmethod
-    def from_pairs(cls, pairs: Iterable[tuple[str, DataType | str]]) -> "TableSchema":
+    def from_pairs(
+        cls, pairs: Iterable[tuple[str, DataType | str]]
+    ) -> "TableSchema":
         """Build from ``[("a", DataType.INTEGER), ("b", "text"), ...]``."""
         cols = []
         for name, dtype in pairs:

@@ -9,7 +9,7 @@ programmatic equivalent; every knob maps to a sentence in the paper
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from .errors import BudgetError
@@ -34,6 +34,10 @@ DEFAULT_PARALLEL_CHUNK_BYTES = 1 << 20
 
 #: Supported parallel scan-pool backends.
 PARALLEL_BACKENDS = ("thread", "process")
+
+#: Negotiable ROWS encodings for the wire protocol (see
+#: :mod:`repro.server.encoding`); ``"json"`` is the mandatory floor.
+WIRE_ENCODINGS = ("json", "binary")
 
 #: Floor for ``frame_bytes``: a wire frame must always fit the
 #: protocol's control payloads plus at least one row's framing overhead
@@ -193,6 +197,23 @@ class PostgresRawConfig:
     #: than buffered without bound.
     frame_bytes: int = 1 << 20
 
+    #: The server's preferred ROWS payload encoding for protocol-v2
+    #: connections: ``"binary"`` (typed column vectors — struct-packed
+    #: ints/floats, null bitmaps, length-prefixed strings; the wire
+    #: analogue of the engine's binary cache) or ``"json"`` to pin the
+    #: portable floor.  Negotiated per connection in HELLO/WELCOME;
+    #: v1 peers always get JSON.
+    wire_encoding: str = "binary"
+
+    #: How many concurrent query streams one wire connection may
+    #: multiplex (protocol v2).  The server runs one cursor pump per
+    #: stream and interleaves their ROWS frames fairly; a QUERY beyond
+    #: the limit is refused with
+    #: :class:`repro.errors.StreamLimitError` (wire code
+    #: ``stream_limit``) without disturbing the other streams.  v1
+    #: connections are pinned to 1.
+    max_streams_per_connection: int = 8
+
     #: Half-life (seconds) for decaying the ``benefit_seconds`` signal
     #: of governed structures: a positional chunk or cache entry that
     #: has not been touched for one half-life counts at half its
@@ -208,7 +229,7 @@ class PostgresRawConfig:
             raise BudgetError("cache_budget must be >= 0")
         if self.cache_policy not in ("lru", "cost_aware"):
             raise BudgetError(
-                f"cache_policy must be 'lru' or 'cost_aware', "
+                "cache_policy must be 'lru' or 'cost_aware', "
                 f"not {self.cache_policy!r}"
             )
         if self.batch_size <= 0:
@@ -243,7 +264,10 @@ class PostgresRawConfig:
             raise BudgetError("stream_queue_batches must be >= 1")
         if self.cursor_ttl_s is not None and self.cursor_ttl_s <= 0:
             raise BudgetError("cursor_ttl_s must be > 0 (or None)")
-        if self.benefit_half_life_s is not None and self.benefit_half_life_s <= 0:
+        if (
+            self.benefit_half_life_s is not None
+            and self.benefit_half_life_s <= 0
+        ):
             raise BudgetError("benefit_half_life_s must be > 0 (or None)")
         if not (0 <= self.server_port <= 65535):
             raise BudgetError("server_port must be in [0, 65535]")
@@ -251,6 +275,13 @@ class PostgresRawConfig:
             raise BudgetError("max_connections must be >= 1")
         if self.frame_bytes < MIN_FRAME_BYTES:
             raise BudgetError(f"frame_bytes must be >= {MIN_FRAME_BYTES}")
+        if self.wire_encoding not in WIRE_ENCODINGS:
+            raise BudgetError(
+                f"wire_encoding must be one of {WIRE_ENCODINGS}, "
+                f"not {self.wire_encoding!r}"
+            )
+        if self.max_streams_per_connection < 1:
+            raise BudgetError("max_streams_per_connection must be >= 1")
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.

@@ -104,7 +104,9 @@ class RawDataCache:
 
     def _guard(self):
         """Serialize container mutations with the governor (if bound)."""
-        return self.governor.lock if self.governor is not None else nullcontext()
+        if self.governor is not None:
+            return self.governor.lock
+        return nullcontext()
 
     def governed_bytes(self) -> int:
         return self.used_bytes

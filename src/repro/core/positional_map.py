@@ -39,7 +39,6 @@ snapshots, so concurrent readers never observe a half-applied change.
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -96,7 +95,9 @@ class PositionalChunk:
         try:
             return self.attrs.index(attr)
         except ValueError:
-            raise ReproError(f"attr {attr} not in chunk {self.attrs}") from None
+            raise ReproError(
+                f"attr {attr} not in chunk {self.attrs}"
+            ) from None
 
     def has_attr(self, attr: int) -> bool:
         return attr in self.attrs
@@ -117,7 +118,9 @@ class AnchorHit:
 class PositionalMap:
     """Budgeted, LRU-evicted collection of positional chunks for one file."""
 
-    def __init__(self, budget_bytes: int, combination_policy: bool = True) -> None:
+    def __init__(
+        self, budget_bytes: int, combination_policy: bool = True
+    ) -> None:
         self.budget_bytes = budget_bytes
         self.combination_policy = combination_policy
         self._chunks: list[PositionalChunk] = []
@@ -143,7 +146,9 @@ class PositionalMap:
 
     def _guard(self):
         """Serialize container mutations with the governor (if bound)."""
-        return self.governor.lock if self.governor is not None else nullcontext()
+        if self.governor is not None:
+            return self.governor.lock
+        return nullcontext()
 
     def governed_bytes(self) -> int:
         """Bytes charged against the global budget (line index is pinned
@@ -192,7 +197,9 @@ class PositionalMap:
 
     @property
     def line_index_bytes(self) -> int:
-        return 0 if self._line_bounds is None else int(self._line_bounds.nbytes)
+        if self._line_bounds is None:
+            return 0
+        return int(self._line_bounds.nbytes)
 
     # ------------------------------------------------------------------
     # Lookup.
@@ -225,9 +232,8 @@ class PositionalMap:
         best: PositionalChunk | None = None
         for chunk in self._chunks:
             if chunk.has_attr(attr):
-                if best is None or chunk.rows > best.rows or (
-                    chunk.rows == best.rows and chunk.last_used > best.last_used
-                ):
+                rank = (chunk.rows, chunk.last_used)
+                if best is None or rank > (best.rows, best.last_used):
                     best = chunk
         return best
 

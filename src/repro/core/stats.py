@@ -138,7 +138,9 @@ class AttributeStatistics:
             return _DEFAULT_SELECTIVITY_EQ
         matches = sum(1 for s in self.sample if s == value)
         if matches:
-            return max(matches / len(self.sample), 1e-6) * (1 - self.null_fraction)
+            return max(matches / len(self.sample), 1e-6) * (
+                1 - self.null_fraction
+            )
         return (1.0 / max(self.distinct_estimate(), 1.0)) * (
             1 - self.null_fraction
         )
@@ -171,7 +173,9 @@ class AttributeStatistics:
         if not self.sample:
             return _DEFAULT_SELECTIVITY_EQ
         count = sum(
-            1 for s in self.sample if isinstance(s, str) and s.startswith(prefix)
+            1
+            for s in self.sample
+            if isinstance(s, str) and s.startswith(prefix)
         )
         return max(count / len(self.sample), 1e-6)
 

@@ -68,7 +68,9 @@ class DataType(enum.Enum):
         try:
             return _TYPE_ALIASES[name.strip().lower()]
         except KeyError:
-            raise ConversionError(f"unknown data type name: {name!r}") from None
+            raise ConversionError(
+                f"unknown data type name: {name!r}"
+            ) from None
 
 
 _NUMPY_DTYPES = {

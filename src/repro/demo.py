@@ -47,7 +47,7 @@ def part_one(path: Path, schema) -> None:
     result = engine.query("SELECT a0, a1 FROM t WHERE a2 < 100000 LIMIT 5")
     print(
         f"first answer in {result.metrics.total_seconds * 1000:.1f} ms "
-        f"(no loading step):"
+        "(no loading step):"
     )
     print(result.format_table())
 

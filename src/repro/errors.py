@@ -70,7 +70,8 @@ class StorageError(ReproError):
 
 
 class UpdateConflictError(ReproError):
-    """The raw file changed in a way that cannot be reconciled incrementally."""
+    """The raw file changed in a way that cannot be reconciled
+    incrementally."""
 
 
 class BudgetError(ReproError):
@@ -114,6 +115,13 @@ class ProtocolError(ServiceError):
     """The wire conversation broke: a malformed or oversized frame, a
     version mismatch in the handshake, a rejected auth token, or a
     frame that is illegal in the connection's current state."""
+
+
+class StreamLimitError(ServiceError):
+    """A QUERY was refused because the connection already runs
+    ``max_streams_per_connection`` concurrent streams.  Query-level,
+    not fatal: the connection and its other streams keep working —
+    close a cursor (or use another pooled connection) and retry."""
 
 
 def fresh_copy(exc: BaseException) -> BaseException:
@@ -173,6 +181,7 @@ for _code, _cls in (
     ("cursor_invalid", CursorInvalidError),
     ("cursor_timeout", CursorTimeoutError),
     ("cursor", CursorError),
+    ("stream_limit", StreamLimitError),
     ("protocol", ProtocolError),
     ("service", ServiceError),
     ("sql_syntax", SQLSyntaxError),

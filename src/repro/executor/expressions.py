@@ -169,7 +169,9 @@ def evaluate(expr: Expression, batch: Batch) -> ColumnVector:
         return _evaluate_unary(expr, batch)
     if isinstance(expr, IsNull):
         operand = evaluate(expr.operand, batch)
-        values = ~operand.null_mask if expr.negated else operand.null_mask.copy()
+        values = (
+            ~operand.null_mask if expr.negated else operand.null_mask.copy()
+        )
         return ColumnVector(
             DataType.BOOLEAN, values, np.zeros(n, dtype=np.bool_)
         )
@@ -309,7 +311,9 @@ def _check_comparable(left: DataType, right: DataType) -> None:
     raise ExecutionError(f"cannot compare {left.value} with {right.value}")
 
 
-def _arithmetic(op: str, left: ColumnVector, right: ColumnVector) -> ColumnVector:
+def _arithmetic(
+    op: str, left: ColumnVector, right: ColumnVector
+) -> ColumnVector:
     if left.dtype is DataType.TEXT or right.dtype is DataType.TEXT:
         raise ExecutionError(f"arithmetic {op!r} on text operands")
     nulls = left.null_mask | right.null_mask
@@ -325,7 +329,9 @@ def _arithmetic(op: str, left: ColumnVector, right: ColumnVector) -> ColumnVecto
         zero_div = r == 0
         safe_r = np.where(zero_div, 1, r)
         values = l % safe_r
-        return ColumnVector(_arith_dtype(left, right), values, nulls | zero_div)
+        return ColumnVector(
+            _arith_dtype(left, right), values, nulls | zero_div
+        )
     if op == "+":
         values = l + r
     elif op == "-":
@@ -362,13 +368,17 @@ def _evaluate_unary(expr: UnaryOp, batch: Batch) -> ColumnVector:
     if expr.op == "not":
         if operand.dtype is not DataType.BOOLEAN:
             raise ExecutionError("NOT expects a boolean operand")
-        values = ~np.asarray(operand.values, dtype=np.bool_) & ~operand.null_mask
+        values = (
+            ~np.asarray(operand.values, dtype=np.bool_) & ~operand.null_mask
+        )
         return ColumnVector(DataType.BOOLEAN, values, operand.null_mask.copy())
     if expr.op == "-":
         if not operand.dtype.is_numeric:
             raise ExecutionError("unary minus expects a numeric operand")
         return ColumnVector(
-            operand.dtype, -np.asarray(operand.values), operand.null_mask.copy()
+            operand.dtype,
+            -np.asarray(operand.values),
+            operand.null_mask.copy(),
         )
     raise ExecutionError(f"unknown unary operator {expr.op!r}")
 
@@ -415,7 +425,9 @@ def _evaluate_in(expr: InList, batch: Batch) -> ColumnVector:
         isinstance(i, Literal) and i.value is None for i in expr.items
     )
     concrete = [
-        i for i in expr.items if not (isinstance(i, Literal) and i.value is None)
+        i
+        for i in expr.items
+        if not (isinstance(i, Literal) and i.value is None)
     ]
     matched = np.zeros(n, dtype=np.bool_)
     for item in concrete:
@@ -458,7 +470,9 @@ def _evaluate_like(expr: Like, batch: Batch) -> ColumnVector:
     return _negate_bool(result) if expr.negated else result
 
 
-def _evaluate_scalar_function(call: FunctionCall, batch: Batch) -> ColumnVector:
+def _evaluate_scalar_function(
+    call: FunctionCall, batch: Batch
+) -> ColumnVector:
     if call.is_aggregate:
         raise ExecutionError(
             f"aggregate {call.name.upper()} used outside GROUP BY context"

@@ -107,7 +107,9 @@ class Filter(Operator):
 class Project(Operator):
     """Compute named expressions; also performs column renaming."""
 
-    def __init__(self, child: Operator, items: list[tuple[str, Expression]]) -> None:
+    def __init__(
+        self, child: Operator, items: list[tuple[str, Expression]]
+    ) -> None:
         if not items:
             raise ExecutionError("projection needs at least one item")
         names = [n for n, __ in items]
@@ -165,7 +167,9 @@ class HashJoin(Operator):
         right_types = self.right.output_types()
         overlap = set(types) & set(right_types)
         if overlap:
-            raise ExecutionError(f"join children share column names: {overlap}")
+            raise ExecutionError(
+                f"join children share column names: {overlap}"
+            )
         types.update(right_types)
         return types
 
@@ -258,7 +262,9 @@ class AggregateSpec:
 
 
 class _Accumulator:
-    __slots__ = ("func", "count", "total", "minimum", "maximum", "distinct_set")
+    __slots__ = (
+        "func", "count", "total", "minimum", "maximum", "distinct_set"
+    )
 
     def __init__(self, func: str, distinct: bool) -> None:
         self.func = func
@@ -365,11 +371,14 @@ class HashAggregate(Operator):
                 accs = groups.get(key)
                 if accs is None:
                     accs = [
-                        _Accumulator(s.func, s.distinct) for s in self.aggregates
+                        _Accumulator(s.func, s.distinct)
+                        for s in self.aggregates
                     ]
                     groups[key] = accs
                     group_values[key] = key
-                for acc, arg_list, spec in zip(accs, arg_lists, self.aggregates):
+                for acc, arg_list, spec in zip(
+                    accs, arg_lists, self.aggregates
+                ):
                     if arg_list is None:  # COUNT(*)
                         acc.count += 1
                     else:

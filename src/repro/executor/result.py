@@ -162,6 +162,19 @@ class Cursor:
             callback, self._on_close = self._on_close, None
             callback(self)
 
+    def abort_stream(self) -> None:
+        """Close only the underlying batch source — thread-safe.
+
+        Unlike :meth:`close`, this touches no cursor state, so another
+        thread blocked in a fetch unblocks with the source's close
+        error and finishes the cursor itself on its own thread.  Used
+        by the wire server to interrupt a stream from the connection's
+        request loop while that stream's pump owns the cursor.
+        """
+        closer = getattr(self._batches, "close", None)
+        if closer is not None:
+            closer()
+
     def close(self) -> None:
         """Abandon the stream (idempotent).
 
@@ -254,7 +267,7 @@ class QueryResult:
         """Single value of a 1x1 result (aggregate queries)."""
         if len(self.rows) != 1 or len(self.column_names) != 1:
             raise ExecutionError(
-                f"scalar() needs a 1x1 result, have "
+                "scalar() needs a 1x1 result, have "
                 f"{len(self.rows)}x{len(self.column_names)}"
             )
         return self.rows[0][0]

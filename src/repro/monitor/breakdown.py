@@ -41,7 +41,9 @@ class BreakdownReport:
     def add(self, system: str, metrics: QueryMetrics) -> None:
         self.rows.append((system, metrics.component_seconds()))
 
-    def add_components(self, system: str, components: dict[str, float]) -> None:
+    def add_components(
+        self, system: str, components: dict[str, float]
+    ) -> None:
         self.rows.append((system, dict(components)))
 
     def totals(self) -> dict[str, float]:

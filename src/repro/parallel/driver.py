@@ -98,7 +98,8 @@ class ParallelScanDriver:
             size = os.stat(state.entry.path).st_size
         except FileNotFoundError:
             return False  # let the serial path raise its usual error
-        return chunk_count(size, cfg.parallel_chunk_bytes, cfg.scan_workers) > 1
+        chunks = chunk_count(size, cfg.parallel_chunk_bytes, cfg.scan_workers)
+        return chunks > 1
 
     def tail_start(
         self, segments: "list[_Segment]", n_rows: int
@@ -133,7 +134,10 @@ class ParallelScanDriver:
             return None
         bounds = scan._bounds
         tail_chars = int(bounds[n_rows] - bounds[tail_up])
-        if chunk_count(tail_chars, cfg.parallel_chunk_bytes, cfg.scan_workers) < 2:
+        chunks = chunk_count(
+            tail_chars, cfg.parallel_chunk_bytes, cfg.scan_workers
+        )
+        if chunks < 2:
             return None
         return tail_up
 

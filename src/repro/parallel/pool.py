@@ -24,7 +24,11 @@ from __future__ import annotations
 import multiprocessing
 import threading
 from collections import deque
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..errors import ExecutionError
@@ -36,7 +40,9 @@ _Result = TypeVar("_Result")
 def _process_context():
     """Prefer fork (cheap, no re-import) where the platform offers it."""
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
 
 
 class ScanPool:

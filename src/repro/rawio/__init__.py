@@ -11,7 +11,12 @@ from .tokenizer import (
     extract_field,
     extract_fields_between,
 )
-from .generator import ColumnSpec, DatasetSpec, generate_csv, uniform_table_spec
+from .generator import (
+    ColumnSpec,
+    DatasetSpec,
+    generate_csv,
+    uniform_table_spec,
+)
 from .writer import write_csv, append_csv_rows
 
 __all__ = [

@@ -11,7 +11,7 @@ NULL fractions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -101,7 +101,9 @@ def uniform_table_spec(
         )
         for i in range(n_attrs)
     )
-    return DatasetSpec(columns=columns, n_rows=n_rows, seed=seed, dialect=dialect)
+    return DatasetSpec(
+        columns=columns, n_rows=n_rows, seed=seed, dialect=dialect
+    )
 
 
 def _generate_texts(
@@ -118,7 +120,9 @@ def _generate_texts(
         values = rng.uniform(spec.low, spec.high, n)
         return [f"{v:.4f}" for v in values.tolist()]
     if spec.dtype is DataType.BOOLEAN:
-        return ["true" if v else "false" for v in (rng.random(n) < 0.5).tolist()]
+        return [
+            "true" if v else "false" for v in (rng.random(n) < 0.5).tolist()
+        ]
     if spec.dtype is DataType.DATE:
         days = rng.integers(spec.low, max(spec.high, spec.low + 1), n)
         return [days_to_date(d).isoformat() for d in days.tolist()]
@@ -147,7 +151,9 @@ def _integer_values(
     return np.arange(start, start + n, dtype=np.int64)
 
 
-def _text_pool(rng: np.random.Generator, cardinality: int, width: int) -> list[str]:
+def _text_pool(
+    rng: np.random.Generator, cardinality: int, width: int
+) -> list[str]:
     letters = rng.integers(0, len(_ALPHABET), size=(cardinality, width))
     return ["".join(row) for row in _ALPHABET[letters].tolist()]
 
@@ -165,7 +171,11 @@ def generate_csv(path: str | Path, spec: DatasetSpec) -> TableSchema:
     schema = spec.schema()
     rng = np.random.default_rng(spec.seed)
     # Sequential columns must continue across chunks; track next start.
-    seq_offsets = {c.name: c.low for c in spec.columns if c.distribution == "sequential"}
+    seq_offsets = {
+        c.name: c.low
+        for c in spec.columns
+        if c.distribution == "sequential"
+    }
 
     with open(path, "w", encoding="utf-8", newline="") as f:
         if dialect.has_header:

@@ -130,7 +130,13 @@ def tokenize_span(
         )
     if dialect.quoting:
         return _tokenize_span_quoted(
-            content, field_starts, line_ends, first_attr, last_attr, n_attrs, dialect
+            content,
+            field_starts,
+            line_ends,
+            first_attr,
+            last_attr,
+            n_attrs,
+            dialect,
         )
 
     delim = dialect.delimiter
@@ -146,7 +152,11 @@ def tokenize_span(
     for r in range(n_rows):
         seg_start = starts_list[r]
         seg = content[seg_start : ends_list[r]]
-        parts = seg.split(delim) if runs_to_line_end else seg.split(delim, maxsplit)
+        parts = (
+            seg.split(delim)
+            if runs_to_line_end
+            else seg.split(delim, maxsplit)
+        )
         if runs_to_line_end:
             if len(parts) != span + 1:
                 raise RawDataError(
@@ -189,7 +199,9 @@ def tokenize_lines(
     """
     starts = bounds[row_from:row_to]
     line_ends = bounds[row_from + 1 : row_to + 1] - 1
-    rows = tokenize_span(content, starts, line_ends, 0, last_attr, n_attrs, dialect)
+    rows = tokenize_span(
+        content, starts, line_ends, 0, last_attr, n_attrs, dialect
+    )
     rows.row_from = row_from
     return rows
 
@@ -226,7 +238,9 @@ def _tokenize_span_quoted(
                     f"{first_attr}, found {j}",
                     row=r,
                 )
-            text, pos = _scan_quoted_field(content, pos, line_end, delim, quote)
+            text, pos = _scan_quoted_field(
+                content, pos, line_end, delim, quote
+            )
             row_fields.append(text)
             j += 1
         row_offsets[span + 1] = pos
@@ -268,7 +282,11 @@ def field_end(
     content: str, start: int, line_end: int, dialect: CsvDialect
 ) -> int:
     """Exclusive end offset of the field starting at ``start``."""
-    if dialect.quoting and start < line_end and content[start] == dialect.quote_char:
+    if (
+        dialect.quoting
+        and start < line_end
+        and content[start] == dialect.quote_char
+    ):
         __, nxt = _scan_quoted_field(
             content, start, line_end, dialect.delimiter, dialect.quote_char
         )
@@ -281,7 +299,11 @@ def extract_field(
     content: str, start: int, line_end: int, dialect: CsvDialect
 ) -> str:
     """Positional-map jump: read one field given its start offset."""
-    if dialect.quoting and start < line_end and content[start] == dialect.quote_char:
+    if (
+        dialect.quoting
+        and start < line_end
+        and content[start] == dialect.quote_char
+    ):
         text, __ = _scan_quoted_field(
             content, start, line_end, dialect.delimiter, dialect.quote_char
         )
@@ -305,7 +327,8 @@ def extract_fields_between(
     """
     if not dialect.quoting:
         return [
-            content[a:b] for a, b in zip(starts.tolist(), (next_starts - 1).tolist())
+            content[a:b]
+            for a, b in zip(starts.tolist(), (next_starts - 1).tolist())
         ]
     out = []
     quote = dialect.quote_char

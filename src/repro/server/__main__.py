@@ -103,7 +103,7 @@ async def _serve(server: RawServer) -> None:
     await server.start_async()
     print(
         f"repro wire server listening on {server.host}:{server.port} "
-        f"(Ctrl-C to stop)"
+        "(Ctrl-C to stop)"
     )
     try:
         await server.serve_forever()

@@ -7,32 +7,43 @@ A deliberately small, length-prefixed framed protocol — one frame is::
     | length (4B BE) | type (1B)  | payload (JSON utf-8) |
     +----------------+------------+----------------------+
 
-where ``length`` counts the type byte plus the payload.  JSON keeps the
-payloads debuggable with ``tcpdump`` and dependency-free; Python's
-encoder/decoder round-trips ``NaN``/``Infinity`` floats, and every SQL
-value the engine produces (int, float, str, bool, NULL, DATE as
-epoch-days) is JSON-representable.
+where ``length`` counts the type byte plus the payload.  Control
+payloads are JSON (debuggable with ``tcpdump``, dependency-free;
+Python's encoder round-trips ``NaN``/``Infinity`` floats, and every SQL
+value the engine produces — int, float, str, bool, NULL, DATE as
+epoch-days — is JSON-representable).  Result payloads come in two
+negotiated encodings: the JSON ``ROWS`` floor, and protocol v2's typed
+binary columnar ``ROWS_BIN`` (:mod:`repro.server.encoding`).
 
-Conversation::
+Protocol **v2** conversation (v1 omits ``encodings``/``encoding``/
+``max_streams`` and runs one stream at a time)::
 
-    client                         server
-    HELLO {version, token?}  -->
-                             <--   WELCOME {version, session_id}
-    QUERY {qid, sql}         -->
-                             <--   ROWSET {qid, columns, types}
-                             <--   ROWS {qid, rows}          (repeated)
-                             <--   END {qid, rows, closed}
-    CLOSE {qid}              -->   (abandon the active stream early;
-                             <--    END {qid, closed: true} acks it)
-    GOODBYE {}               -->   (connection closes)
+    client                                server
+    HELLO {version, token?, encodings?} -->
+                              <--  WELCOME {version, session_id,
+                                           encoding, max_streams}
+    QUERY {qid, sql}          -->
+                              <--  ROWSET {qid, columns, types}
+                              <--  ROWS {qid, rows} | ROWS_BIN  (repeated)
+                              <--  END {qid, rows, closed}
+    CLOSE {qid}               -->  (abandon stream qid early;
+                              <--   END {qid, closed: true} acks it)
+    GOODBYE {}                -->  (connection closes)
+
+Under v2 the conversation is **multiplexed**: qids are on every frame,
+so a client may hold up to ``max_streams_per_connection`` QUERYs open
+at once and the server interleaves their ROWS frames fairly; the
+client demultiplexes by qid.  A v1 peer (``HELLO {version: 1}``) gets
+exactly the v1 conversation back: JSON rows, one stream at a time.
 
 An ERROR frame ``{qid?, code, message}`` may replace ROWSET (the query
-failed to admit/parse/plan) or interrupt a ROWS stream (the producing
-scan failed mid-flight); ``code`` is a stable string from
-:func:`repro.errors.wire_code_for`, so the client re-raises the matching
-exception class.  A CLOSE for a stream that already ended is silently
-ignored (the natural END is already in flight — the client drains to
-it), which makes the close race benign.
+failed to admit/parse/plan), interrupt a ROWS stream (the producing
+scan failed mid-flight), or reject a QUERY beyond the stream limit
+(code ``stream_limit``); ``code`` is a stable string from
+:func:`repro.errors.wire_code_for`, so the client re-raises the
+matching exception class.  A CLOSE for a stream that already ended is
+silently ignored (the natural END is already in flight — the client
+drains to it), which makes the close race benign.
 
 Frames are bounded by ``frame_bytes``: outgoing ROWS frames are *split*
 (:func:`iter_row_frames` packs rows greedily by encoded size, starting
@@ -49,10 +60,14 @@ import struct
 from typing import BinaryIO, Iterator
 
 from ..errors import ProtocolError
+from .encoding import peek_qid
 
-#: Protocol revision carried in HELLO/WELCOME; a mismatch fails the
+#: Protocol revision carried in HELLO/WELCOME.  The server negotiates
+#: down to the client's version as long as it is at least
+#: ``MIN_PROTOCOL_VERSION``; anything outside that window fails the
 #: handshake with a ``protocol`` ERROR frame.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+MIN_PROTOCOL_VERSION = 1
 
 _HEADER = struct.Struct("!I")
 _HEADER_BYTES = _HEADER.size
@@ -61,8 +76,9 @@ _HEADER_BYTES = _HEADER.size
 class FrameType(enum.IntEnum):
     """One byte on the wire; grouped by direction."""
 
-    HELLO = 0x01  # client -> server: {version, token?}
-    WELCOME = 0x02  # server -> client: {version, session_id, server}
+    HELLO = 0x01  # client -> server: {version, token?, encodings?}
+    WELCOME = 0x02  # server -> client: {version, session_id, server,
+    #                 encoding, max_streams}  (last two: v2 only)
     QUERY = 0x03  # client -> server: {qid, sql}
     ROWSET = 0x04  # server -> client: {qid, columns, types}
     ROWS = 0x05  # server -> client: {qid, rows: [[...], ...]}
@@ -70,6 +86,8 @@ class FrameType(enum.IntEnum):
     ERROR = 0x07  # server -> client: {qid?, code, message}
     CLOSE = 0x08  # client -> server: {qid}
     GOODBYE = 0x09  # client -> server: {}
+    ROWS_BIN = 0x0A  # server -> client: binary columnar payload
+    #                  (repro.server.encoding; v2 "binary" only)
 
 
 def encode_frame(ftype: FrameType, payload: dict) -> bytes:
@@ -79,15 +97,25 @@ def encode_frame(ftype: FrameType, payload: dict) -> bytes:
 
 
 def decode_payload(ftype_byte: int, body: bytes) -> tuple[FrameType, dict]:
-    """Parse a frame's type byte + JSON body (header already consumed)."""
+    """Parse a frame's type byte + body (header already consumed).
+
+    JSON frames decode to their payload dict.  ROWS_BIN frames stay
+    opaque — the payload is ``{"qid": ..., "data": <raw body>}`` so
+    the demultiplexer can route on qid without paying the columnar
+    decode until the owning cursor consumes the frame.
+    """
     try:
         ftype = FrameType(ftype_byte)
     except ValueError:
         raise ProtocolError(f"unknown frame type 0x{ftype_byte:02x}") from None
+    if ftype is FrameType.ROWS_BIN:
+        return ftype, {"qid": peek_qid(body), "data": body}
     try:
         payload = json.loads(body.decode("utf-8")) if body else {}
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"undecodable {ftype.name} payload: {exc}") from None
+        raise ProtocolError(
+            f"undecodable {ftype.name} payload: {exc}"
+        ) from None
     if not isinstance(payload, dict):
         raise ProtocolError(f"{ftype.name} payload must be a JSON object")
     return ftype, payload

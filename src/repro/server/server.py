@@ -2,27 +2,35 @@
 
 :class:`RawServer` is an asyncio socket server fronting one
 :class:`repro.service.PostgresRawService`.  Each accepted connection
-owns one :class:`repro.service.Session`; its handler coroutine pumps
-every streaming cursor's batches into socket writes.  The two
-flow-control domains compose end-to-end:
+owns one :class:`repro.service.Session` and — under protocol v2 — a
+**stream table**: up to ``max_streams_per_connection`` concurrent query
+streams, each with its own cursor pump task.  The pumps share the
+connection's socket through one FIFO write lock acquired per ROWS
+frame, so frames from concurrently producing streams interleave fairly
+(round-robin among the streams with a frame ready) instead of one
+stream monopolizing the pipe.  The flow-control domains still compose
+end-to-end:
 
-* inside the service, the producing scan is throttled by the bounded
+* inside the service, each producing scan is throttled by its bounded
   :class:`repro.service.streaming.BatchChannel` (``stream_queue_batches``
   deep, ``cursor_ttl_s`` abandoning stalled consumers);
-* on the wire, ``await writer.drain()`` throttles the handler against
+* on the wire, ``await writer.drain()`` throttles every pump against
   the client's TCP receive window.
 
-The handler *is* the channel's consumer, so a client that stops reading
-stalls ``drain()``, which stops the handler pulling batches, which
-fills the channel, which blocks the producer — and after ``cursor_ttl_s``
-the producer abandons the query and releases its table locks.  The
-in-process lock-lifetime contract carries over the wire unchanged.
+A client that stops reading stalls ``drain()``, which stops the pumps
+pulling batches, which fills the channels, which blocks the producers —
+and after ``cursor_ttl_s`` each producer abandons its query and
+releases its table locks.  The in-process lock-lifetime contract
+carries over the wire unchanged.
+
+ROWS payloads travel in the encoding negotiated at HELLO/WELCOME
+(:mod:`repro.server.encoding`): typed binary column vectors by default,
+the JSON floor for v1 peers or when ``wire_encoding="json"``.
 
 Blocking service calls (admission, planning, batch pulls, cursor
-close) run on worker threads via ``asyncio.to_thread``; the event loop
-only ever parses frames and writes sockets, so hundreds of connections
-multiplex over one loop while at most ``max_concurrent_queries``
-producers run.
+close) run on worker threads; the event loop only ever parses frames
+and writes sockets, so hundreds of connections multiplex over one loop
+while at most ``max_concurrent_queries`` producers run.
 
 Use it embedded (tests, benchmarks)::
 
@@ -46,20 +54,39 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..errors import (
+    CursorClosedError,
     ProtocolError,
     ReproError,
     ServiceError,
+    StreamLimitError,
     wire_code_for,
 )
 from ..executor.result import batch_rows
 from ..service.service import PostgresRawService, Session
+from .encoding import (
+    ENCODING_JSON,
+    iter_binary_row_frames,
+    negotiate_encoding,
+)
 from .protocol import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     FrameType,
     encode_frame,
     iter_row_frames,
     read_frame,
 )
+
+
+@dataclass
+class _Stream:
+    """One multiplexed query stream on a connection."""
+
+    qid: int
+    sql: str
+    task: "asyncio.Task | None" = None
+    cursor: object | None = field(default=None, repr=False)
+    close_requested: bool = False
 
 
 @dataclass
@@ -71,18 +98,24 @@ class _Connection:
     opened_monotonic: float
     task: "asyncio.Task | None" = None
     session: Session | None = None
+    version: int = PROTOCOL_VERSION
+    encoding: str = ENCODING_JSON
+    max_streams: int = 1
     queries: int = 0
     frames_sent: int = 0
     rows_sent: int = 0
+    bytes_sent: int = 0
     last_ttfb_s: float | None = None
-    cursor: object | None = field(default=None, repr=False)
+    streams: dict[int, _Stream] = field(default_factory=dict)
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
 
 
 class RawServer:
     """Serve one :class:`PostgresRawService` over TCP.
 
     Knobs default to the service's config (``server_host``,
-    ``server_port``, ``max_connections``, ``frame_bytes``); keyword
+    ``server_port``, ``max_connections``, ``frame_bytes``,
+    ``wire_encoding``, ``max_streams_per_connection``); keyword
     overrides exist for embedding several servers in one process.
     ``auth_token`` is the handshake's auth stub: when set, HELLO frames
     must carry the same token or the connection is refused.
@@ -96,6 +129,8 @@ class RawServer:
         port: int | None = None,
         max_connections: int | None = None,
         frame_bytes: int | None = None,
+        wire_encoding: str | None = None,
+        max_streams_per_connection: int | None = None,
         auth_token: str | None = None,
     ) -> None:
         config = service.config
@@ -103,22 +138,37 @@ class RawServer:
         self.host = config.server_host if host is None else host
         self.requested_port = config.server_port if port is None else port
         self.max_connections = (
-            config.max_connections if max_connections is None else max_connections
+            config.max_connections
+            if max_connections is None
+            else max_connections
         )
         self.frame_bytes = (
             config.frame_bytes if frame_bytes is None else frame_bytes
         )
+        self.wire_encoding = (
+            config.wire_encoding if wire_encoding is None else wire_encoding
+        )
+        self.max_streams_per_connection = (
+            config.max_streams_per_connection
+            if max_streams_per_connection is None
+            else max_streams_per_connection
+        )
         self.auth_token = auth_token
         self.port: int | None = None  # bound port, set by start
         # Dedicated worker pool for blocking service calls, sized so
-        # every connection always has a worker.  The loop's *default*
+        # every stream always has a worker.  The loop's *default*
         # executor is min(32, cpus + 4) threads — on small hosts that
         # deadlocks under load: every worker can end up parked in a
         # query-open (waiting for a table lock a streaming producer
         # holds) while the one batch-pull that would drain that producer
-        # sits queued with no worker, until cursor_ttl_s breaks the cycle.
+        # sits queued with no worker, until cursor_ttl_s breaks the
+        # cycle.  With multiplexing each connection can park up to
+        # max_streams opens at once, so the bound scales with both
+        # knobs; ThreadPoolExecutor spawns lazily, so idle capacity
+        # costs nothing.
         self._executor = ThreadPoolExecutor(
-            max_workers=self.max_connections + 4,
+            max_workers=self.max_connections * self.max_streams_per_connection
+            + 4,
             thread_name_prefix="repro-wire",
         )
         self._server: asyncio.AbstractServer | None = None
@@ -133,9 +183,11 @@ class RawServer:
         self.connections_rejected = 0
         self.connections_closed = 0
         self.queries_served = 0
+        self.streams_refused = 0
         self.frames_sent = 0
         self.rows_sent = 0
         self.errors_sent = 0
+        self.bytes_by_encoding: dict[str, int] = {"json": 0, "binary": 0}
 
     # ------------------------------------------------------------------
     # Lifecycle (async core).
@@ -158,8 +210,9 @@ class RawServer:
 
     async def aclose(self) -> None:
         """Graceful shutdown: stop accepting, then close every live
-        connection (their handlers close any open cursor on the way
-        out, so no scheduler slot or table lock outlives the server)."""
+        connection (their handlers close every open stream's cursor on
+        the way out, so no scheduler slot or table lock outlives the
+        server)."""
         server, self._server = self._server, None
         if server is not None:
             server.close()
@@ -171,8 +224,9 @@ class RawServer:
             task.cancel()
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
-        # Handlers are gone; their in-flight cursor closes are done
-        # (each close joins its producer), so no cursor or slot leaks.
+        # Handlers are gone; their in-flight cursor closes are done or
+        # queued on the worker pool — the shutdown below waits for
+        # them, so no cursor or slot leaks.
         self._stopped = True
         self._executor.shutdown(wait=True)
 
@@ -199,7 +253,9 @@ class RawServer:
             target=self._loop.run_forever, name="repro-server", daemon=True
         )
         self._thread.start()
-        future = asyncio.run_coroutine_threadsafe(self.start_async(), self._loop)
+        future = asyncio.run_coroutine_threadsafe(
+            self.start_async(), self._loop
+        )
         try:
             future.result(timeout=30)
         except BaseException:
@@ -297,9 +353,9 @@ class RawServer:
         finally:
             pump.cancel()
             try:
-                await self._close_conn_cursor(conn)
+                await self._shutdown_streams(conn)
             except asyncio.CancelledError:
-                pass  # the shielded close still finishes on its thread
+                pass  # shielded closes still finish on their threads
             with self._stats_lock:
                 self._connections.pop(conn.conn_id, None)
                 self.connections_closed += 1
@@ -320,7 +376,7 @@ class RawServer:
         self, reader: asyncio.StreamReader, frames: asyncio.Queue
     ) -> None:
         """Single reader task per connection: decoded frames flow into a
-        queue so the handler can notice a CLOSE while mid-stream."""
+        queue so the request loop sees CLOSEs while streams run."""
         try:
             while True:
                 frame = await read_frame(reader, self.frame_bytes)
@@ -350,18 +406,38 @@ class RawServer:
         if ftype is not FrameType.HELLO:
             raise ProtocolError(f"expected HELLO, got {ftype.name}")
         version = payload.get("version")
-        if version != PROTOCOL_VERSION:
+        if (
+            not isinstance(version, int)
+            or not MIN_PROTOCOL_VERSION <= version
+        ):
             await self._send_error(
                 writer,
                 None,
                 ProtocolError(
                     f"protocol version mismatch: client {version}, "
-                    f"server {PROTOCOL_VERSION}"
+                    f"server speaks {MIN_PROTOCOL_VERSION}.."
+                    f"{PROTOCOL_VERSION}"
                 ),
                 conn,
             )
             return False
-        if self.auth_token is not None and payload.get("token") != self.auth_token:
+        # A newer client is negotiated down to what we speak; an older
+        # one (>= the minimum) gets its own version's conversation.
+        conn.version = min(version, PROTOCOL_VERSION)
+        if conn.version >= 2:
+            offered = payload.get("encodings")
+            conn.encoding = negotiate_encoding(
+                offered if isinstance(offered, list) else [ENCODING_JSON],
+                self.wire_encoding,
+            )
+            conn.max_streams = self.max_streams_per_connection
+        else:
+            conn.encoding = ENCODING_JSON
+            conn.max_streams = 1
+        if (
+            self.auth_token is not None
+            and payload.get("token") != self.auth_token
+        ):
             await self._send_error(
                 writer, None, ProtocolError("auth token rejected"), conn
             )
@@ -371,21 +447,27 @@ class RawServer:
         except ReproError as exc:
             await self._send_error(writer, None, exc, conn)
             return False
-        await self._send(
-            writer,
-            conn,
-            FrameType.WELCOME,
-            {
-                "version": PROTOCOL_VERSION,
-                "session_id": conn.session.session_id,
-                "server": "repro-postgresraw",
-            },
-        )
+        welcome = {
+            "version": conn.version,
+            "session_id": conn.session.session_id,
+            "server": "repro-postgresraw",
+        }
+        if conn.version >= 2:
+            welcome["encoding"] = conn.encoding
+            welcome["max_streams"] = conn.max_streams
+        await self._send(writer, conn, FrameType.WELCOME, welcome)
         return True
+
+    # ------------------------------------------------------------------
+    # Request loop + stream table (the multiplexing core).
+    # ------------------------------------------------------------------
 
     async def _request_loop(
         self, conn: _Connection, frames: asyncio.Queue, writer
     ) -> None:
+        """Consume client frames; QUERYs spawn stream pumps, CLOSEs
+        interrupt them.  The loop never blocks on a stream, so a CLOSE
+        (or GOODBYE) lands even while every stream is producing."""
         while True:
             frame = await self._next_frame(frames)
             if frame is None:
@@ -394,41 +476,95 @@ class RawServer:
             if ftype is FrameType.GOODBYE:
                 return
             if ftype is FrameType.CLOSE:
-                continue  # stale close for a stream that already ended
+                self._handle_close(conn, payload)
+                continue
             if ftype is not FrameType.QUERY:
                 raise ProtocolError(
-                    f"unexpected {ftype.name} frame between queries"
+                    f"unexpected {ftype.name} frame from client"
                 )
-            await self._serve_query(conn, frames, writer, payload)
+            await self._start_query(conn, writer, payload)
 
-    async def _serve_query(
-        self, conn: _Connection, frames: asyncio.Queue, writer, payload: dict
+    async def _start_query(
+        self, conn: _Connection, writer, payload: dict
     ) -> None:
         qid = payload.get("qid")
         sql = payload.get("sql")
         if not isinstance(qid, int) or not isinstance(sql, str):
             raise ProtocolError("QUERY frame needs an int qid and a str sql")
+        if qid in conn.streams:
+            raise ProtocolError(
+                f"qid={qid} is already streaming on this connection"
+            )
+        if len(conn.streams) >= conn.max_streams:
+            with self._stats_lock:
+                self.streams_refused += 1
+            await self._send_error(
+                writer,
+                qid,
+                StreamLimitError(
+                    f"connection already runs {len(conn.streams)} streams "
+                    f"(max_streams_per_connection={conn.max_streams}); "
+                    "close a cursor first"
+                ),
+                conn,
+            )
+            return
+        stream = _Stream(qid=qid, sql=sql)
+        conn.streams[qid] = stream
+        stream.task = asyncio.create_task(
+            self._run_stream(conn, writer, stream)
+        )
+
+    def _handle_close(self, conn: _Connection, payload: dict) -> None:
+        """CLOSE {qid}: interrupt that stream's pump.
+
+        Only thread-safe channel state is touched here — the stream's
+        pump task owns the cursor object, notices the aborted source on
+        its next pull (a blocked pull unblocks immediately) and answers
+        with ``END {closed: true}``.  A CLOSE for a stream that already
+        ended is silently ignored: its natural END is in flight.
+        """
+        stream = conn.streams.get(payload.get("qid"))
+        if stream is None:
+            return
+        stream.close_requested = True
+        cursor = stream.cursor
+        if cursor is not None:
+            cursor.abort_stream()
+
+    async def _run_stream(
+        self, conn: _Connection, writer, stream: _Stream
+    ) -> None:
+        """One stream's pump: open the cursor, stream ROWSET/ROWS/END.
+
+        Admission control, reconcile and planning run on a worker
+        thread, so a queue wait never stalls the loop — and other
+        streams on the same connection keep flowing while this one
+        waits for a slot or a table lock.
+        """
+        qid = stream.qid
         session = conn.session
-        # Admission control, reconcile and planning run here — on a
-        # worker thread, so a queue wait never stalls the loop.
-        open_task = asyncio.ensure_future(self._call(session.cursor, sql))
+        open_task = asyncio.ensure_future(
+            self._call(session.cursor, stream.sql)
+        )
         try:
             cursor = await asyncio.shield(open_task)
         except asyncio.CancelledError:
-            # Cancelled (server shutdown) while the worker thread is
+            # Cancelled (connection teardown) while the worker thread is
             # mid-open: the thread cannot be interrupted and may hand
             # back a live cursor holding a scheduler slot and table
-            # locks.  Wait it out and park the cursor on the connection
-            # so the handler's cleanup closes it — never leak the open.
+            # locks.  Wait it out and park the cursor on the stream so
+            # _shutdown_streams reaps it — never leak the open.
             try:
-                conn.cursor = await open_task
+                stream.cursor = await open_task
             except Exception:
                 pass  # the open itself failed: nothing to reap
             raise
         except Exception as exc:  # any failure maps to a wire code
-            await self._send_error(writer, qid, exc, conn)
+            conn.streams.pop(qid, None)
+            await self._try_send_error(writer, qid, exc, conn)
             return
-        conn.cursor = cursor
+        stream.cursor = cursor
         conn.queries += 1
         with self._stats_lock:
             self.queries_served += 1
@@ -445,77 +581,97 @@ class RawServer:
                     "types": [t.value for t in cursor.column_types],
                 },
             )
+            if stream.close_requested:
+                closed = True  # CLOSE raced the open; serve the ack only
             batches = cursor.batches()
-            while True:
+            while not closed:
                 try:
                     batch = await self._call(next, batches, None)
+                except CursorClosedError:
+                    if stream.close_requested:
+                        closed = True
+                        break
+                    raise
                 except Exception as exc:
                     # Producer-side failure (TTL, racing drop, raw-data
                     # error) after some batches may already be out: the
-                    # ERROR frame takes the END's place.
+                    # ERROR frame takes the END's place — with the
+                    # cursor retired first, like END, so the terminal
+                    # frame means the server-side stream is fully gone.
+                    conn.streams.pop(qid, None)
+                    await self._retire_stream(conn, stream)
                     await self._send_error(writer, qid, exc, conn)
                     return
                 if batch is None:
                     break
-                # Tuples go straight to the encoder (json serializes
-                # them as arrays) — no per-row copy on the hot path.
-                rows = batch_rows(batch, cursor.column_names)
-                for wire_frame in iter_row_frames(qid, rows, self.frame_bytes):
-                    writer.write(wire_frame)
-                    # The consumer side of the bounded channel: TCP
-                    # backpressure throttles the pull loop, the pull
-                    # loop throttles the producing scan.
-                    await writer.drain()
-                    conn.frames_sent += 1
-                    with self._stats_lock:
-                        self.frames_sent += 1
-                rows_sent += len(rows)
-                conn.rows_sent += len(rows)
+                if conn.encoding == ENCODING_JSON:
+                    rows = batch_rows(batch, cursor.column_names)
+                    wire_frames = iter_row_frames(qid, rows, self.frame_bytes)
+                else:
+                    wire_frames = iter_binary_row_frames(
+                        qid,
+                        batch,
+                        cursor.column_names,
+                        cursor.column_types,
+                        self.frame_bytes,
+                    )
+                for wire_frame in wire_frames:
+                    # One FIFO lock acquisition per frame: concurrent
+                    # streams' pumps take turns, so ROWS frames
+                    # round-robin among every stream with one ready.
+                    # drain() under the lock is the consumer side of
+                    # the bounded channel — TCP backpressure throttles
+                    # the pulls, the pulls throttle the producing scan.
+                    async with conn.write_lock:
+                        writer.write(wire_frame)
+                        await writer.drain()
+                    self._note_frame(conn, len(wire_frame))
+                rows_sent += batch.num_rows
+                conn.rows_sent += batch.num_rows
                 with self._stats_lock:
-                    self.rows_sent += len(rows)
-                if await self._close_requested(conn, frames, qid):
+                    self.rows_sent += batch.num_rows
+                if stream.close_requested:
                     closed = True
-                    break
+            # Retire the cursor *and* the stream-table entry *before*
+            # the END frame: a client that saw END knows the
+            # server-side cursor, its scheduler slot and its table
+            # locks are gone (the wire analogue of ``Cursor.close()``
+            # returning only after the producer released), and a QUERY
+            # it issues right after END can never be refused by a
+            # stream-limit count still holding this finished stream —
+            # even while this pump is suspended in the END drain.  The
+            # finally below is then a no-op backstop.
+            conn.streams.pop(qid, None)
+            await self._retire_stream(conn, stream)
             await self._send(
                 writer,
                 conn,
                 FrameType.END,
                 {"qid": qid, "rows": rows_sent, "closed": closed},
             )
+        except (ConnectionError, OSError):
+            pass  # client vanished; the handler tears everything down
+        except Exception as exc:
+            # Anything unexpected past the batch-pull (an encoder bug,
+            # a codec limit like the 4 GiB TEXT offset range): the
+            # client must still see a terminal frame for this qid, or
+            # its cursor would wait forever on a stream the server has
+            # silently dropped.  Stream entry and cursor retired first,
+            # as everywhere.  (CancelledError is a BaseException and
+            # passes through to the teardown path untouched.)
+            conn.streams.pop(qid, None)
+            await self._retire_stream(conn, stream)
+            await self._try_send_error(writer, qid, exc, conn)
         finally:
-            await self._close_conn_cursor(conn)
+            conn.streams.pop(qid, None)
+            await self._retire_stream(conn, stream)
 
-    async def _close_requested(
-        self, conn: _Connection, frames: asyncio.Queue, qid: int
-    ) -> bool:
-        """Did the client CLOSE the active stream (or vanish)?
-
-        Checked between row frames so an early hang-up stops the
-        producing scan instead of streaming a result nobody reads.
-        """
-        while True:
-            try:
-                frame = frames.get_nowait()
-            except asyncio.QueueEmpty:
-                return False
-            if frame is None:
-                raise ConnectionResetError("client went away mid stream")
-            if isinstance(frame, ProtocolError):
-                raise frame
-            ftype, payload = frame
-            if ftype is FrameType.CLOSE and payload.get("qid") == qid:
-                await self._call(conn.cursor.close)
-                return True
-            if ftype is FrameType.GOODBYE:
-                raise ConnectionResetError("client said GOODBYE mid stream")
-            raise ProtocolError(
-                f"unexpected {ftype.name} frame while streaming qid={qid}"
-            )
-
-    async def _close_conn_cursor(self, conn: _Connection) -> None:
-        """Close the connection's active cursor (idempotent) and record
-        its time-to-first-batch for the connections panel."""
-        cursor, conn.cursor = conn.cursor, None
+    async def _retire_stream(
+        self, conn: _Connection, stream: _Stream
+    ) -> None:
+        """Close a stream's cursor (idempotent) and record its
+        time-to-first-batch for the connections panel."""
+        cursor, stream.cursor = stream.cursor, None
         if cursor is None:
             return
         try:
@@ -528,19 +684,54 @@ class RawServer:
         if ttfb is not None:
             conn.last_ttfb_s = ttfb
 
+    async def _shutdown_streams(self, conn: _Connection) -> None:
+        """Connection teardown: stop every pump, reap every cursor."""
+        me = asyncio.current_task()
+        tasks = [
+            stream.task
+            for stream in list(conn.streams.values())
+            if stream.task is not None and stream.task is not me
+        ]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        # Streams whose pump was cancelled mid-open parked their cursor
+        # on the stream entry; everything else already retired itself.
+        for stream in list(conn.streams.values()):
+            try:
+                await self._retire_stream(conn, stream)
+            except asyncio.CancelledError:
+                pass  # the shielded close still finishes on its thread
+        conn.streams.clear()
+
     # ------------------------------------------------------------------
     # Frame writing.
     # ------------------------------------------------------------------
 
+    def _note_frame(self, conn: _Connection | None, nbytes: int) -> None:
+        encoding = conn.encoding if conn is not None else ENCODING_JSON
+        if conn is not None:
+            conn.frames_sent += 1
+            conn.bytes_sent += nbytes
+        with self._stats_lock:
+            self.frames_sent += 1
+            self.bytes_by_encoding[encoding] = (
+                self.bytes_by_encoding.get(encoding, 0) + nbytes
+            )
+
     async def _send(
         self, writer, conn: _Connection | None, ftype: FrameType, payload: dict
     ) -> None:
-        writer.write(encode_frame(ftype, payload))
-        await writer.drain()
+        frame = encode_frame(ftype, payload)
         if conn is not None:
-            conn.frames_sent += 1
-        with self._stats_lock:
-            self.frames_sent += 1
+            async with conn.write_lock:
+                writer.write(frame)
+                await writer.drain()
+        else:
+            writer.write(frame)
+            await writer.drain()
+        self._note_frame(conn, len(frame))
 
     async def _send_error(
         self, writer, qid: int | None, exc: BaseException, conn
@@ -578,16 +769,22 @@ class RawServer:
                     "id": conn.conn_id,
                     "peer": conn.peer,
                     "age_s": now - conn.opened_monotonic,
+                    "version": conn.version,
+                    "encoding": conn.encoding,
                     "queries": conn.queries,
+                    "streams": len(conn.streams),
+                    "max_streams": conn.max_streams,
                     "frames_sent": conn.frames_sent,
                     "rows_sent": conn.rows_sent,
+                    "bytes_sent": conn.bytes_sent,
                     "last_ttfb_s": conn.last_ttfb_s,
-                    "streaming": conn.cursor is not None,
+                    "streaming": bool(conn.streams),
                 }
                 for conn in sorted(
                     self._connections.values(), key=lambda c: c.conn_id
                 )
             ]
+            bytes_by_encoding = dict(self.bytes_by_encoding)
             return {
                 "host": self.host,
                 "port": self.port,
@@ -598,9 +795,15 @@ class RawServer:
                 "rejected": self.connections_rejected,
                 "closed": self.connections_closed,
                 "queries": self.queries_served,
+                "streams_refused": self.streams_refused,
                 "frames_sent": self.frames_sent,
                 "rows_sent": self.rows_sent,
                 "errors_sent": self.errors_sent,
                 "frames_per_s": self.frames_sent / uptime if uptime else 0.0,
+                "bytes_by_encoding": bytes_by_encoding,
+                "bytes_per_s_by_encoding": {
+                    enc: total / uptime if uptime else 0.0
+                    for enc, total in bytes_by_encoding.items()
+                },
                 "connections": connections,
             }

@@ -122,7 +122,9 @@ class QueryScheduler:
     # Internals (callers hold the condition).
     # ------------------------------------------------------------------
 
-    def _abandon_wait_locked(self, session_id: object, ticket: _Ticket) -> None:
+    def _abandon_wait_locked(
+        self, session_id: object, ticket: _Ticket
+    ) -> None:
         """An enqueued waiter died before being granted (its
         ``_cond.wait`` raised): settle the books.
 

@@ -462,7 +462,9 @@ class PostgresRawService:
         """
         error: BaseException | None = None
         try:
-            self._run_stream(plan, scans, tables, generations, metrics, channel)
+            self._run_stream(
+                plan, scans, tables, generations, metrics, channel
+            )
         except BaseException as exc:
             # BaseException included: swallowing even SystemExit here is
             # better than a channel that never finishes (consumer hang)
@@ -584,12 +586,12 @@ class PostgresRawService:
             if self._states.get(name) is not state:
                 raise CursorInvalidError(
                     f"table {name!r} was dropped before the cursor "
-                    f"could stream it"
+                    "could stream it"
                 )
             if state.generation != generations[name]:
                 raise CursorInvalidError(
                     f"raw file behind table {name!r} was rewritten "
-                    f"before the cursor could stream it"
+                    "before the cursor could stream it"
                 )
 
     def _retire_stream(self, handle: "_StreamHandle", cursor: Cursor) -> None:

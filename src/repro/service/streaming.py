@@ -80,9 +80,9 @@ class BatchChannel:
                     timeout = deadline - time.monotonic()
                     if timeout <= 0:
                         raise CursorTimeoutError(
-                            f"cursor consumer made no room for "
+                            "cursor consumer made no room for "
                             f"{self.ttl_s:.1f}s (cursor_ttl_s); abandoning "
-                            f"the producing scan"
+                            "the producing scan"
                         )
                 self._cond.wait(timeout)
             if self._closed:

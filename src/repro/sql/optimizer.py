@@ -59,7 +59,8 @@ def _conjunct_selectivity(
     if isinstance(expr, UnaryOp) and expr.op == "not":
         return max(1.0 - _conjunct_selectivity(expr.operand, stats), 1e-9)
 
-    if isinstance(expr, BinaryOp) and expr.op in ("=", "<>", "<", "<=", ">", ">="):
+    comparisons = ("=", "<>", "<", "<=", ">", ">=")
+    if isinstance(expr, BinaryOp) and expr.op in comparisons:
         column, literal = _column_vs_literal(expr.left, expr.right)
         if column is None:
             return _DEFAULT_RANGE

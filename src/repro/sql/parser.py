@@ -69,7 +69,8 @@ class _Parser:
         token = self._advance()
         if not (token.kind is TokenKind.KEYWORD and token.text == word):
             raise SQLSyntaxError(
-                f"expected {word.upper()}, found {token.text!r}", token.position
+                f"expected {word.upper()}, found {token.text!r}",
+                token.position,
             )
 
     def _accept_op(self, op: str) -> bool:

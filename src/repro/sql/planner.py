@@ -20,7 +20,7 @@ from ..catalog.schema import TableSchema
 from ..core.stats import StatisticsStore
 from ..datatypes import DataType
 from ..errors import PlanningError
-from ..executor.expressions import infer_type, normalize_expression
+from ..executor.expressions import normalize_expression
 from ..executor.operators import (
     AggregateSpec,
     Distinct,
@@ -43,7 +43,6 @@ from .ast import (
     IsNull,
     Like,
     Literal,
-    OrderItem,
     SelectStatement,
     Star,
     UnaryOp,
@@ -154,7 +153,6 @@ class Planner:
 
     def plan(self, stmt: SelectStatement) -> LogicalPlan:
         bindings = self._bind_tables(stmt)
-        scope = {b.alias: b for b in bindings}
         types_full = {
             f"{b.alias}.{c.name}": c.dtype
             for b in bindings
@@ -582,7 +580,9 @@ class Planner:
             for node in walk_expr(expr):
                 if isinstance(node, FunctionCall) and node.is_aggregate:
                     for arg in node.args:
-                        if not isinstance(arg, Star) and contains_aggregate(arg):
+                        if isinstance(arg, Star):
+                            continue
+                        if contains_aggregate(arg):
                             raise PlanningError(
                                 "nested aggregate functions are not allowed"
                             )

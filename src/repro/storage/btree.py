@@ -54,7 +54,10 @@ class BPlusTree:
 
     @classmethod
     def bulk_build(
-        cls, keys: list, row_ids: list[int] | None = None, order: int = DEFAULT_ORDER
+        cls,
+        keys: list,
+        row_ids: list[int] | None = None,
+        order: int = DEFAULT_ORDER,
     ) -> "BPlusTree":
         """Build bottom-up from (key, row_id) pairs; NULL keys skipped."""
         tree = cls(order)
@@ -259,7 +262,9 @@ class BPlusTree:
                 if low is not None and key < low:
                     raise StorageError(f"key {key!r} below node bound {low!r}")
                 if high is not None and not key < high:
-                    raise StorageError(f"key {key!r} above node bound {high!r}")
+                    raise StorageError(
+                        f"key {key!r} above node bound {high!r}"
+                    )
             return
         if len(node.children) != len(node.keys) + 1:
             raise StorageError("internal node child/key count mismatch")

@@ -12,7 +12,7 @@ apples-to-apples.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..batch import ColumnVector

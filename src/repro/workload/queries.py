@@ -31,7 +31,8 @@ class QuerySpec:
         sql = f"SELECT {columns} FROM {self.table}"
         if self.filter_column is not None:
             sql += (
-                f" WHERE {self.filter_column} BETWEEN {self.low} AND {self.high}"
+                f" WHERE {self.filter_column}"
+                f" BETWEEN {self.low} AND {self.high}"
             )
         return sql
 

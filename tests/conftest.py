@@ -8,7 +8,6 @@ from repro import (
     Column,
     DataType,
     PostgresRaw,
-    PostgresRawConfig,
     TableSchema,
     generate_csv,
     uniform_table_spec,

@@ -9,7 +9,6 @@ import pytest
 
 from repro import (
     Column,
-    CsvDialect,
     DataType,
     PostgresRaw,
     TableSchema,

@@ -290,7 +290,8 @@ class TestDropAndRefreshRaces:
             # After the rewrite reconciled, new queries see the new file.
             state = service.table_state("t")
             assert state.positional_map.n_rows in (0, 1_000)
-            assert len(session.query("SELECT a0 FROM t WHERE a0 >= 0")) == 1_000
+            rows = session.query("SELECT a0 FROM t WHERE a0 >= 0")
+            assert len(rows) == 1_000
 
     def test_generation_guard_rejects_dropped_and_rewritten_tables(
         self, own_csv

@@ -1,11 +1,16 @@
 """The wire protocol end-to-end: a real asyncio server over localhost,
-blocking clients, row-for-row identity with the in-process path, the
+blocking clients, row-for-row identity with the in-process path (under
+both ROWS encodings), multiplexed cursors on one connection, the
 CLOSE/lock-lifetime contract over the socket, error-code round-trips,
-the handshake stub, connection capping, and a concurrent socket stress
-run sharing one service's adaptive state."""
+the handshake stub, v1-peer compatibility, connection capping and
+stream capping, the client connection pool, and a concurrent socket
+stress run sharing one service's adaptive state."""
 
 from __future__ import annotations
 
+import json
+import socket
+import struct
 import threading
 
 import pytest
@@ -18,12 +23,14 @@ from repro import (
     generate_csv,
     uniform_table_spec,
 )
+from repro.client import ConnectionPool
 from repro.errors import (
     CatalogError,
     CursorClosedError,
     PlanningError,
     ProtocolError,
     ServiceError,
+    StreamLimitError,
 )
 
 SQL = "SELECT a0, a1 FROM t WHERE a2 < 500000"
@@ -163,15 +170,19 @@ class TestWireLifecycle:
             with pytest.raises(CursorClosedError):
                 cursor.fetchone()
 
-    def test_new_cursor_supersedes_active_stream(self, served):
+    def test_new_cursor_leaves_active_stream_untouched(self, served):
+        # Protocol v2: cursors multiplex — opening a second stream no
+        # longer supersedes the first (the v1 sequential behavior).
         service, server = served
         reference = service.query(SQL).rows
+        full = service.query("SELECT a0 FROM t").rows
         with wire_connect(server) as conn:
             first = conn.cursor("SELECT a0 FROM t")
-            first.fetchone()
-            second = conn.cursor(SQL)  # implicitly closes `first`
-            assert first.closed
+            head = first.fetchone()
+            second = conn.cursor(SQL)
+            assert not first.closed
             assert second.fetchall().rows == reference
+            assert [head] + first.fetchall().rows == full
 
     def test_connection_close_mid_stream_frees_service(self, served):
         service, server = served
@@ -210,6 +221,332 @@ class TestWireLifecycle:
             assert connection["queries"] == 1
 
 
+class TestMultiplexing:
+    """Protocol v2: several cursors stream over one connection."""
+
+    MUX_QUERIES = [
+        "SELECT a0, a1 FROM t WHERE a2 < 500000",
+        "SELECT a0 FROM t",
+        "SELECT a1, a2 FROM t WHERE a0 < 700000",
+    ]
+
+    def test_multiplexed_cursors_match_separate_connections(self, served):
+        # The acceptance gate: K cursors multiplexed on ONE connection
+        # return row-identical results to K separate connections.
+        service, server = served
+        separate = []
+        for sql in self.MUX_QUERIES:
+            with wire_connect(server) as conn:
+                separate.append(conn.query(sql).rows)
+        with wire_connect(server) as conn:
+            cursors = [conn.cursor(sql) for sql in self.MUX_QUERIES]
+            assert conn.active_streams == len(cursors)
+            # Round-robin consumption in odd chunks: frames for every
+            # stream interleave through the demultiplexer.
+            results: list[list] = [[] for _ in cursors]
+            live = set(range(len(cursors)))
+            while live:
+                for i in sorted(live):
+                    got = cursors[i].fetchmany(97)
+                    results[i].extend(got)
+                    if len(got) < 97:
+                        live.discard(i)
+            assert conn.active_streams == 0
+        for got, reference in zip(results, separate):
+            assert got == reference
+        assert service.cursor_stats()["open"] == 0
+
+    def test_threads_share_one_connection(self, served):
+        service, server = served
+        reference = {
+            sql: service.query(sql).rows for sql in self.MUX_QUERIES
+        }
+        failures: list[str] = []
+        with wire_connect(server) as conn:
+
+            def worker(sql: str) -> None:
+                try:
+                    got = conn.cursor(sql).fetchall().rows
+                    if got != reference[sql]:
+                        failures.append(f"rows diverged for {sql!r}")
+                except Exception as exc:  # pragma: no cover - failure path
+                    failures.append(f"{sql!r}: {exc!r}")
+
+            threads = [
+                threading.Thread(target=worker, args=(sql,))
+                for sql in self.MUX_QUERIES
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert failures == []
+
+    def test_closing_one_stream_leaves_siblings_streaming(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with wire_connect(server) as conn:
+            keeper = conn.cursor(SQL)
+            first = keeper.fetchone()
+            victim = conn.cursor("SELECT a0 FROM t")
+            victim.fetchone()
+            victim.close()
+            assert conn.active_streams == 1
+            assert [first] + keeper.fetchall().rows == reference
+        assert service.cursor_stats()["open"] == 0
+
+    def test_stream_limit_enforced_client_side(self, table_csv):
+        path, schema = table_csv
+        config = PostgresRawConfig(
+            server_port=0, max_streams_per_connection=2
+        )
+        with PostgresRawService(config) as service:
+            service.register_csv("t", path, schema)
+            with RawServer(service) as server:
+                with wire_connect(server) as conn:
+                    assert conn.max_streams == 2
+                    a = conn.cursor("SELECT a0 FROM t")
+                    b = conn.cursor("SELECT a1 FROM t")
+                    with pytest.raises(StreamLimitError, match="2 streams"):
+                        conn.cursor("SELECT a2 FROM t")
+                    a.close()  # room again
+                    c = conn.cursor("SELECT a2 FROM t")
+                    assert len(c.fetchall().rows) == 4000
+                    b.close()
+
+    def test_stream_limit_enforced_server_side(self, table_csv):
+        # A raw v2 speaker that ignores the advertised max_streams: the
+        # server answers the over-limit QUERY with a stream_limit ERROR
+        # and keeps the other streams healthy.
+        path, schema = table_csv
+        config = PostgresRawConfig(
+            server_port=0, max_streams_per_connection=2, batch_size=128
+        )
+        with PostgresRawService(config) as service:
+            service.register_csv("t", path, schema)
+            with RawServer(service) as server:
+                raw = _RawWireClient(server.port)
+                try:
+                    raw.send(
+                        _RawWireClient.HELLO,
+                        {"version": 2, "encodings": ["json"]},
+                    )
+                    _, welcome = raw.read()
+                    assert welcome["max_streams"] == 2
+                    for qid in (1, 2, 3):
+                        raw.send(3, {"qid": qid, "sql": "SELECT a0 FROM t"})
+                    code = None
+                    for _ in range(10_000):  # drain until the refusal
+                        ftype, payload = raw.read()
+                        if ftype == 7:  # ERROR
+                            code = payload["code"]
+                            assert payload["qid"] == 3
+                            break
+                    assert code == "stream_limit"
+                finally:
+                    raw.close()
+            assert server.connection_stats()["streams_refused"] == 1
+
+
+class _RawWireClient:
+    """Hand-rolled framing for protocol-conformance tests (no client
+    library in the way — frames exactly as a wire peer would emit)."""
+
+    HELLO, QUERY, CLOSE, GOODBYE = 0x01, 0x03, 0x08, 0x09
+
+    def __init__(self, port: int) -> None:
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.reader = self.sock.makefile("rb")
+
+    def send(self, ftype: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.sock.sendall(
+            struct.pack("!I", len(body) + 1) + bytes((ftype,)) + body
+        )
+
+    def read(self) -> tuple[int, dict]:
+        header = self.reader.read(4)
+        assert len(header) == 4, "server hung up mid-conversation"
+        (length,) = struct.unpack("!I", header)
+        body = self.reader.read(length)
+        assert len(body) == length
+        return body[0], json.loads(body[1:].decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self.reader.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TestEncodingNegotiation:
+    def test_default_connection_speaks_binary(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with wire_connect(server) as conn:
+            assert conn.version == 2
+            assert conn.encoding == "binary"
+            assert conn.query(SQL).rows == reference
+        assert server.connection_stats()["bytes_by_encoding"]["binary"] > 0
+
+    def test_client_can_pin_the_json_floor(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with wire_connect(server, encodings=("json",)) as conn:
+            assert conn.encoding == "json"
+            assert conn.query(SQL).rows == reference
+
+    def test_server_can_pin_the_json_floor(self, table_csv):
+        path, schema = table_csv
+        config = PostgresRawConfig(server_port=0, wire_encoding="json")
+        with PostgresRawService(config) as service:
+            service.register_csv("t", path, schema)
+            reference = service.query(SQL).rows
+            with RawServer(service) as server:
+                with wire_connect(server) as conn:
+                    assert conn.encoding == "json"  # despite offering binary
+                    assert conn.query(SQL).rows == reference
+
+    def test_json_and_binary_return_identical_rows(self, served, mixed_csv):
+        service, server = served
+        path, schema = mixed_csv
+        service.register_csv("m", path, schema)
+        sql = "SELECT id, price, label, day, flag, qty FROM m"
+        with wire_connect(server) as binary_conn:
+            binary_rows = binary_conn.query(sql).rows
+        with wire_connect(server, encodings=("json",)) as json_conn:
+            json_rows = json_conn.query(sql).rows
+        assert binary_rows == json_rows == service.query(sql).rows
+
+
+class TestV1Compatibility:
+    """The regression gate: a v1 peer (JSON, single stream) completes
+    a query against a v2 server, byte-level frames hand-rolled."""
+
+    def test_v1_client_completes_a_query(self, served):
+        service, server = served
+        reference = [list(row) for row in service.query(SQL).rows]
+        raw = _RawWireClient(server.port)
+        try:
+            raw.send(_RawWireClient.HELLO, {"version": 1})
+            ftype, welcome = raw.read()
+            assert ftype == 0x02  # WELCOME
+            assert welcome["version"] == 1
+            # v2 negotiation fields are not leaked into a v1 WELCOME.
+            assert "encoding" not in welcome and "max_streams" not in welcome
+            raw.send(_RawWireClient.QUERY, {"qid": 1, "sql": SQL})
+            ftype, rowset = raw.read()
+            assert ftype == 0x04 and rowset["qid"] == 1  # ROWSET
+            rows: list = []
+            while True:
+                ftype, payload = raw.read()
+                if ftype == 0x06:  # END
+                    assert payload["rows"] == len(rows)
+                    break
+                assert ftype == 0x05, f"v1 peer got frame 0x{ftype:02x}"
+                rows.extend(payload["rows"])  # ROWS: always JSON for v1
+            assert rows == reference
+            raw.send(_RawWireClient.GOODBYE, {})
+        finally:
+            raw.close()
+
+    def test_v1_close_mid_stream_still_acks_with_end(self, served):
+        _, server = served
+        raw = _RawWireClient(server.port)
+        try:
+            raw.send(_RawWireClient.HELLO, {"version": 1})
+            raw.read()  # WELCOME
+            raw.send(
+                _RawWireClient.QUERY,
+                {"qid": 9, "sql": "SELECT a0 FROM t"},
+            )
+            ftype, _ = raw.read()
+            assert ftype == 0x04
+            raw.send(_RawWireClient.CLOSE, {"qid": 9})
+            while True:
+                ftype, payload = raw.read()
+                if ftype == 0x06:
+                    break  # the closed (or natural) END arrived
+                assert ftype == 0x05
+            raw.send(_RawWireClient.GOODBYE, {})
+        finally:
+            raw.close()
+
+    def test_unsupported_version_is_refused(self, served):
+        _, server = served
+        raw = _RawWireClient(server.port)
+        try:
+            raw.send(_RawWireClient.HELLO, {"version": 0})
+            ftype, payload = raw.read()
+            assert ftype == 0x07 and payload["code"] == "protocol"
+            assert "version mismatch" in payload["message"]
+        finally:
+            raw.close()
+
+
+class TestConnectionPool:
+    def test_pool_queries_match_and_reuse_connections(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with ConnectionPool(port=server.port, min_size=1, max_size=2) as pool:
+            for _ in range(5):
+                assert pool.query(SQL).rows == reference
+            stats = pool.stats()
+            assert stats["opened"] == 1  # every query reused the first
+            assert stats["reused"] >= 4
+            assert stats["idle"] == 1 and stats["in_use"] == 0
+
+    def test_acquire_is_bounded_and_returns_connections(self, served):
+        _, server = served
+        with ConnectionPool(port=server.port, min_size=0, max_size=2) as pool:
+            with pool.acquire() as a, pool.acquire() as b:
+                assert a is not b
+                assert pool.stats()["in_use"] == 2
+                with pytest.raises(ServiceError, match="exhausted"):
+                    pool.checkout(timeout=0.05)
+            assert pool.stats()["in_use"] == 0
+            # Released connections are handed out again.
+            with pool.acquire() as again:
+                assert again in (a, b)
+
+    def test_stale_idle_connection_is_replaced_at_checkout(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with ConnectionPool(port=server.port, min_size=1, max_size=2) as pool:
+            with pool.acquire() as conn:
+                pass
+            conn._sock.shutdown(socket.SHUT_RDWR)  # simulate a dead peer
+            assert pool.query(SQL).rows == reference
+            stats = pool.stats()
+            assert stats["stale_discarded"] == 1
+            assert stats["opened"] == 2
+
+    def test_connection_dying_in_use_is_retried_once(self, served):
+        service, server = served
+        reference = service.query(SQL).rows
+        with ConnectionPool(port=server.port, min_size=1, max_size=2) as pool:
+            with pool.acquire() as conn:
+                pass
+            # Kill the socket *behind* a health probe forced to pass:
+            # the stale connection reaches query(), fails, and the
+            # pool's retry-once path completes on a fresh connection.
+            bound = conn.is_healthy
+            conn.is_healthy = lambda: (
+                setattr(conn, "is_healthy", bound) or True
+            )
+            conn._sock.shutdown(socket.SHUT_RDWR)
+            assert pool.query(SQL).rows == reference
+            assert pool.stats()["opened"] == 2
+
+    def test_closed_pool_refuses_checkout(self, served):
+        _, server = served
+        pool = ConnectionPool(port=server.port, min_size=1, max_size=1)
+        pool.close()
+        with pytest.raises(ServiceError, match="closed"):
+            pool.checkout()
+
+
 class TestWireErrors:
     def test_planning_error_round_trips(self, served):
         _, server = served
@@ -232,6 +569,30 @@ class TestWireErrors:
         with wire_connect(server) as conn:
             with pytest.raises(SQLSyntaxError):
                 conn.query("SELEKT a0 FROM t")
+
+    def test_unexpected_pump_error_still_sends_terminal_frame(
+        self, served, monkeypatch
+    ):
+        # A codec/encoder bug inside the stream pump (past the batch
+        # pull) must still terminate the stream with an ERROR frame —
+        # not silently drop it and leave the client waiting forever.
+        import repro.server.server as server_mod
+
+        from repro.errors import ReproError
+
+        def exploding_encoder(*args, **kwargs):
+            raise RuntimeError("encoder exploded")
+            yield  # pragma: no cover - generator shape only
+
+        monkeypatch.setattr(
+            server_mod, "iter_binary_row_frames", exploding_encoder
+        )
+        service, server = served
+        with wire_connect(server) as conn:
+            cursor = conn.cursor("SELECT a0 FROM t")
+            with pytest.raises(ReproError, match="encoder exploded"):
+                cursor.fetchall()
+        assert service.cursor_stats()["open"] == 0
 
     def test_auth_token_stub(self, table_csv):
         path, schema = table_csv

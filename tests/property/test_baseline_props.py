@@ -8,7 +8,6 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.batch import ColumnVector
-from repro.catalog.schema import Column, TableSchema
 from repro.datatypes import DataType
 from repro.storage.btree import BPlusTree
 from repro.storage.columnstore import ZONE_BLOCK_ROWS, _build_zone_map

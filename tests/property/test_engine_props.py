@@ -2,9 +2,6 @@
 Python evaluator on randomly generated tables and queries, across
 adaptive state (cold vs warm) and configurations."""
 
-import math
-
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import (
@@ -72,7 +69,10 @@ def _sql(query):
     )
 
 
-@given(rows=rows_strategy, queries=st.lists(query_strategy, min_size=1, max_size=4))
+@given(
+    rows=rows_strategy,
+    queries=st.lists(query_strategy, min_size=1, max_size=4),
+)
 @settings(max_examples=60, deadline=None)
 def test_select_project_matches_reference(tmp_path_factory, rows, queries):
     tmp = tmp_path_factory.mktemp("prop")

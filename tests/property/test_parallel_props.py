@@ -67,7 +67,9 @@ def test_file_chunks_partition_bytes_and_records(
 # --- parallel scan == serial scan ------------------------------------
 
 
-def _compare_engines(path, workers, chunk_bytes, backend, queries, check_cache=True):
+def _compare_engines(
+    path, workers, chunk_bytes, backend, queries, check_cache=True
+):
     # check_cache=False only for process-backend cold scans, where
     # chunk-local batching may legitimately cache a different prefix of
     # the projection columns under a selective predicate; everything

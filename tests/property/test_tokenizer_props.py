@@ -1,7 +1,6 @@
 """Property-based tests: tokenization agrees with naive string splitting
 on arbitrary generated CSV content, including quoted dialects."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.rawio.dialect import CsvDialect

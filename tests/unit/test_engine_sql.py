@@ -86,9 +86,8 @@ class TestAggregation:
 
     def test_avg(self, tiny_engine):
         eng, __ = tiny_engine
-        assert eng.query("SELECT AVG(a) AS m FROM tiny").scalar() == pytest.approx(
-            11 / 4
-        )
+        result = eng.query("SELECT AVG(a) AS m FROM tiny").scalar()
+        assert result == pytest.approx(11 / 4)
 
     def test_group_by(self, tiny_engine):
         eng, __ = tiny_engine
@@ -174,7 +173,9 @@ class TestOrderingAndLimits:
 
     def test_distinct(self, tiny_engine):
         eng, __ = tiny_engine
-        result = eng.query("SELECT DISTINCT a > 2 AS big FROM tiny ORDER BY big")
+        result = eng.query(
+            "SELECT DISTINCT a > 2 AS big FROM tiny ORDER BY big"
+        )
         assert result.column("big") == [False, True, None]
 
 

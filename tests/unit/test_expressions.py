@@ -1,6 +1,5 @@
 """Unit tests for vectorized expression evaluation (3-valued logic)."""
 
-import numpy as np
 import pytest
 
 from repro.batch import Batch, ColumnVector
@@ -134,7 +133,9 @@ class TestArithmetic:
         assert result.to_pylist() == [3.5]
 
     def test_division_by_zero_is_null(self):
-        batch = _batch(a=(DataType.INTEGER, [7, 8]), b=(DataType.INTEGER, [0, 2]))
+        batch = _batch(
+            a=(DataType.INTEGER, [7, 8]), b=(DataType.INTEGER, [0, 2])
+        )
         assert _eval("a / b", batch) == [None, 4.0]
         assert _eval("a % b", batch) == [None, 0]
 

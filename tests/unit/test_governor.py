@@ -36,7 +36,7 @@ def offsets(n_rows: int, n_attrs: int) -> np.ndarray:
 
 
 def governed_cache(governor: MemoryGovernor, table: str) -> RawDataCache:
-    cache = RawDataCache(budget_bytes=0)  # silo budget is irrelevant once bound
+    cache = RawDataCache(budget_bytes=0)  # silo budget moot once bound
     cache.bind_governor(governor)
     governor.register(cache, table, "cache")
     return cache

@@ -1,6 +1,5 @@
 """Unit tests for the relational operators."""
 
-import numpy as np
 import pytest
 
 from repro.batch import Batch, ColumnVector

@@ -5,7 +5,12 @@ accounting, and the boundary edge cases found in the raw-scan audit."""
 import numpy as np
 import pytest
 
-from repro import PostgresRaw, PostgresRawConfig, generate_csv, uniform_table_spec
+from repro import (
+    PostgresRaw,
+    PostgresRawConfig,
+    generate_csv,
+    uniform_table_spec,
+)
 from repro.catalog.schema import TableSchema
 from repro.core.metrics import QueryMetrics
 from repro.monitor.breakdown import render_worker_breakdown
@@ -302,7 +307,9 @@ class TestBoundaryEdgeCases:
             + b"".join(b"key%06d,val%06d\r\n" % (i, i) for i in range(4000))
         )
         serial, parallel = _engines(
-            path, self.TEXT2, PARALLEL.with_overrides(parallel_chunk_bytes=4096)
+            path,
+            self.TEXT2,
+            PARALLEL.with_overrides(parallel_chunk_bytes=4096),
         )
         sql = "SELECT a, b FROM t"
         assert serial.query(sql).rows == parallel.query(sql).rows
@@ -325,7 +332,9 @@ class TestBoundaryEdgeCases:
         )
         path.write_bytes(body + b"last_key,last_val")
         serial, parallel = _engines(
-            path, self.TEXT2, PARALLEL.with_overrides(parallel_chunk_bytes=4096)
+            path,
+            self.TEXT2,
+            PARALLEL.with_overrides(parallel_chunk_bytes=4096),
         )
         sql = "SELECT a, b FROM t"
         srows, prows = serial.query(sql).rows, parallel.query(sql).rows
@@ -350,7 +359,7 @@ class TestBoundaryEdgeCases:
             )
         )
         parallel.register_csv("t", path, schema)
-        sql = f"SELECT b FROM t"
+        sql = "SELECT b FROM t"
         assert serial.query(sql).rows == parallel.query(sql).rows == []
         spm = serial.table_state("t").positional_map
         ppm = parallel.table_state("t").positional_map

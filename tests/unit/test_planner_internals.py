@@ -11,7 +11,6 @@ from repro import (
     write_csv,
 )
 from repro.sql.ast import (
-    BinaryOp,
     ColumnRef,
     Literal,
     expr_to_sql,

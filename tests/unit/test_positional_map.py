@@ -122,9 +122,9 @@ class TestBudgetAndLRU:
         pm.tick()
         a = pm.install((0,), _offsets(10, 1))
         pm.tick()
-        b = pm.install((1,), _offsets(10, 1))
+        pm.install((1,), _offsets(10, 1))
         pm.tick()
-        pm.touch(a)  # refresh a; b is now LRU
+        pm.touch(a)  # refresh a; (1,) is now LRU
         pm.install((2,), _offsets(10, 1))
         attrs = {c.attrs for c in pm.chunks()}
         assert (0,) in attrs and (2,) in attrs and (1,) not in attrs

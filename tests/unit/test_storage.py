@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.batch import Batch, ColumnVector
+from repro.batch import ColumnVector
 from repro.catalog.schema import Column, TableSchema
 from repro.core.metrics import QueryMetrics
 from repro.datatypes import DataType

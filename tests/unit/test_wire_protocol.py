@@ -1,6 +1,7 @@
 """The wire protocol's building blocks in isolation: frame round-trips,
-oversized-frame rejection, row-frame splitting, and the exception <->
-wire-code mapping."""
+oversized-frame rejection, ROWS-frame splitting under both encodings
+(json floor and v2 binary columnar), encoding negotiation, and the
+exception <-> wire-code mapping."""
 
 from __future__ import annotations
 
@@ -9,6 +10,8 @@ import struct
 
 import pytest
 
+from repro.batch import Batch, ColumnVector
+from repro.datatypes import DataType
 from repro.errors import (
     AdmissionError,
     CatalogError,
@@ -18,9 +21,18 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     SQLSyntaxError,
+    StreamLimitError,
     error_from_wire,
     fresh_copy,
     wire_code_for,
+)
+from repro.executor.result import batch_rows
+from repro.server.encoding import (
+    ENCODING_BINARY,
+    ENCODING_JSON,
+    decode_binary_rows,
+    iter_binary_row_frames,
+    negotiate_encoding,
 )
 from repro.server.protocol import (
     FrameType,
@@ -115,11 +127,190 @@ class TestRowFrameSplitting:
         assert list(iter_row_frames(1, [], 1024)) == []
 
 
+def rows_to_batch(
+    rows: list[tuple], dtypes: list[DataType]
+) -> tuple[Batch, list[str]]:
+    """Column-ize literal rows the way the executor would."""
+    names = [f"c{i}" for i in range(len(dtypes))]
+    columns = {
+        name: ColumnVector.from_pylist(dtype, [row[i] for row in rows])
+        for i, (name, dtype) in enumerate(zip(names, dtypes))
+    }
+    return Batch(columns, num_rows=len(rows)), names
+
+
+def decode_frames(frames: list[bytes], names, dtypes) -> list[tuple]:
+    """Rows carried by a frame sequence, either encoding."""
+    out: list[tuple] = []
+    for frame in frames:
+        ftype, payload = read_frame_blocking(io.BytesIO(frame), 1 << 30)
+        if ftype is FrameType.ROWS_BIN:
+            out.extend(
+                batch_rows(
+                    decode_binary_rows(payload["data"], names, dtypes),
+                    names,
+                )
+            )
+        else:
+            assert ftype is FrameType.ROWS
+            out.extend(tuple(row) for row in payload["rows"])
+    return out
+
+
+#: Unicode/NULL-heavy mixed-type rows: every dtype, empty and non-ASCII
+#: strings, NULLs in every column, negative and extreme numerics.
+MIXED_DTYPES = [
+    DataType.INTEGER,
+    DataType.FLOAT,
+    DataType.TEXT,
+    DataType.BOOLEAN,
+    DataType.DATE,
+]
+MIXED_ROWS = [
+    (1, 1.5, "héllo wörld", True, 19_000),
+    (None, None, None, None, None),
+    (-(2**62), -0.0, "", False, 0),
+    (7, 2.5e300, "日本語のテキスト", None, -3),
+    (None, 0.125, "tab\tand\nnewline", True, None),
+    (42, None, "ascii", False, 11_111),
+]
+
+
+def encode_mixed(frame_bytes: int, encoding: str, rows=MIXED_ROWS):
+    batch, names = rows_to_batch(rows, MIXED_DTYPES)
+    if encoding == ENCODING_BINARY:
+        frames = list(
+            iter_binary_row_frames(5, batch, names, MIXED_DTYPES, frame_bytes)
+        )
+    else:
+        frames = list(
+            iter_row_frames(5, batch_rows(batch, names), frame_bytes)
+        )
+    return frames, names
+
+
+BOTH_ENCODINGS = [ENCODING_JSON, ENCODING_BINARY]
+
+
+class TestRowFramesBothEncodings:
+    """The ISSUE's splitting edge cases, asserted for json and binary,
+    plus value-identical decoding between the two."""
+
+    @pytest.mark.parametrize("encoding", BOTH_ENCODINGS)
+    def test_unicode_and_null_heavy_rows_round_trip(self, encoding):
+        frames, names = encode_mixed(1 << 20, encoding)
+        assert decode_frames(frames, names, MIXED_DTYPES) == MIXED_ROWS
+
+    def test_json_and_binary_decode_to_identical_rows(self):
+        json_frames, names = encode_mixed(1 << 20, ENCODING_JSON)
+        bin_frames, _ = encode_mixed(1 << 20, ENCODING_BINARY)
+        assert decode_frames(
+            json_frames, names, MIXED_DTYPES
+        ) == decode_frames(bin_frames, names, MIXED_DTYPES)
+
+    @pytest.mark.parametrize("encoding", BOTH_ENCODINGS)
+    def test_empty_batch_yields_no_frames(self, encoding):
+        frames, _ = encode_mixed(1 << 20, encoding, rows=[])
+        assert frames == []
+
+    @pytest.mark.parametrize("encoding", BOTH_ENCODINGS)
+    def test_single_row_larger_than_frame_bytes_still_sent(self, encoding):
+        rows = [(1, 2.0, "x" * 10_000, True, 3)]
+        frames, names = encode_mixed(1024, encoding, rows=rows)
+        assert len(frames) == 1  # unsplittable: oversized but delivered
+        assert len(frames[0]) > 1024
+        assert decode_frames(frames, names, MIXED_DTYPES) == rows
+
+    @pytest.mark.parametrize("encoding", BOTH_ENCODINGS)
+    def test_split_frames_stay_under_bound_and_preserve_order(
+        self, encoding
+    ):
+        rows = [
+            (i, i * 0.5, f"value-{i:06d}-ü", i % 2 == 0, i)
+            for i in range(500)
+        ]
+        frames, names = encode_mixed(2048, encoding, rows=rows)
+        assert len(frames) > 1
+        assert all(len(f) <= 2048 for f in frames)
+        assert decode_frames(frames, names, MIXED_DTYPES) == rows
+
+    @pytest.mark.parametrize("encoding", BOTH_ENCODINGS)
+    def test_batch_exactly_at_the_boundary_is_one_frame(self, encoding):
+        # Learn the exact single-frame size, then re-encode with the
+        # bound set exactly there: still one frame, exactly full.
+        frames, names = encode_mixed(1 << 20, encoding)
+        assert len(frames) == 1
+        exact = len(frames[0])
+        refit, _ = encode_mixed(exact, encoding)
+        assert len(refit) == 1
+        assert len(refit[0]) == exact
+        # One byte less and the packing must split.
+        split, _ = encode_mixed(exact - 1, encoding)
+        assert len(split) > 1
+        assert decode_frames(split, names, MIXED_DTYPES) == MIXED_ROWS
+
+
+class TestBinaryCodec:
+    def test_projection_less_batch_keeps_row_count(self):
+        batch = Batch({}, num_rows=4)
+        frames = list(iter_binary_row_frames(1, batch, [], [], 1 << 20))
+        assert len(frames) == 1
+        _, payload = read_frame_blocking(io.BytesIO(frames[0]), 1 << 20)
+        decoded = decode_binary_rows(payload["data"], [], [])
+        assert decoded.num_rows == 4 and decoded.columns == {}
+
+    def test_column_count_mismatch_rejected(self):
+        frames, names = encode_mixed(1 << 20, ENCODING_BINARY)
+        _, payload = read_frame_blocking(io.BytesIO(frames[0]), 1 << 20)
+        with pytest.raises(ProtocolError, match="columns"):
+            decode_binary_rows(payload["data"], names[:2], MIXED_DTYPES[:2])
+
+    def test_type_tag_mismatch_rejected(self):
+        frames, names = encode_mixed(1 << 20, ENCODING_BINARY)
+        _, payload = read_frame_blocking(io.BytesIO(frames[0]), 1 << 20)
+        shuffled = [MIXED_DTYPES[-1]] + MIXED_DTYPES[1:-1] + [MIXED_DTYPES[0]]
+        with pytest.raises(ProtocolError, match="tag"):
+            decode_binary_rows(payload["data"], names, shuffled)
+
+    def test_truncated_payload_rejected(self):
+        frames, names = encode_mixed(1 << 20, ENCODING_BINARY)
+        _, payload = read_frame_blocking(io.BytesIO(frames[0]), 1 << 20)
+        with pytest.raises(ProtocolError):
+            decode_binary_rows(payload["data"][:-9], names, MIXED_DTYPES)
+
+    def test_trailing_garbage_rejected(self):
+        frames, names = encode_mixed(1 << 20, ENCODING_BINARY)
+        _, payload = read_frame_blocking(io.BytesIO(frames[0]), 1 << 20)
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_binary_rows(
+                payload["data"] + b"\x00", names, MIXED_DTYPES
+            )
+
+
+class TestEncodingNegotiation:
+    def test_binary_when_both_sides_want_it(self):
+        assert (
+            negotiate_encoding(["binary", "json"], "binary")
+            == ENCODING_BINARY
+        )
+
+    def test_json_floor_when_server_pins_json(self):
+        assert negotiate_encoding(["binary", "json"], "json") == ENCODING_JSON
+
+    def test_json_floor_when_client_offers_nothing_known(self):
+        assert negotiate_encoding([], "binary") == ENCODING_JSON
+        assert negotiate_encoding(["zstd"], "binary") == ENCODING_JSON
+
+    def test_v1_style_offer_is_json(self):
+        assert negotiate_encoding(["json"], "binary") == ENCODING_JSON
+
+
 class TestWireCodes:
     @pytest.mark.parametrize(
         "exc, code",
         [
             (AdmissionError("x"), "admission"),
+            (StreamLimitError("x"), "stream_limit"),
             (CursorTimeoutError("x"), "cursor_timeout"),
             (CursorInvalidError("x"), "cursor_invalid"),
             (CatalogError("x"), "catalog"),

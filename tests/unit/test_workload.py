@@ -87,7 +87,8 @@ class TestEpochWorkload:
 
     def test_windows_shift(self, table):
         __, schema = table
-        epochs = EpochWorkload("t", schema, n_epochs=2, window_width=3).epochs()
+        workload = EpochWorkload("t", schema, n_epochs=2, window_width=3)
+        epochs = workload.epochs()
         assert epochs[0].attributes != epochs[1].attributes
 
     def test_flat_queries_order(self, table):

@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test smoke serve serve-smoke bench bench-parallel bench-concurrent \
-	bench-streaming bench-wire stress stress-process lint verify
+	bench-streaming bench-wire bench-telemetry stress stress-process \
+	lint verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +55,13 @@ bench-streaming:
 # materialized latency with 2 concurrent socket clients).
 bench-wire:
 	$(PYTHON) -m pytest benchmarks/bench_wire_throughput.py \
+		--benchmark-only --import-mode=importlib -q -s
+
+# Telemetry tax: the 4-client concurrent leg with tracing + metrics on
+# vs off, interleaved rounds, asserting < 5% qps overhead; exports a
+# trace-ring + slow-query JSONL sample into bench_artifacts/.
+bench-telemetry:
+	$(PYTHON) -m pytest benchmarks/bench_telemetry.py \
 		--benchmark-only --import-mode=importlib -q -s
 
 # Heavier threaded stress run of the concurrent serving layer (the

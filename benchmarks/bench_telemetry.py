@@ -1,0 +1,181 @@
+"""E15 — telemetry overhead (repro.telemetry).
+
+Observability that taxes the hot path gets turned off in production,
+so the subsystem's admission ticket is this benchmark: the 4-client
+concurrent hot-query leg (the same shape as E12) runs against two
+services identical in everything but ``telemetry_enabled``, three
+interleaved rounds each, and the best-of qps with tracing + metrics on
+must stay within 5% of the best-of qps with them off.
+
+Also exports the instrumented run's trace ring and slow-query log as
+JSONL into the artifact directory, so every CI stress run uploads a
+browsable sample of real span trees alongside the numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro import PostgresRawConfig, PostgresRawService
+
+from .conftest import emit_bench_artifact, print_records, scaled_rows
+
+CORES = os.cpu_count() or 1
+N_CLIENTS = 4
+ROUNDS = 3
+
+#: The hot batch: every query coverable by the warmed structures.
+HOT_QUERIES = [
+    "SELECT SUM(a2) AS s FROM t WHERE a1 < 600000",
+    "SELECT a0, a3 FROM t WHERE a2 < 150000",
+    "SELECT AVG(a4) AS m FROM t WHERE a0 < 800000",
+    "SELECT COUNT(*) AS n FROM t WHERE a3 < 400000",
+]
+
+BATCHES_PER_CLIENT = 6
+
+#: The hard gate: telemetry-on qps must lose less than this to
+#: telemetry-off qps (best-of-ROUNDS on both sides).
+MAX_OVERHEAD_PCT = 5.0
+
+
+def _run_clients(service, n_threads: int) -> tuple[float, int]:
+    """Total wall seconds and query count for ``n_threads`` clients."""
+    from repro.core.metrics import Stopwatch
+
+    start = threading.Barrier(n_threads + 1, timeout=60)
+    errors: list = []
+
+    def client():
+        session = service.session()
+        try:
+            start.wait()
+            for _ in range(BATCHES_PER_CLIENT):
+                for sql in HOT_QUERIES:
+                    session.query(sql)
+        except Exception as exc:
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=client) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    start.wait()
+    watch = Stopwatch()
+    for t in threads:
+        t.join(timeout=300)
+    wall = watch.elapsed()
+    assert errors == []
+    return wall, n_threads * BATCHES_PER_CLIENT * len(HOT_QUERIES)
+
+
+def test_telemetry_overhead(benchmark, tmp_path_factory):
+    from repro import generate_csv, uniform_table_spec
+
+    tmp = tmp_path_factory.mktemp("telemetry")
+    n_rows = scaled_rows(30_000)
+    path = tmp / "t.csv"
+    schema = generate_csv(
+        path, uniform_table_spec(n_attrs=6, n_rows=n_rows, width=8, seed=31)
+    )
+
+    def config(enabled: bool) -> PostgresRawConfig:
+        return PostgresRawConfig(
+            memory_budget=256 * 1024 * 1024,
+            max_concurrent_queries=8,
+            admission_queue_depth=64,
+            telemetry_enabled=enabled,
+        )
+
+    def sweep():
+        with PostgresRawService(config(True)) as service_on, \
+                PostgresRawService(config(False)) as service_off:
+            for service in (service_on, service_off):
+                service.register_csv("t", path, schema)
+                warm = service.session()
+                for sql in HOT_QUERIES:
+                    warm.query(sql)
+            rounds = []
+            best = {"on": 0.0, "off": 0.0}
+            # Interleaved rounds: both variants see the same machine
+            # noise; best-of compares their clean runs.
+            for i in range(ROUNDS):
+                for label, service in (
+                    ("on", service_on), ("off", service_off)
+                ):
+                    wall, n_queries = _run_clients(service, N_CLIENTS)
+                    qps = n_queries / wall if wall else float("inf")
+                    best[label] = max(best[label], qps)
+                    rounds.append(
+                        {"round": i, "telemetry": label, "qps": qps}
+                    )
+            # The instrumented service really did instrument: every
+            # query traced and histogrammed.
+            snap = service_on.telemetry.snapshot()
+            # One warm pass + every client batch of every round.
+            total = len(HOT_QUERIES) * (
+                1 + N_CLIENTS * ROUNDS * BATCHES_PER_CLIENT
+            )
+            assert snap["counters"]["queries_total"] == total
+            assert (
+                snap["histograms"]["query_latency_seconds"]["count"] == total
+            )
+            assert snap["collectors"]["traces"]["started"] == total
+            # And the disabled one really was free of instruments.
+            snap_off = service_off.telemetry.snapshot()
+            assert snap_off["counters"] == {}
+            # Export a browsable sample of the instrumented run: the
+            # trace ring and (after lowering the threshold) a few
+            # slow-query entries, for the CI artifact upload.
+            out_dir = Path(
+                os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "bench_artifacts")
+            )
+            out_dir.mkdir(parents=True, exist_ok=True)
+            service_on.telemetry.slow_query_s = 1e-9
+            session = service_on.session()
+            for sql in HOT_QUERIES:
+                session.query(sql)
+            n_traces = service_on.telemetry.export_traces_jsonl(
+                out_dir / "telemetry_traces.jsonl"
+            )
+            n_slow = service_on.telemetry.export_slow_queries_jsonl(
+                out_dir / "telemetry_slow_queries.jsonl"
+            )
+            assert n_traces >= 1 and n_slow >= len(HOT_QUERIES)
+        return {"rounds": rounds, "best": best}
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    qps_on, qps_off = report["best"]["on"], report["best"]["off"]
+    overhead_pct = (
+        (qps_off - qps_on) / qps_off * 100.0 if qps_off else 0.0
+    )
+    print_records(
+        f"E15: telemetry overhead, {N_CLIENTS} clients x {ROUNDS} rounds, "
+        f"{n_rows} rows, {CORES} cores",
+        report["rounds"]
+        + [
+            {"round": "best", "telemetry": "on", "qps": qps_on},
+            {"round": "best", "telemetry": "off", "qps": qps_off},
+            {
+                "round": "overhead",
+                "telemetry": f"{overhead_pct:.2f}%",
+                "qps": 0.0,
+            },
+        ],
+    )
+    benchmark.extra_info["telemetry_overhead"] = report
+    emit_bench_artifact(
+        "telemetry_overhead",
+        {
+            "clients": N_CLIENTS,
+            "rounds": ROUNDS,
+            "rows": n_rows,
+            "qps_telemetry_on": qps_on,
+            "qps_telemetry_off": qps_off,
+            "overhead_pct": overhead_pct,
+        },
+    )
+    # The acceptance gate: spans + histograms cost < MAX_OVERHEAD_PCT
+    # of 4-client throughput.
+    assert overhead_pct < MAX_OVERHEAD_PCT

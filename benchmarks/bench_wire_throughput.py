@@ -192,19 +192,33 @@ def _run_pool_contrast(server) -> dict:
     }
 
 
-def _measure_ttfb(server, results: list, idx: int) -> None:
+#: Streamed-result repetitions per TTFB client: every repetition's
+#: time-to-first-row lands in one shared registry histogram, so the
+#: artifact reports a p50/p95/p99 distribution instead of a single
+#: (noise-prone) minimum.
+TTFB_ROUNDS = 4
+
+
+def _measure_ttfb(server, results: list, idx: int, ttfb_hist) -> None:
     """One socket client: time-to-first-row of a streamed large result
-    vs the same query fully materialized, on one connection."""
+    vs the same query fully materialized, on one connection.  Each
+    round's TTFB is observed into the shared histogram."""
     from repro.core.metrics import Stopwatch
 
     with repro.client.connect(port=server.port) as conn:
         watch = Stopwatch()
-        with conn.cursor(STREAM_SQL) as cursor:
-            first = cursor.fetchone()
-            ttfb = watch.elapsed()
-            rows = 1 + len(cursor.fetchall().rows)
-        stream_total = watch.elapsed()
-        assert first is not None
+        best_ttfb = None
+        for _ in range(TTFB_ROUNDS):
+            watch.restart()
+            with conn.cursor(STREAM_SQL) as cursor:
+                first = cursor.fetchone()
+                ttfb = watch.elapsed()
+                rows = 1 + len(cursor.fetchall().rows)
+            stream_total = watch.elapsed()
+            assert first is not None
+            ttfb_hist.observe(ttfb)
+            if best_ttfb is None or ttfb < best_ttfb:
+                best_ttfb = ttfb
         watch.restart()
         materialized = conn.query(STREAM_SQL)
         materialized_wall = watch.elapsed()
@@ -212,7 +226,7 @@ def _measure_ttfb(server, results: list, idx: int) -> None:
         results[idx] = {
             "client": idx,
             "rows": rows,
-            "ttfb_s": ttfb,
+            "ttfb_s": best_ttfb,
             "stream_s": stream_total,
             "materialized_s": materialized_wall,
         }
@@ -293,11 +307,18 @@ def test_wire_throughput(benchmark, tmp_path_factory):
                 }
                 pool = _run_pool_contrast(server)
                 # TTFB: two concurrent socket clients streaming a large
-                # result over one shared service.
+                # result over one shared service, every repetition
+                # observed into a registry histogram.
+                from repro.telemetry import MetricsRegistry
+
+                ttfb_hist = MetricsRegistry().histogram(
+                    "wire_ttfb_seconds"
+                )
                 ttfb_records: list = [None, None]
                 threads = [
                     threading.Thread(
-                        target=_measure_ttfb, args=(server, ttfb_records, i)
+                        target=_measure_ttfb,
+                        args=(server, ttfb_records, i, ttfb_hist),
                     )
                     for i in range(2)
                 ]
@@ -306,6 +327,7 @@ def test_wire_throughput(benchmark, tmp_path_factory):
                 for t in threads:
                     t.join(timeout=120)
                 assert all(r is not None for r in ttfb_records)
+                ttfb_summary = ttfb_hist.snapshot()
                 server_stats = server.connection_stats()
                 sched = service.scheduler.stats()
             finally:
@@ -319,6 +341,7 @@ def test_wire_throughput(benchmark, tmp_path_factory):
             "mux": mux,
             "pool": pool,
             "ttfb": ttfb_records,
+            "ttfb_summary": ttfb_summary,
             "sweep_bytes": sweep_bytes,
             "server": server_stats,
         }
@@ -363,7 +386,10 @@ def test_wire_throughput(benchmark, tmp_path_factory):
             "pooled_qps": report["pool"]["pooled_qps"],
             "fresh_conn_qps": report["pool"]["fresh_conn_qps"],
             "pool_speedup": report["pool"]["pool_speedup"],
-            "ttfb_s": min(r["ttfb_s"] for r in report["ttfb"]),
+            "ttfb_p50_s": report["ttfb_summary"]["p50"],
+            "ttfb_p95_s": report["ttfb_summary"]["p95"],
+            "ttfb_p99_s": report["ttfb_summary"]["p99"],
+            "ttfb_observations": report["ttfb_summary"]["count"],
             "json_wire_bytes": bytes_by_encoding.get("json", 0),
             "binary_wire_bytes": bytes_by_encoding.get("binary", 0),
         },

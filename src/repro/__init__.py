@@ -83,6 +83,7 @@ from .errors import (
     PlanningError,
     RawDataError,
     ReproError,
+    ScanWorkerError,
     SchemaError,
     ServiceError,
     SQLSyntaxError,
@@ -98,6 +99,7 @@ from .service import (
     Session,
 )
 from .server import RawServer
+from .telemetry import MetricsRegistry, Telemetry, Tracer
 from .rawio import (
     ColumnSpec,
     CsvDialect,
@@ -136,6 +138,7 @@ __all__ = [
     "ProtocolError",
     "RawDataError",
     "RawServer",
+    "ScanWorkerError",
     "ReproError",
     "SchemaError",
     "ServiceError",
@@ -148,6 +151,9 @@ __all__ = [
     "QueryScheduler",
     "RWLock",
     "Session",
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
     "ColumnSpec",
     "CsvDialect",
     "DatasetSpec",

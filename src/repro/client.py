@@ -153,6 +153,9 @@ class Connection:
         self._reading = False
         self._streams: dict[int, _StreamBuffer] = {}
         self._cursors: dict[int, Cursor] = {}
+        #: qids used by STATS exchanges: demuxed like streams but not
+        #: counted against ``max_streams`` (the server agrees).
+        self._stats_qids: set[int] = set()
         self._broken: BaseException | None = None
         self.closed = False
         self.session_id: int | None = None
@@ -216,9 +219,10 @@ class Connection:
         with self._io:
             if self._broken is not None:
                 raise fresh_copy(self._broken) from self._broken
-            if len(self._streams) >= self.max_streams:
+            open_queries = len(self._streams) - len(self._stats_qids)
+            if open_queries >= self.max_streams:
                 raise StreamLimitError(
-                    f"connection already runs {len(self._streams)} streams "
+                    f"connection already runs {open_queries} streams "
                     f"(max_streams={self.max_streams}); close a cursor or "
                     "use a ConnectionPool"
                 )
@@ -263,9 +267,83 @@ class Connection:
 
     @property
     def active_streams(self) -> int:
-        """How many streams are currently open on this connection."""
+        """How many query streams are currently open (STATS exchanges
+        do not count — they share the demux, not the stream budget)."""
         with self._io:
-            return len(self._streams)
+            return len(self._streams) - len(self._stats_qids)
+
+    # ------------------------------------------------------------------
+    # Engine observability (the STATS command; protocol v2).
+    # ------------------------------------------------------------------
+
+    def stats(self, trace_id: str | None = None) -> dict:
+        """One-shot engine stats snapshot over the wire.
+
+        Returns the server's STATS payload: ``{"qid", "stats"}`` where
+        ``stats`` is the engine's full telemetry-registry snapshot
+        (counters, gauges, histograms, component collectors).  Pass a
+        ``trace_id`` (as stamped on a drained cursor's ``trace_id``, or
+        carried by an ERROR frame) to also get that query's span tree
+        under ``"trace"``.
+        """
+        qid = self._open_stats_qid()
+        try:
+            request: dict = {"qid": qid}
+            if trace_id is not None:
+                request["trace"] = trace_id
+            self._send(FrameType.STATS, request)
+            ftype, payload = self._frame_for(qid)
+            if ftype is FrameType.ERROR:
+                raise error_from_wire(
+                    payload.get("code", "internal"),
+                    payload.get("message", ""),
+                )
+            if ftype is not FrameType.STATS:
+                raise ProtocolError(
+                    f"expected STATS for qid={qid}, got {ftype.name}"
+                )
+            return payload
+        finally:
+            self._drop_stream(qid)
+
+    def stats_stream(self, interval_s: float | None = None) -> "StatsStream":
+        """Subscribe to server-pushed stats snapshots.
+
+        The server re-sends its registry snapshot every ``interval_s``
+        seconds (its ``stats_interval_s`` knob when ``None``) until the
+        stream is closed; iterate the returned :class:`StatsStream`::
+
+            with conn.stats_stream(interval_s=0.5) as updates:
+                for snap in updates:
+                    ...
+
+        The subscription rides its own qid and does not count against
+        ``max_streams``, so a dashboard can watch a connection that is
+        also streaming queries.
+        """
+        qid = self._open_stats_qid()
+        request: dict = {"qid": qid, "subscribe": True}
+        if interval_s is not None:
+            request["interval_s"] = interval_s
+        try:
+            self._send(FrameType.STATS, request)
+        except BaseException:
+            self._drop_stream(qid)
+            raise
+        return StatsStream(self, qid)
+
+    def _open_stats_qid(self) -> int:
+        if self.closed:
+            raise ProtocolError("connection is closed")
+        if self.version < 2:
+            raise ProtocolError("STATS requires protocol v2")
+        with self._io:
+            if self._broken is not None:
+                raise fresh_copy(self._broken) from self._broken
+            qid = next(self._qids)
+            self._streams[qid] = _StreamBuffer()
+            self._stats_qids.add(qid)
+        return qid
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -354,6 +432,7 @@ class Connection:
         with self._io:
             self._streams.pop(qid, None)
             self._cursors.pop(qid, None)
+            self._stats_qids.discard(qid)
             self._io.notify_all()
 
     def _mark_broken(self, exc: BaseException) -> None:
@@ -472,13 +551,18 @@ class _MuxBatches:
             self._finish()  # a broken stream cannot continue
             raise
         if ftype is FrameType.END:
+            self._stamp_trace(payload.get("trace"))
             self._finish()
             raise StopIteration
         if ftype is FrameType.ERROR:
+            self._stamp_trace(payload.get("trace"))
             self._finish()
-            raise error_from_wire(
+            err = error_from_wire(
                 payload.get("code", "internal"), payload.get("message", "")
             )
+            if payload.get("trace") is not None:
+                err.trace_id = payload["trace"]
+            raise err
         if ftype is FrameType.ROWS_BIN:
             return decode_binary_rows(
                 payload["data"], self._names, self._dtypes
@@ -498,6 +582,16 @@ class _MuxBatches:
         if not columns:
             return Batch({}, num_rows=len(rows))
         return Batch(columns)
+
+    def _stamp_trace(self, trace_id: str | None) -> None:
+        """Terminal frames carry the query's trace id; put it on the
+        cursor so callers can fetch the span tree via ``conn.stats``."""
+        if trace_id is None:
+            return
+        with self._conn._io:
+            cursor = self._conn._cursors.get(self._qid)
+        if cursor is not None:
+            cursor.trace_id = trace_id
 
     def _finish(self) -> None:
         if self._finished:
@@ -525,6 +619,80 @@ class _MuxBatches:
                     )
         finally:
             self._finish()
+
+
+class StatsStream:
+    """Iterator over one STATS subscription's pushed snapshots.
+
+    Yields the server's STATS payloads (``{"qid", "stats"}``) as they
+    arrive; :meth:`close` cancels the subscription (CLOSE, drained to
+    the acking END), leaving the connection's query streams untouched.
+    """
+
+    def __init__(self, conn: Connection, qid: int) -> None:
+        self._conn = conn
+        self._qid = qid
+        self._finished = False
+
+    def __iter__(self) -> "StatsStream":
+        return self
+
+    def __next__(self) -> dict:
+        if self._finished:
+            raise StopIteration
+        try:
+            ftype, payload = self._conn._frame_for(self._qid)
+        except BaseException:
+            self._finish()
+            raise
+        if ftype is FrameType.STATS:
+            return payload
+        if ftype is FrameType.END:
+            self._finish()
+            raise StopIteration
+        if ftype is FrameType.ERROR:
+            self._finish()
+            raise error_from_wire(
+                payload.get("code", "internal"), payload.get("message", "")
+            )
+        self._finish()
+        raise ProtocolError(
+            f"unexpected {ftype.name} frame in stats stream"
+        )
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._conn._drop_stream(self._qid)
+
+    def close(self) -> None:
+        """Cancel the subscription and drain to the server's END ack."""
+        if self._finished:
+            return
+        conn = self._conn
+        if conn.closed or conn._broken is not None:
+            self._finish()
+            return
+        try:
+            conn._send(FrameType.CLOSE, {"qid": self._qid})
+            while True:
+                ftype, _ = conn._frame_for(self._qid)
+                if ftype in (FrameType.END, FrameType.ERROR):
+                    return
+                if ftype is not FrameType.STATS:
+                    raise ProtocolError(
+                        f"unexpected {ftype.name} frame while closing "
+                        "stats stream"
+                    )
+        finally:
+            self._finish()
+
+    def __enter__(self) -> "StatsStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ConnectionPool:

@@ -214,6 +214,27 @@ class PostgresRawConfig:
     #: connections are pinned to 1.
     max_streams_per_connection: int = 8
 
+    #: Master switch for :mod:`repro.telemetry` — the per-query span
+    #: tracer, the engine-wide metrics registry's direct instruments
+    #: (latency/TTFB/lock-wait histograms, counters) and the slow-query
+    #: log.  Disabled, every instrument is a shared no-op and the
+    #: tracer records nothing; snapshot-time *collectors* (scheduler,
+    #: governor, lock and server stats) keep feeding the monitoring
+    #: panels either way, since the components keep those counters for
+    #: their own operation.
+    telemetry_enabled: bool = True
+
+    #: Default period (seconds) of the server-push stats stream: a
+    #: protocol-v2 client that subscribes via a STATS frame receives a
+    #: registry snapshot every ``stats_interval_s`` until it closes the
+    #: subscription.  A subscriber may override it per subscription.
+    stats_interval_s: float = 1.0
+
+    #: Queries whose ``total_seconds`` reaches this threshold are
+    #: recorded in the slow-query log with their full Figure-3
+    #: breakdown and span tree (``None`` disables the log).
+    slow_query_s: float | None = None
+
     #: Half-life (seconds) for decaying the ``benefit_seconds`` signal
     #: of governed structures: a positional chunk or cache entry that
     #: has not been touched for one half-life counts at half its
@@ -282,6 +303,10 @@ class PostgresRawConfig:
             )
         if self.max_streams_per_connection < 1:
             raise BudgetError("max_streams_per_connection must be >= 1")
+        if self.stats_interval_s <= 0:
+            raise BudgetError("stats_interval_s must be > 0")
+        if self.slow_query_s is not None and self.slow_query_s <= 0:
+            raise BudgetError("slow_query_s must be > 0 (or None)")
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.

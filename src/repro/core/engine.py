@@ -74,6 +74,11 @@ class PostgresRaw:
         return self.service.catalog
 
     @property
+    def telemetry(self):
+        """The engine-wide :class:`repro.telemetry.Telemetry` hub."""
+        return self.service.telemetry
+
+    @property
     def _states(self) -> dict[str, RawTableState]:
         return self.service._states
 

@@ -56,8 +56,13 @@ class BreakdownComponent(enum.Enum):
 class QueryMetrics:
     """Per-query timing and volume counters.
 
-    The six ``*_seconds`` buckets sum (approximately — uninstrumented
-    glue code exists) to ``total_seconds``.
+    The six ``*_seconds`` buckets plus the :attr:`unattributed_seconds`
+    residual sum **exactly** to ``total_seconds`` once
+    :meth:`settle_processing` has run: processing absorbs the wall time
+    no data-access bucket claimed, and the residual records the
+    remaining drift (negative when instrumented sections overlapped the
+    measured wall clock, e.g. a consumer that stamped ``total_seconds``
+    while a parallel merge was still folding worker time in).
     """
 
     io_seconds: float = 0.0
@@ -67,6 +72,11 @@ class QueryMetrics:
     processing_seconds: float = 0.0
     nodb_seconds: float = 0.0
     total_seconds: float = 0.0
+
+    #: ``total_seconds`` minus the six buckets, settled alongside
+    #: processing — the bookkeeping residual that makes the Figure 3
+    #: stack a partition of the wall clock instead of an approximation.
+    unattributed_seconds: float = 0.0
 
     #: Wall-clock seconds from :meth:`begin` until the first result
     #: batch reached the consumer (the streaming path's headline
@@ -136,7 +146,11 @@ class QueryMetrics:
         """Processing = wall time not attributed to data-access buckets.
 
         Figure 3's split between "what any DBMS would do anyway" and the
-        raw-data-access overheads; call after :meth:`end`.
+        raw-data-access overheads; call after :meth:`end`.  Also settles
+        :attr:`unattributed_seconds` so the six buckets plus the
+        residual sum exactly to ``total_seconds`` (the residual is only
+        nonzero — negative — when the attributed buckets overshoot the
+        measured wall clock, since processing cannot go below zero).
         """
         attributed = (
             self.io_seconds
@@ -146,6 +160,9 @@ class QueryMetrics:
             + self.nodb_seconds
         )
         self.processing_seconds = max(self.total_seconds - attributed, 0.0)
+        self.unattributed_seconds = self.total_seconds - (
+            attributed + self.processing_seconds
+        )
 
     def absorb_workers(
         self, wall_seconds: float, workers: "list[QueryMetrics]"
@@ -192,6 +209,7 @@ class QueryMetrics:
             "processing_seconds",
             "nodb_seconds",
             "total_seconds",
+            "unattributed_seconds",
             "bytes_read",
             "rows_scanned",
             "fields_tokenized",

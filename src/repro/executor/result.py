@@ -59,6 +59,10 @@ class Cursor:
         self.exhausted = False
         self.batches_fetched = 0
         self.rows_fetched = 0
+        #: Telemetry trace id of the producing query, stamped by the
+        #: service (in-process) or from the wire END/ERROR frame
+        #: (remote cursors); ``None`` when telemetry is disabled.
+        self.trace_id: str | None = None
 
     # ------------------------------------------------------------------
     # Batch-level consumption.

@@ -7,6 +7,11 @@ frames/s and bytes/s split by negotiated ROWS encoding (json vs
 binary) over the server's uptime, and per-connection rows with each
 connection's open stream count and last time-to-first-batch — the
 interactive-latency signal OLA-style raw-data exploration cares about.
+
+The server registers :meth:`RawServer.connection_stats` as the
+``server`` collector of the engine's telemetry registry, so this panel
+reads the same snapshot the ``STATS`` wire command and the Prometheus
+exporter serve.
 """
 
 from __future__ import annotations
@@ -15,8 +20,12 @@ from ..server.server import RawServer
 
 
 def connections_report(server: RawServer) -> dict[str, object]:
-    """The panel's data; alias of :meth:`RawServer.connection_stats`."""
-    return server.connection_stats()
+    """The panel's data: the registry snapshot's ``server`` collector."""
+    collectors = server.service.telemetry.registry.snapshot()["collectors"]
+    report = collectors.get("server")
+    if report is None:  # server built around a foreign registry
+        report = server.connection_stats()
+    return report
 
 
 def render_connections_panel(server: RawServer, width: int = 40) -> str:

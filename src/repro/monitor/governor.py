@@ -10,7 +10,14 @@ budgets, this panel shows the engine-wide picture —
 * governor pressure counters (evictions, cross-table evictions,
   rejected grants, bytes released by ``drop_table``),
 * scheduler occupancy (active/waiting/peaks, admissions/rejections),
-* per-table reader-writer lock contention.
+* per-table reader-writer lock contention, with wait/hold latency
+  percentiles from the telemetry registry.
+
+Both panels render **from the engine-wide telemetry registry snapshot**
+(:meth:`repro.telemetry.MetricsRegistry.snapshot`): the service
+registers each component's stats as a named collector, so the panel,
+the ``STATS`` wire command and the Prometheus exporter all read the
+same numbers from the same place.
 """
 
 from __future__ import annotations
@@ -21,36 +28,17 @@ from ..service.service import PostgresRawService
 def governor_report(service: PostgresRawService) -> dict[str, object]:
     """The governor panel's data: stats plus per-table residency rows.
 
-    Works without a governor too (``memory_budget`` unset): residency is
-    then derived from the table states directly and the ``stats`` key is
-    ``None`` — the panel stays useful for silo-budget engines.
+    Pulled from the registry snapshot's ``governor`` and ``residency``
+    collectors.  Works without a governor too (``memory_budget``
+    unset): residency is then derived from the table states directly
+    and the ``stats`` key is ``None`` — the panel stays useful for
+    silo-budget engines.
     """
-    governor = service.governor
-    if governor is not None:
-        return {
-            "stats": governor.stats(),
-            "residency": governor.residency(),
-        }
-    residency = []
-    for name in service.table_names():
-        state = service.table_state(name)
-        residency.append(
-            {
-                "table": name,
-                "kind": "map",
-                "nbytes": state.positional_map.used_bytes,
-                "items": state.positional_map.chunk_count,
-            }
-        )
-        residency.append(
-            {
-                "table": name,
-                "kind": "cache",
-                "nbytes": state.cache.used_bytes,
-                "items": state.cache.entry_count,
-            }
-        )
-    return {"stats": None, "residency": residency}
+    collectors = service.telemetry.registry.snapshot()["collectors"]
+    return {
+        "stats": collectors.get("governor"),
+        "residency": collectors.get("residency") or [],
+    }
 
 
 def render_governor_panel(service: PostgresRawService, width: int = 40) -> str:
@@ -88,11 +76,15 @@ def render_governor_panel(service: PostgresRawService, width: int = 40) -> str:
 
 
 def render_concurrency_panel(service: PostgresRawService) -> str:
-    """Scheduler occupancy, streaming cursors and lock contention."""
-    sched = service.scheduler.stats()
-    cursors = service.cursor_stats()
-    avg_ttfb = cursors["avg_ttfb_s"]
-    last_ttfb = cursors["last_ttfb_s"]
+    """Scheduler occupancy, streaming cursors, query latency and lock
+    contention — all read off one registry snapshot."""
+    snapshot = service.telemetry.registry.snapshot()
+    collectors = snapshot["collectors"]
+    sched = collectors.get("scheduler") or {}
+    cursors = collectors.get("cursors") or {}
+    histograms = snapshot.get("histograms", {})
+    avg_ttfb = cursors.get("avg_ttfb_s")
+    last_ttfb = cursors.get("last_ttfb_s")
     lines = [
         "=== Concurrency ===",
         (
@@ -104,6 +96,8 @@ def render_concurrency_panel(service: PostgresRawService) -> str:
         (
             f"admitted: {sched['admitted']}  completed: {sched['completed']}"
             f"  rejected: {sched['rejected']}"
+            f"  queued: {sched.get('wait_seconds_total', 0.0) * 1000:.1f} ms"
+            " total"
         ),
         (
             f"cursors: {cursors['open']} open / {cursors['opened']} opened"
@@ -119,10 +113,18 @@ def render_concurrency_panel(service: PostgresRawService) -> str:
                 else "(no batches streamed yet)"
             )
         ),
-        "",
-        "per-table lock traffic (shared/exclusive, waits in parens):",
     ]
-    for name, stats in service.lock_stats().items():
+    latency = histograms.get("query_latency_seconds")
+    if latency and latency.get("count"):
+        lines.append(
+            f"query latency: p50 {latency['p50'] * 1000:.1f} ms / "
+            f"p95 {latency['p95'] * 1000:.1f} ms / "
+            f"p99 {latency['p99'] * 1000:.1f} ms "
+            f"over {latency['count']} queries"
+        )
+    lines.append("")
+    lines.append("per-table lock traffic (shared/exclusive, waits in parens):")
+    for name, stats in (collectors.get("locks") or {}).items():
         lines.append(
             f"{name:>12s}  reads {stats['read_acquisitions']}"
             f" ({stats['read_contentions']})"

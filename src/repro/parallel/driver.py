@@ -44,7 +44,7 @@ from typing import Iterable, Iterator, TYPE_CHECKING
 
 from ..batch import Batch
 from ..core.metrics import QueryMetrics, Stopwatch
-from ..errors import RawDataError
+from ..errors import RawDataError, ScanWorkerError
 from .chunker import chunk_count, plan_file_chunks
 from .merge import LineBoundsAccumulator, stitch_one
 from .pool import ScanPool
@@ -182,6 +182,7 @@ class ParallelScanDriver:
             for res in self._stream(tasks()):
                 bounds_acc.add(res)
                 stitch_one(scan, res, row_base, char_base)
+                self._note_chunk(res)
                 worker_metrics.append(res.metrics)
                 row_base += res.n_rows
                 char_base += res.n_chars
@@ -292,6 +293,7 @@ class ParallelScanDriver:
                 stitch_one(
                     scan, res, r0, 0 if share else int(bounds[r0])
                 )
+                self._note_chunk(res)
                 worker_metrics.append(res.metrics)
                 yield from res.batches
         finally:
@@ -328,23 +330,46 @@ class ParallelScanDriver:
             return max(override, 1)
         return 2 * self.config.scan_workers
 
+    def _note_chunk(self, res: ChunkResult) -> None:
+        """Record one merged chunk as a worker span under the query's
+        trace (duration measured on the worker's own clock)."""
+        telemetry = getattr(self.scan, "telemetry", None)
+        if telemetry is None:
+            return
+        telemetry.tracer.add_span(
+            getattr(self.scan, "trace_parent", None),
+            f"scan-chunk:{res.index}",
+            res.elapsed_s,
+            table=self.state.entry.name,
+            rows=res.n_rows,
+            backend=self.config.parallel_backend,
+        )
+
     def _stream(
         self, tasks: Iterable[ChunkTask]
     ) -> Iterator[ChunkResult]:
         """Ordered streaming dispatch with a bounded in-flight window."""
         window = self.inflight_window()
         pool = self.scan.pool
-        if pool is not None:
-            # Engine-owned recycled pool: worker threads/processes are
-            # amortized across every query of the stream.
-            yield from pool.run_streaming(scan_chunk, tasks, window)
-        else:
-            # Stand-alone scan (no engine pool): ephemeral pool, torn
-            # down with the dispatch as in the pre-service engine.
-            with ScanPool(
-                self.config.scan_workers, self.config.parallel_backend
-            ) as ephemeral:
-                yield from ephemeral.run_streaming(scan_chunk, tasks, window)
+        try:
+            if pool is not None:
+                # Engine-owned recycled pool: worker threads/processes
+                # are amortized across every query of the stream.
+                yield from pool.run_streaming(scan_chunk, tasks, window)
+            else:
+                # Stand-alone scan (no engine pool): ephemeral pool, torn
+                # down with the dispatch as in the pre-service engine.
+                with ScanPool(
+                    self.config.scan_workers, self.config.parallel_backend
+                ) as ephemeral:
+                    yield from ephemeral.run_streaming(
+                        scan_chunk, tasks, window
+                    )
+        except ScanWorkerError:
+            telemetry = getattr(self.scan, "telemetry", None)
+            if telemetry is not None:
+                telemetry.registry.counter("scan_worker_errors").inc()
+            raise
 
     def _account(
         self, worker_metrics: list[QueryMetrics], cold: bool = False

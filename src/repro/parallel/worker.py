@@ -20,6 +20,7 @@ the pieces back into the shared state deterministically.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,7 +32,7 @@ from ..catalog.schema import TableSchema
 from ..config import PostgresRawConfig
 from ..core.metrics import BreakdownComponent, QueryMetrics
 from ..core.raw_scan import RawScan, RawTableState
-from ..errors import RawDataError
+from ..errors import RawDataError, ScanWorkerError
 from ..rawio.dialect import CsvDialect
 from ..rawio.reader import decode_raw
 from ..rawio.tokenizer import build_line_index
@@ -112,6 +113,11 @@ class ChunkResult:
     #: actually jumped from — the driver touches only those shared
     #: chunks, mirroring the serial scan's LRU recency updates.
     anchors_used: list[int] = field(default_factory=list)
+    #: Wall seconds the worker spent on this chunk, measured on the
+    #: worker's own clock (monotonic clocks are not comparable across
+    #: processes, so only the *duration* travels back; the driver
+    #: synthesizes the chunk's trace span from it at merge time).
+    elapsed_s: float = 0.0
 
 
 class _ChunkScan(RawScan):
@@ -136,7 +142,31 @@ class _ChunkScan(RawScan):
 
 
 def scan_chunk(task: ChunkTask) -> ChunkResult:
-    """Scan one chunk; the pool's work function (also pickled to forks)."""
+    """Scan one chunk; the pool's work function (also pickled to forks).
+
+    Any worker-side failure is wrapped in
+    :class:`repro.errors.ScanWorkerError` carrying the chunk index and
+    table name — so a process-backend crash surfaces with its scan
+    context instead of a bare pickled traceback.
+    """
+    t0 = time.perf_counter()
+    try:
+        result = _scan_chunk(task)
+    except ScanWorkerError:
+        raise
+    except Exception as exc:
+        raise ScanWorkerError(
+            f"scan worker failed on chunk {task.index} of table "
+            f"{task.entry_name!r}: {exc!r}",
+            chunk_index=task.index,
+            table=task.entry_name,
+            row=getattr(exc, "row", None),
+        ) from exc
+    result.elapsed_s = time.perf_counter() - t0
+    return result
+
+
+def _scan_chunk(task: ChunkTask) -> ChunkResult:
     metrics = QueryMetrics()
     content = task.text
     if content is None:

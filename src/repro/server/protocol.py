@@ -28,6 +28,13 @@ Protocol **v2** conversation (v1 omits ``encodings``/``encoding``/
                               <--  END {qid, rows, closed}
     CLOSE {qid}               -->  (abandon stream qid early;
                               <--   END {qid, closed: true} acks it)
+    STATS {qid, trace?}       -->  (v2 only: one-shot stats snapshot)
+                              <--  STATS {qid, stats, trace?}
+    STATS {qid, subscribe:    -->  (v2 only: server-push subscription)
+           true, interval_s?}
+                              <--  STATS {qid, stats}   (repeated every
+                                   interval until CLOSE {qid}, acked by
+                                   END {qid, closed: true})
     GOODBYE {}                -->  (connection closes)
 
 Under v2 the conversation is **multiplexed**: qids are on every frame,
@@ -88,6 +95,10 @@ class FrameType(enum.IntEnum):
     GOODBYE = 0x09  # client -> server: {}
     ROWS_BIN = 0x0A  # server -> client: binary columnar payload
     #                  (repro.server.encoding; v2 "binary" only)
+    STATS = 0x0B  # both directions (v2 only).  client -> server:
+    #               {qid, trace?, subscribe?, interval_s?}; server ->
+    #               client: {qid, stats, trace?} — a telemetry-registry
+    #               snapshot, one-shot or pushed every interval_s.
 
 
 def encode_frame(ftype: FrameType, payload: dict) -> bytes:

@@ -108,6 +108,10 @@ class _Connection:
     last_ttfb_s: float | None = None
     streams: dict[int, _Stream] = field(default_factory=dict)
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: Live STATS push subscriptions by qid (v2 only).  Not counted
+    #: against ``max_streams`` — a dashboard watching the engine must
+    #: never crowd out the queries it is watching.
+    stats_subs: dict[int, "asyncio.Task"] = field(default_factory=dict)
 
 
 class RawServer:
@@ -154,6 +158,9 @@ class RawServer:
             else max_streams_per_connection
         )
         self.auth_token = auth_token
+        #: Default cadence of STATS push subscriptions (clients may ask
+        #: for a different one per subscription).
+        self.stats_interval_s = config.stats_interval_s
         self.port: int | None = None  # bound port, set by start
         # Dedicated worker pool for blocking service calls, sized so
         # every stream always has a worker.  The loop's *default*
@@ -188,6 +195,11 @@ class RawServer:
         self.rows_sent = 0
         self.errors_sent = 0
         self.bytes_by_encoding: dict[str, int] = {"json": 0, "binary": 0}
+        # The connections panel and the STATS command both read the
+        # server through the engine-wide registry snapshot.
+        self.service.telemetry.registry.register_collector(
+            "server", self.connection_stats
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle (async core).
@@ -476,7 +488,22 @@ class RawServer:
             if ftype is FrameType.GOODBYE:
                 return
             if ftype is FrameType.CLOSE:
+                sub = conn.stats_subs.pop(payload.get("qid"), None)
+                if sub is not None:
+                    # A stats subscription ends like a stream: cancel
+                    # the pusher, ack with END {closed: true}.
+                    sub.cancel()
+                    await self._send(
+                        writer,
+                        conn,
+                        FrameType.END,
+                        {"qid": payload.get("qid"), "rows": 0, "closed": True},
+                    )
+                    continue
                 self._handle_close(conn, payload)
+                continue
+            if ftype is FrameType.STATS:
+                await self._handle_stats(conn, writer, payload)
                 continue
             if ftype is not FrameType.QUERY:
                 raise ProtocolError(
@@ -532,6 +559,71 @@ class RawServer:
         if cursor is not None:
             cursor.abort_stream()
 
+    # ------------------------------------------------------------------
+    # STATS: one-shot snapshots and server-push subscriptions (v2).
+    # ------------------------------------------------------------------
+
+    async def _handle_stats(
+        self, conn: _Connection, writer, payload: dict
+    ) -> None:
+        """STATS {qid, trace?, subscribe?, interval_s?}.
+
+        One-shot by default: answer with a single STATS frame carrying
+        the engine's registry snapshot (and, when ``trace`` names a
+        retained trace id, that query's span tree).  With ``subscribe``
+        truthy, start a push task that re-sends the snapshot every
+        ``interval_s`` until the client CLOSEs the qid.
+        """
+        qid = payload.get("qid")
+        if not isinstance(qid, int):
+            raise ProtocolError("STATS frame needs an int qid")
+        if conn.version < 2:
+            await self._send_error(
+                writer,
+                qid,
+                ProtocolError("STATS requires protocol v2"),
+                conn,
+            )
+            return
+        if qid in conn.streams or qid in conn.stats_subs:
+            raise ProtocolError(
+                f"qid={qid} is already in use on this connection"
+            )
+        if payload.get("subscribe"):
+            interval = payload.get("interval_s")
+            if not isinstance(interval, (int, float)) or interval <= 0:
+                interval = self.stats_interval_s
+            conn.stats_subs[qid] = asyncio.create_task(
+                self._push_stats(conn, writer, qid, float(interval))
+            )
+            return
+        snap = await self._call(self._stats_payload, payload.get("trace"))
+        await self._send(writer, conn, FrameType.STATS, {"qid": qid, **snap})
+
+    def _stats_payload(self, trace_id: str | None = None) -> dict:
+        """The STATS frame body: registry snapshot (+ optional trace)."""
+        telemetry = self.service.telemetry
+        body: dict = {"stats": telemetry.snapshot()}
+        if trace_id is not None:
+            body["trace"] = telemetry.tracer.trace_dict(trace_id)
+        return body
+
+    async def _push_stats(
+        self, conn: _Connection, writer, qid: int, interval: float
+    ) -> None:
+        """One subscription's push loop; dies with the connection."""
+        try:
+            while True:
+                snap = await self._call(self._stats_payload, None)
+                await self._send(
+                    writer, conn, FrameType.STATS, {"qid": qid, **snap}
+                )
+                await asyncio.sleep(interval)
+        except (ConnectionError, OSError):
+            pass  # client vanished; the handler tears the rest down
+        except asyncio.CancelledError:
+            raise
+
     async def _run_stream(
         self, conn: _Connection, writer, stream: _Stream
     ) -> None:
@@ -570,6 +662,11 @@ class RawServer:
             self.queries_served += 1
         rows_sent = 0
         closed = False
+        # The query's trace was opened service-side; parent the socket
+        # writes under its root so the span tree covers wire delivery.
+        tracer = self.service.telemetry.tracer
+        trace_id = getattr(cursor, "trace_id", None)
+        wire_span = tracer.span_for_trace(trace_id, "wire:frames", qid=qid)
         try:
             await self._send(
                 writer,
@@ -647,7 +744,12 @@ class RawServer:
                 writer,
                 conn,
                 FrameType.END,
-                {"qid": qid, "rows": rows_sent, "closed": closed},
+                {
+                    "qid": qid,
+                    "rows": rows_sent,
+                    "closed": closed,
+                    "trace": trace_id,
+                },
             )
         except (ConnectionError, OSError):
             pass  # client vanished; the handler tears everything down
@@ -663,6 +765,7 @@ class RawServer:
             await self._retire_stream(conn, stream)
             await self._try_send_error(writer, qid, exc, conn)
         finally:
+            tracer.end_span(wire_span, rows=rows_sent)
             conn.streams.pop(qid, None)
             await self._retire_stream(conn, stream)
 
@@ -686,6 +789,9 @@ class RawServer:
 
     async def _shutdown_streams(self, conn: _Connection) -> None:
         """Connection teardown: stop every pump, reap every cursor."""
+        for sub in conn.stats_subs.values():
+            sub.cancel()
+        conn.stats_subs.clear()
         me = asyncio.current_task()
         tasks = [
             stream.task
@@ -738,12 +844,18 @@ class RawServer:
     ) -> None:
         with self._stats_lock:
             self.errors_sent += 1
-        await self._send(
-            writer,
-            conn,
-            FrameType.ERROR,
-            {"qid": qid, "code": wire_code_for(exc), "message": str(exc)},
-        )
+        payload = {
+            "qid": qid,
+            "code": wire_code_for(exc),
+            "message": str(exc),
+        }
+        # Producer-side failures carry their query's trace id (stamped
+        # in service._produce) so a client can pull the span tree of
+        # the exact query that failed via STATS {trace: ...}.
+        trace_id = getattr(exc, "trace_id", None)
+        if trace_id is not None:
+            payload["trace"] = trace_id
+        await self._send(writer, conn, FrameType.ERROR, payload)
 
     async def _try_send_error(self, writer, qid, exc, conn) -> None:
         try:

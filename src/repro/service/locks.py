@@ -16,6 +16,7 @@ monitoring panel (:func:`repro.monitor.render_concurrency_panel`).
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 
 
@@ -38,14 +39,21 @@ class RWLock:
     # Shared (read) side.
     # ------------------------------------------------------------------
 
-    def acquire_read(self) -> None:
+    def acquire_read(self) -> float:
+        """Take the shared side; returns seconds spent waiting (0.0 on
+        the uncontended fast path) so callers can feed the lock-wait
+        telemetry without timing the non-blocking case."""
         with self._cond:
+            waited = 0.0
             if self._writer or self._writers_waiting:
                 self.read_contentions += 1
-            while self._writer or self._writers_waiting:
-                self._cond.wait()
+                t0 = time.perf_counter()
+                while self._writer or self._writers_waiting:
+                    self._cond.wait()
+                waited = time.perf_counter() - t0
             self._readers += 1
             self.read_acquisitions += 1
+            return waited
 
     def release_read(self) -> None:
         with self._cond:
@@ -65,18 +73,25 @@ class RWLock:
     # Exclusive (write) side.
     # ------------------------------------------------------------------
 
-    def acquire_write(self) -> None:
+    def acquire_write(self) -> float:
+        """Take the exclusive side; returns seconds spent waiting."""
         with self._cond:
-            if self._writer or self._readers:
+            waited = 0.0
+            contended = self._writer or self._readers
+            if contended:
                 self.write_contentions += 1
+                t0 = time.perf_counter()
             self._writers_waiting += 1
             try:
                 while self._writer or self._readers:
                     self._cond.wait()
             finally:
                 self._writers_waiting -= 1
+            if contended:
+                waited = time.perf_counter() - t0
             self._writer = True
             self.write_acquisitions += 1
+            return waited
 
     def release_write(self) -> None:
         with self._cond:

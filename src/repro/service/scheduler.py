@@ -23,6 +23,7 @@ admissions, rejections) feed the concurrency monitoring panel.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from contextlib import contextmanager
 
@@ -56,21 +57,24 @@ class QueryScheduler:
         self.completed = 0
         self.peak_concurrency = 0
         self.peak_queue_depth = 0
+        self.wait_seconds_total = 0.0
 
     # ------------------------------------------------------------------
     # Acquisition / release.
     # ------------------------------------------------------------------
 
-    def acquire(self, session_id: object = 0) -> None:
+    def acquire(self, session_id: object = 0) -> float:
         """Take one execution slot, waiting fairly if none is free.
 
+        Returns the seconds spent queued (0.0 on the uncontended fast
+        path) — the admission-wait signal for the telemetry registry.
         Raises :class:`AdmissionError` without blocking when no slot is
         free and the wait queue is already full.
         """
         with self._cond:
             if self._active < self.max_concurrent and self._waiting_total == 0:
                 self._admit_locked()
-                return
+                return 0.0
             if self._waiting_total >= self.queue_depth:
                 self.rejected += 1
                 raise AdmissionError(
@@ -89,6 +93,7 @@ class QueryScheduler:
             self.peak_queue_depth = max(
                 self.peak_queue_depth, self._waiting_total
             )
+            t0 = time.perf_counter()
             try:
                 while not ticket.granted:
                     self._cond.wait()
@@ -101,6 +106,9 @@ class QueryScheduler:
                 self._abandon_wait_locked(session_id, ticket)
                 raise
             # The releaser already ran _admit_locked on our behalf.
+            waited = time.perf_counter() - t0
+            self.wait_seconds_total += waited
+            return waited
 
     def release(self) -> None:
         """Return a slot; hands it to the next session in rotation."""
@@ -192,7 +200,7 @@ class QueryScheduler:
     def waiting(self) -> int:
         return self._waiting_total
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, float]:
         with self._cond:
             return {
                 "max_concurrent": self.max_concurrent,
@@ -204,4 +212,5 @@ class QueryScheduler:
                 "rejected": self.rejected,
                 "peak_concurrency": self.peak_concurrency,
                 "peak_queue_depth": self.peak_queue_depth,
+                "wait_seconds_total": self.wait_seconds_total,
             }

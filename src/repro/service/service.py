@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -70,6 +71,8 @@ from ..rawio.sniffer import infer_schema
 from ..sql.ast import Expression, SelectStatement
 from ..sql.parser import parse_select
 from ..sql.planner import LogicalPlan, Planner
+from ..telemetry import Telemetry
+from ..telemetry.trace import Span
 from .governor import MemoryGovernor
 from .locks import RWLock
 from .scheduler import QueryScheduler
@@ -94,10 +97,14 @@ class Session:
 
     def query(self, sql: str) -> QueryResult:
         """Parse, plan and execute one SELECT statement."""
-        return self.execute(parse_select(sql))
+        return self.execute(parse_select(sql), sql=sql)
 
-    def execute(self, stmt: SelectStatement) -> QueryResult:
-        result = self.service.execute(stmt, session_id=self.session_id)
+    def execute(
+        self, stmt: SelectStatement, sql: str | None = None
+    ) -> QueryResult:
+        result = self.service.execute(
+            stmt, session_id=self.session_id, sql=sql
+        )
         self.queries_issued += 1
         self.rows_returned += len(result)
         self.total_seconds += result.metrics.total_seconds
@@ -112,15 +119,17 @@ class Session:
         the cursor is exhausted or closed (``cursor_ttl_s`` bounds how
         long an idle consumer can pin it).
         """
-        return self.execute_stream(parse_select(sql))
+        return self.execute_stream(parse_select(sql), sql=sql)
 
-    def execute_stream(self, stmt: SelectStatement) -> Cursor:
+    def execute_stream(
+        self, stmt: SelectStatement, sql: str | None = None
+    ) -> Cursor:
         def account(cursor: Cursor) -> None:
             self.rows_returned += cursor.rows_fetched
             self.total_seconds += cursor.metrics.total_seconds
 
         cursor = self.service.execute_stream(
-            stmt, session_id=self.session_id, on_close=account
+            stmt, session_id=self.session_id, on_close=account, sql=sql
         )
         self.queries_issued += 1
         return cursor
@@ -142,6 +151,10 @@ class _StreamHandle:
     stream_id: int
     channel: BatchChannel
     thread: threading.Thread | None = field(default=None)
+    #: Root span of the query's trace (None when telemetry is off).
+    root: Span | None = field(default=None)
+    #: Original SQL text when known (slow-query log context).
+    sql: str | None = field(default=None)
 
 
 class PostgresRawService:
@@ -163,6 +176,18 @@ class PostgresRawService:
             self.config.max_concurrent_queries,
             self.config.admission_queue_depth,
         )
+        #: The engine's observability substrate (:mod:`repro.telemetry`):
+        #: span tracer, metrics registry and slow-query log.  The
+        #: snapshot-time collectors registered here are what the
+        #: monitoring panels render from.
+        self.telemetry = Telemetry.from_config(self.config)
+        registry = self.telemetry.registry
+        registry.register_collector("scheduler", self.scheduler.stats)
+        registry.register_collector("cursors", self.cursor_stats)
+        registry.register_collector("locks", self.lock_stats)
+        registry.register_collector("governor", self._collect_governor)
+        registry.register_collector("residency", self._collect_residency)
+        registry.register_collector("traces", self.telemetry.tracer.stats)
         self._pool = None
         self._pool_lock = threading.Lock()
         self._session_ids = itertools.count(1)
@@ -312,7 +337,10 @@ class PostgresRawService:
         return self.execute(parse_select(sql))
 
     def execute(
-        self, stmt: SelectStatement, session_id: object = 0
+        self,
+        stmt: SelectStatement,
+        session_id: object = 0,
+        sql: str | None = None,
     ) -> QueryResult:
         """Execute to a materialized :class:`QueryResult`.
 
@@ -320,17 +348,22 @@ class PostgresRawService:
         ``execute_stream(...).fetchall()`` — so both APIs run the same
         code and return row-for-row identical results.
         """
-        return self.execute_stream(stmt, session_id=session_id).fetchall()
+        return self.execute_stream(
+            stmt, session_id=session_id, sql=sql
+        ).fetchall()
 
     def query_stream(self, sql: str, session_id: object = 0) -> Cursor:
         """Parse, plan and stream one SELECT statement."""
-        return self.execute_stream(parse_select(sql), session_id=session_id)
+        return self.execute_stream(
+            parse_select(sql), session_id=session_id, sql=sql
+        )
 
     def execute_stream(
         self,
         stmt: SelectStatement,
         session_id: object = 0,
         on_close: Callable[[Cursor], None] | None = None,
+        sql: str | None = None,
     ) -> Cursor:
         """Admit, plan and launch one streaming query; return its cursor.
 
@@ -347,9 +380,20 @@ class PostgresRawService:
         """
         if self._closed:
             raise ServiceError("service is closed")
+        tracer = self.telemetry.tracer
+        registry = self.telemetry.registry
         metrics = QueryMetrics()
         metrics.begin()
-        self.scheduler.acquire(session_id)
+        root = tracer.new_trace("query", session=str(session_id), sql=sql)
+        try:
+            with tracer.span(root, "admission") as admission_span:
+                waited = self.scheduler.acquire(session_id)
+                if admission_span is not None:
+                    admission_span.attrs["wait_s"] = round(waited, 6)
+            registry.histogram("admission_wait_seconds").observe(waited)
+        except BaseException as exc:
+            tracer.finish(root, error=repr(exc))
+            raise
         try:
             tables: list[tuple[str, RawTableState, RWLock]] = []
             for name in sorted(self._referenced_tables(stmt)):
@@ -361,16 +405,18 @@ class PostgresRawService:
 
             # Phase 1 — reconcile external file changes and tick the LRU
             # clocks, one short exclusive section per table.
-            for _, state, lock in tables:
-                with lock.write():
-                    with metrics.time(BreakdownComponent.NODB):
-                        self._reconcile_file(state)
-                    state.begin_query()
+            with tracer.span(root, "reconcile", tables=len(tables)):
+                for _, state, lock in tables:
+                    with lock.write():
+                        with metrics.time(BreakdownComponent.NODB):
+                            self._reconcile_file(state)
+                        state.begin_query()
 
             # Phase 2 — plan.  Planning reads schemas and statistics only.
             scans: list[RawScan] = []
-            planner = self._planner(metrics, scans)
-            plan = planner.plan(stmt)
+            with tracer.span(root, "plan"):
+                planner = self._planner(metrics, scans, root)
+                plan = planner.plan(stmt)
             # The cursor contract is "rows from the table as admitted":
             # the producer re-checks these generations under its locks
             # and fails with CursorInvalidError rather than serve rows
@@ -378,7 +424,8 @@ class PostgresRawService:
             generations = {
                 name: state.generation for name, state, _ in tables
             }
-        except BaseException:
+        except BaseException as exc:
+            tracer.finish(root, error=repr(exc))
             self.scheduler.release()
             raise
 
@@ -386,7 +433,10 @@ class PostgresRawService:
             self.config.stream_queue_batches, self.config.cursor_ttl_s
         )
         handle = _StreamHandle(
-            stream_id=next(self._cursor_ids), channel=channel
+            stream_id=next(self._cursor_ids),
+            channel=channel,
+            root=root,
+            sql=sql,
         )
         with self._cursor_lock:
             self._open_streams[handle.stream_id] = handle
@@ -404,9 +454,10 @@ class PostgresRawService:
             metrics,
             on_close=finished,
         )
+        cursor.trace_id = None if root is None else root.trace_id
         thread = threading.Thread(
             target=self._produce,
-            args=(plan, scans, tables, generations, metrics, channel),
+            args=(plan, scans, tables, generations, metrics, channel, root),
             name=f"repro-cursor-{handle.stream_id}",
             daemon=True,
         )
@@ -454,6 +505,7 @@ class PostgresRawService:
         generations: dict[str, int],
         metrics: QueryMetrics,
         channel: BatchChannel,
+        root: Span | None = None,
     ) -> None:
         """Producer-thread body: run the plan, feed the channel.
 
@@ -462,14 +514,22 @@ class PostgresRawService:
         """
         error: BaseException | None = None
         try:
-            self._run_stream(
-                plan, scans, tables, generations, metrics, channel
-            )
+            with self.telemetry.tracer.span(root, "produce"):
+                self._run_stream(
+                    plan, scans, tables, generations, metrics, channel, root
+                )
         except BaseException as exc:
             # BaseException included: swallowing even SystemExit here is
             # better than a channel that never finishes (consumer hang)
             # or finishes clean (silent truncation).
             error = exc
+            if root is not None:
+                # Stamp the trace id so the wire server's ERROR frame
+                # (and any other consumer) can correlate the failure.
+                try:
+                    exc.trace_id = root.trace_id
+                except Exception:  # exotic immutable exception
+                    pass
         finally:
             self.scheduler.release()
             channel.finish(error)
@@ -482,6 +542,7 @@ class PostgresRawService:
         generations: dict[str, int],
         metrics: QueryMetrics,
         channel: BatchChannel,
+        root: Span | None = None,
     ) -> None:
         # Phase 3 — classify: can every scan be served by already-built
         # structures?  If so, run under shared locks and defer whatever
@@ -492,11 +553,11 @@ class PostgresRawService:
 
         deferred: list[tuple[RawScan, InstallPlan]] = []
         if read_path:
-            self._acquire_all(tables, write=False)
+            held = self._acquire_all(tables, write=False, root=root)
             try:
                 self._check_generations(tables, generations)
             except BaseException:
-                self._release_all(tables, write=False)
+                self._release_all(tables, write=False, held=held)
                 raise
             # Re-check under the locks: another query's reconcile may
             # have flagged an append/rewrite between classification and
@@ -506,7 +567,7 @@ class PostgresRawService:
             # scan down its fallback tokenize path, whose results are
             # deferred like everything else.
             if not all(self._covered(scan) for scan in scans):
-                self._release_all(tables, write=False)
+                self._release_all(tables, write=False, held=held)
                 read_path = False
         if read_path:
             for scan in scans:
@@ -518,9 +579,9 @@ class PostgresRawService:
                 # bounded channel flow-controls production, so this
                 # lasts until the cursor is exhausted or closed
                 # (bounded by cursor_ttl_s for stalled consumers).
-                self._pump(plan, channel)
+                self._pump(plan, channel, root)
             finally:
-                self._release_all(tables, write=False)
+                self._release_all(tables, write=False, held=held)
                 # Install what the shared-lock scans learned (e.g.
                 # columns converted on the positional-map jump path,
                 # combination chunks) under the exclusive lock, after
@@ -529,17 +590,22 @@ class PostgresRawService:
                 # wastes what the scan already discovered.
                 self._install_deferred(deferred)
         else:
-            self._acquire_all(tables, write=True)
+            held = self._acquire_all(tables, write=True, root=root)
             try:
                 self._check_generations(tables, generations)
-                self._pump(plan, channel)
+                self._pump(plan, channel, root)
             finally:
-                self._release_all(tables, write=True)
+                self._release_all(tables, write=True, held=held)
 
         for _, state, _ in tables:
             metrics.rows_scanned += state.positional_map.n_rows
 
-    def _pump(self, plan: LogicalPlan, channel: BatchChannel) -> None:
+    def _pump(
+        self,
+        plan: LogicalPlan,
+        channel: BatchChannel,
+        root: Span | None = None,
+    ) -> None:
         """Drive the operator tree into the channel.
 
         A consumer hang-up (``put`` returning ``False``) or a flow-
@@ -547,15 +613,23 @@ class PostgresRawService:
         blocks run, so every scan still harvests the row prefix it
         completed — exactly like a serial scan abandoned by a LIMIT.
         """
+        n_batches = 0
         batches = plan.root.execute()
-        try:
-            for batch in batches:
-                if not channel.put(batch):
-                    break
-        finally:
-            closer = getattr(batches, "close", None)
-            if closer is not None:
-                closer()
+        with self.telemetry.tracer.span(root, "pump") as pump_span:
+            try:
+                for batch in batches:
+                    if not channel.put(batch):
+                        break
+                    n_batches += 1
+            finally:
+                closer = getattr(batches, "close", None)
+                if closer is not None:
+                    closer()
+                if pump_span is not None:
+                    pump_span.attrs["batches"] = n_batches
+        self.telemetry.registry.counter("stream_batches_total").inc(
+            n_batches
+        )
 
     def _install_deferred(
         self, deferred: list[tuple[RawScan, InstallPlan]]
@@ -623,18 +697,49 @@ class PostgresRawService:
                 self._ttfb_sum += ttfb
                 self._ttfb_count += 1
                 self._last_ttfb = ttfb
+        self.telemetry.tracer.finish(
+            handle.root, rows=cursor.rows_fetched
+        )
+        self.telemetry.note_query(
+            cursor.metrics,
+            trace_id=getattr(cursor, "trace_id", None),
+            sql=handle.sql,
+        )
 
-    @staticmethod
-    def _acquire_all(tables, write: bool) -> None:
+    def _acquire_all(
+        self, tables, write: bool, root: Span | None = None
+    ) -> list[float]:
         # Tables are pre-sorted by name: a global acquisition order makes
         # multi-table queries deadlock-free.
-        for _, _, lock in tables:
-            lock.acquire_write() if write else lock.acquire_read()
+        tracer = self.telemetry.tracer
+        registry = self.telemetry.registry
+        mode = "write" if write else "read"
+        held = []
+        for name, _, lock in tables:
+            waited = (
+                lock.acquire_write() if write else lock.acquire_read()
+            )
+            held.append(time.perf_counter())
+            registry.histogram(
+                "lock_wait_seconds", {"table": name, "mode": mode}
+            ).observe(waited)
+            tracer.add_span(
+                root, f"lock:{name}", waited, mode=mode
+            )
+        return held
 
-    @staticmethod
-    def _release_all(tables, write: bool) -> None:
-        for _, _, lock in reversed(tables):
+    def _release_all(
+        self, tables, write: bool, held: list[float] | None = None
+    ) -> None:
+        registry = self.telemetry.registry
+        mode = "write" if write else "read"
+        now = time.perf_counter()
+        for i, (name, _, lock) in reversed(list(enumerate(tables))):
             lock.release_write() if write else lock.release_read()
+            if held is not None and i < len(held):
+                registry.histogram(
+                    "lock_hold_seconds", {"table": name, "mode": mode}
+                ).observe(now - held[i])
 
     def _covered(self, scan: RawScan) -> bool:
         """True when a scan cannot touch raw-file structure discovery:
@@ -658,7 +763,12 @@ class PostgresRawService:
             return False
         return True
 
-    def _planner(self, metrics: QueryMetrics, scans: list[RawScan]) -> Planner:
+    def _planner(
+        self,
+        metrics: QueryMetrics,
+        scans: list[RawScan],
+        root: Span | None = None,
+    ) -> Planner:
         def scan_factory(
             table: str, columns: list[str], predicate: Expression | None
         ) -> RawScan:
@@ -676,6 +786,10 @@ class PostgresRawService:
                 config=self.config,
                 pool=self._scan_pool(),
             )
+            # Telemetry context for the parallel driver: worker spans
+            # are parented under this query's trace as chunks merge.
+            scan.telemetry = self.telemetry
+            scan.trace_parent = root
             scans.append(scan)
             return scan
 
@@ -735,6 +849,38 @@ class PostgresRawService:
                 name: lock.stats()
                 for name, lock in sorted(self._table_locks.items())
             }
+
+    def _collect_governor(self) -> dict[str, object] | None:
+        """Registry collector: governor stats (None without a budget)."""
+        return self.governor.stats() if self.governor is not None else None
+
+    def _collect_residency(self) -> list[dict[str, object]]:
+        """Registry collector: per-structure residency rows — from the
+        governor when one runs, derived from table states otherwise, so
+        silo-budget engines keep a live residency panel."""
+        if self.governor is not None:
+            return self.governor.residency()
+        residency = []
+        with self._registry_lock:
+            states = sorted(self._states.items())
+        for name, state in states:
+            residency.append(
+                {
+                    "table": name,
+                    "kind": "map",
+                    "nbytes": state.positional_map.used_bytes,
+                    "items": state.positional_map.chunk_count,
+                }
+            )
+            residency.append(
+                {
+                    "table": name,
+                    "kind": "cache",
+                    "nbytes": state.cache.used_bytes,
+                    "items": state.cache.entry_count,
+                }
+            )
+        return residency
 
     def cursor_stats(self) -> dict[str, object]:
         """Streaming-cursor gauges for the concurrency panel."""

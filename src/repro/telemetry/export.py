@@ -1,0 +1,43 @@
+"""Exporters: JSONL span dumps, slow-query log, JSON/Prometheus text.
+
+The registry and tracer hold everything in memory; this module is the
+door out — newline-delimited JSON for offline analysis (CI uploads the
+stress job's dumps as artifacts) and the two scrape formats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .registry import MetricsRegistry
+from .trace import Tracer
+
+
+def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
+    """Write one JSON object per line; returns the number written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def export_traces_jsonl(
+    tracer: Tracer, path: str | Path, n: int = 256
+) -> int:
+    """Dump the ``n`` most recent finished traces as JSONL."""
+    return write_jsonl(path, tracer.recent_traces(n))
+
+
+def snapshot_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """The full registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Alias of :meth:`MetricsRegistry.prometheus_text` for symmetry."""
+    return registry.prometheus_text(prefix)

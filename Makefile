@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test smoke serve serve-smoke bench bench-parallel bench-concurrent \
-	bench-streaming bench-wire bench-telemetry stress stress-process \
-	lint verify
+	bench-streaming bench-wire bench-telemetry bench-tokenizer stress \
+	stress-process lint verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -62,6 +62,13 @@ bench-wire:
 # trace-ring + slow-query JSONL sample into bench_artifacts/.
 bench-telemetry:
 	$(PYTHON) -m pytest benchmarks/bench_telemetry.py \
+		--benchmark-only --import-mode=importlib -q -s
+
+# Vectorized scan kernels vs the interpreted tokenize+parse path on
+# wide/narrow/string-heavy shapes; sweeps scan_kernels on and off and
+# asserts the kernels win (>= 3x on wide numeric at full scale).
+bench-tokenizer:
+	$(PYTHON) -m pytest benchmarks/bench_tokenizer.py \
 		--benchmark-only --import-mode=importlib -q -s
 
 # Heavier threaded stress run of the concurrent serving layer (the

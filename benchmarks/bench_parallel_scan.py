@@ -126,10 +126,15 @@ def test_parallel_scan_sweep(
     )
 
     serial_cold = records[0]["cold_s"]
+    serial_repeat = records[0]["repeat_s"]
     for r in records:
         # The adaptive repeat query must stay fast regardless of how the
-        # structures were built (serial or merged from chunks).
-        assert r["repeat_s"] < serial_cold
+        # structures were built (serial or merged from chunks).  Since
+        # the vectorized scan kernels collapsed the cold scan itself,
+        # "fast" is measured against the serial engine's repeat, not the
+        # cold scan: structures merged from parallel chunks must serve
+        # warm queries as well as serially-built ones.
+        assert r["repeat_s"] < serial_repeat * 2
     if CORES >= 2:
         # The acceptance check needs real cores: scan_workers=4 on the
         # process backend must beat the serial cold scan — provided the

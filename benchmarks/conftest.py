@@ -104,10 +104,22 @@ def emit_bench_artifact(name: str, record: dict) -> None:
         _print_baseline_delta(name, payload, baseline)
 
 
+#: Keys where bigger is better; a drop beyond the threshold draws a CI
+#: warning annotation (never a failure: hosted runners are noisy).
+_HIGHER_IS_BETTER = ("qps", "speedup")
+_REGRESSION_THRESHOLD_PCT = 15.0
+
+
 def _print_baseline_delta(name: str, current: dict, baseline: dict) -> None:
-    """Informational drift report against the committed baseline."""
+    """Informational drift report against the committed baseline.
+
+    Higher-is-better metrics (qps, speedups) that regress more than
+    ``_REGRESSION_THRESHOLD_PCT`` are flagged — as a GitHub
+    ``::warning::`` annotation under CI — but never fail the run.
+    """
     print(f"=== {name}: delta vs committed baseline (informational) ===")
-    if baseline.get("scale") != current.get("scale"):
+    comparable = baseline.get("scale") == current.get("scale")
+    if not comparable:
         print(
             f"  (baseline scale {baseline.get('scale')} != "
             f"run scale {current.get('scale')}; numbers not comparable)"
@@ -124,3 +136,24 @@ def _print_baseline_delta(name: str, current: dict, baseline: dict) -> None:
             continue
         delta = (value - base) / base * 100.0
         print(f"  {key}: {_fmt(value)} vs {_fmt(base)} ({delta:+.1f}%)")
+        regressed = (
+            comparable
+            and any(tag in key for tag in _HIGHER_IS_BETTER)
+            and delta < -_REGRESSION_THRESHOLD_PCT
+        )
+        if regressed:
+            _warn_regression(name, key, value, base, delta)
+
+
+def _warn_regression(
+    name: str, key: str, value: float, base: float, delta: float
+) -> None:
+    message = (
+        f"{name}: {key} regressed {delta:+.1f}% vs committed baseline "
+        f"({_fmt(value)} vs {_fmt(base)}); advisory only"
+    )
+    if os.environ.get("GITHUB_ACTIONS") == "true":
+        # GitHub workflow-command annotation; shows on the run summary.
+        print(f"::warning title=bench regression::{message}")
+    else:
+        print(f"  WARNING: {message}")

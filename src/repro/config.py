@@ -114,6 +114,21 @@ class PostgresRawConfig:
     #: raw file's fingerprint before every query and reconcile.
     auto_detect_updates: bool = True
 
+    #: Specialized vectorized scan kernels (:mod:`repro.kernels`) for
+    #: the tokenize+parse hot path of unquoted dialects: batch
+    #: delimiter search replaces the per-row ``str.split`` loop and
+    #: numeric columns convert straight from byte offsets.  Results are
+    #: identical to the interpreted path (property-tested); ``False``
+    #: restores the legacy tokenizer byte-for-byte.  Quoted dialects
+    #: always use the legacy state machine regardless of this knob.
+    scan_kernels: bool = True
+
+    #: Capacity of the per-engine :class:`repro.kernels.KernelCache`
+    #: (distinct (dialect, schema, attribute-span) signatures held
+    #: before LRU eviction).  Kernels are small; the default comfortably
+    #: covers many tables x many query shapes.
+    kernel_cache_entries: int = 64
+
     #: Number of workers for the parallel chunked raw scan
     #: (:mod:`repro.parallel`).  ``1`` (the default) keeps the serial
     #: scan path byte-for-byte unchanged; raise it on multi-core machines
@@ -261,6 +276,8 @@ class PostgresRawConfig:
             raise BudgetError("histogram_buckets must be positive")
         if self.scan_workers < 1:
             raise BudgetError("scan_workers must be >= 1")
+        if self.kernel_cache_entries < 1:
+            raise BudgetError("kernel_cache_entries must be >= 1")
         if self.parallel_chunk_bytes <= 0:
             raise BudgetError("parallel_chunk_bytes must be positive")
         if self.parallel_backend not in PARALLEL_BACKENDS:

@@ -94,6 +94,12 @@ class QueryMetrics:
     pm_chunk_hits: int = 0
     pm_chunk_misses: int = 0
 
+    #: Seconds spent building scan kernels (:mod:`repro.kernels`) on
+    #: kernel-cache misses.  Informational detail of the ``nodb``
+    #: bucket — the time itself is charged there, so the Figure 3
+    #: stack (and its ``unattributed_seconds`` invariant) is unchanged.
+    kernel_build_seconds: float = 0.0
+
     #: Parallel-scan accounting (see module docstring).
     parallel_scans: int = 0
     parallel_chunks: int = 0
@@ -185,6 +191,7 @@ class QueryMetrics:
             self.fields_tokenized += w.fields_tokenized
             self.fields_parsed_via_map += w.fields_parsed_via_map
             self.fields_converted += w.fields_converted
+            self.kernel_build_seconds += w.kernel_build_seconds
             breakdown = w.component_seconds()
             breakdown["rows"] = w.rows_scanned
             breakdown["fields_tokenized"] = w.fields_tokenized
@@ -215,6 +222,7 @@ class QueryMetrics:
             "fields_tokenized",
             "fields_parsed_via_map",
             "fields_converted",
+            "kernel_build_seconds",
             "cache_hits",
             "cache_misses",
             "pm_chunk_hits",

@@ -1,0 +1,46 @@
+"""Specialized vectorized scan kernels (the tokenize+parse hot path).
+
+"Code Generation Techniques for Raw Data Processing" shows that
+specializing the scan per (format, schema, accessed-columns) signature
+yields multi-fold raw-scan speedups.  This package is that idea applied
+to the interpreted inner loops of :mod:`repro.rawio.tokenizer` and
+:mod:`repro.datatypes`:
+
+* :class:`ContentBuffer` — one ``frombuffer`` view of the decoded file
+  plus byte<->char offset maps and cached delimiter positions;
+* :class:`ScanKernel` — per-signature vectorized tokenization (one
+  ``searchsorted`` + broadcast gather builds the whole offsets matrix)
+  and the positional-map jump's field-end computation;
+* :mod:`.convert` — batch int64/float64 parsing of whole column slices
+  with a null-mask pass, scalar fallback for rows failing validation;
+* :class:`KernelCache` — signature-keyed LRU of built kernels with
+  telemetry hit/miss/build-time counters.
+
+Quoted dialects keep the legacy RFC-4180 state machine — eligibility is
+decided per signature by :func:`kernel_supported`.  Results are
+property-tested identical to the legacy tokenizer (offsets, texts,
+error messages and converted values alike).
+"""
+
+from .cache import KernelCache, process_cache
+from .content import ContentBuffer
+from .convert import convert_span
+from .kernel import (
+    KernelRows,
+    KernelSignature,
+    ScanKernel,
+    kernel_supported,
+    make_signature,
+)
+
+__all__ = [
+    "ContentBuffer",
+    "KernelCache",
+    "KernelRows",
+    "KernelSignature",
+    "ScanKernel",
+    "convert_span",
+    "kernel_supported",
+    "make_signature",
+    "process_cache",
+]

@@ -1,0 +1,205 @@
+"""Scan kernels specialized per (dialect, schema, attribute-span).
+
+A :class:`ScanKernel` replaces the interpreted per-row inner loops of
+:mod:`repro.rawio.tokenizer` for unquoted dialects: tokenization becomes
+one ``searchsorted`` of the batch's row bounds against the content's
+sorted delimiter positions plus a broadcast gather that materializes the
+whole offsets matrix at once, instead of one ``str.split`` per row.
+Field texts are produced lazily (:class:`KernelRows`) only when a
+consumer actually needs Python strings — numeric columns convert
+straight from the offsets (:mod:`repro.kernels.convert`) and never
+build the per-row string lists at all.
+
+Quoted dialects are not eligible: the RFC-4180 state machine keeps the
+legacy path, selected per signature by :func:`kernel_supported`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datatypes import DataType
+from ..errors import RawDataError
+from ..rawio.dialect import CsvDialect
+from ..rawio.tokenizer import TokenizedRows
+from .content import ContentBuffer
+
+
+def kernel_supported(dialect: CsvDialect) -> bool:
+    """Kernel eligibility for a dialect.
+
+    Quoting needs the state machine (a delimiter inside quotes is not a
+    field boundary), and the byte-level masks assume a single-byte
+    delimiter.
+    """
+    return not dialect.quoting and ord(dialect.delimiter) < 128
+
+
+@dataclass(frozen=True)
+class KernelSignature:
+    """Identity of one specialized kernel (the :class:`KernelCache` key).
+
+    ``dtypes`` is the full schema's column types — two tables sharing a
+    dialect but not a schema must not share kernels once conversion is
+    specialized further (and the tuple is cheap to hash).
+    """
+
+    delimiter: str
+    null_token: str
+    dtypes: tuple[DataType, ...]
+    first_attr: int
+    last_attr: int
+    n_attrs: int
+
+
+def make_signature(
+    dialect: CsvDialect,
+    dtypes: tuple[DataType, ...],
+    first_attr: int,
+    last_attr: int,
+) -> KernelSignature:
+    return KernelSignature(
+        delimiter=dialect.delimiter,
+        null_token=dialect.null_token,
+        dtypes=dtypes,
+        first_attr=first_attr,
+        last_attr=last_attr,
+        n_attrs=len(dtypes),
+    )
+
+
+class KernelRows(TokenizedRows):
+    """:class:`TokenizedRows` whose field texts materialize lazily.
+
+    The offsets matrix is the primary product; :meth:`texts_of` slices
+    the decoded content on demand (cached per attribute), and the
+    row-major ``fields`` view exists only for compatibility with
+    consumers of the legacy tokenizer's by-product.
+    """
+
+    def __init__(
+        self,
+        first_attr: int,
+        last_attr: int,
+        offsets: np.ndarray,
+        text: str,
+    ) -> None:
+        self.row_from = 0
+        self.first_attr = first_attr
+        self.last_attr = last_attr
+        self.offsets = offsets
+        self._text = text
+        self._texts: dict[int, list[str]] = {}
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.offsets.shape[0])
+
+    @property
+    def fields(self) -> list[list[str]]:
+        cols = [
+            self.texts_of(a)
+            for a in range(self.first_attr, self.last_attr + 1)
+        ]
+        return [list(row) for row in zip(*cols)]
+
+    def texts_of(self, attr: int) -> list[str]:
+        j = attr - self.first_attr
+        cached = self._texts.get(j)
+        if cached is None:
+            text = self._text
+            starts = self.offsets[:, j].tolist()
+            ends = (self.offsets[:, j + 1] - 1).tolist()
+            cached = [text[a:b] for a, b in zip(starts, ends)]
+            self._texts[j] = cached
+        return cached
+
+
+class ScanKernel:
+    """One specialized scan kernel: vectorized tokenize + field ends."""
+
+    __slots__ = ("signature", "span", "runs_to_line_end", "delimiter")
+
+    def __init__(self, signature: KernelSignature) -> None:
+        self.signature = signature
+        self.span = signature.last_attr - signature.first_attr
+        self.runs_to_line_end = signature.last_attr == signature.n_attrs - 1
+        self.delimiter = signature.delimiter
+
+    def tokenize(
+        self,
+        cbuf: ContentBuffer,
+        field_starts: np.ndarray,
+        line_ends: np.ndarray,
+    ) -> KernelRows:
+        """Vectorized equivalent of ``tokenize_span`` for this signature.
+
+        Produces the identical offsets matrix (and, on malformed input,
+        the identical :class:`RawDataError`): per-row delimiter counts
+        come from two ``searchsorted`` calls against the content's
+        sorted delimiter positions, and one fancy-indexed gather fills
+        every row's field starts at once.
+        """
+        sig = self.signature
+        span = self.span
+        starts = np.ascontiguousarray(field_starts, dtype=np.int64)
+        ends = np.ascontiguousarray(line_ends, dtype=np.int64)
+        n = len(starts)
+        offsets = np.empty((n, span + 2), dtype=np.int64)
+        offsets[:, 0] = starts
+        if n == 0:
+            return KernelRows(
+                sig.first_attr, sig.last_attr, offsets, cbuf.text
+            )
+        dpos = cbuf.char_positions(self.delimiter)
+        lo = np.searchsorted(dpos, starts, side="left")
+        hi = np.searchsorted(dpos, ends, side="left")
+        counts = hi - lo  # delimiters inside each row's segment
+        bad = (
+            counts != span
+            if self.runs_to_line_end
+            else counts < span + 1
+        )
+        if bad.any():
+            r = int(np.argmax(bad))
+            found = int(counts[r]) + 1
+            if self.runs_to_line_end:
+                raise RawDataError(
+                    f"row {r}: expected {span + 1} fields from attribute "
+                    f"{sig.first_attr}, found {found}",
+                    row=r,
+                )
+            raise RawDataError(
+                f"row {r}: expected at least {span + 2} fields from "
+                f"attribute {sig.first_attr}, found {found}",
+                row=r,
+            )
+        gather = span if self.runs_to_line_end else span + 1
+        if gather:
+            cols = lo[:, None] + np.arange(gather, dtype=np.int64)[None, :]
+            offsets[:, 1 : gather + 1] = dpos[cols] + 1
+        if self.runs_to_line_end:
+            offsets[:, span + 1] = ends + 1
+        return KernelRows(sig.first_attr, sig.last_attr, offsets, cbuf.text)
+
+    def field_ends(
+        self,
+        cbuf: ContentBuffer,
+        starts: np.ndarray,
+        line_ends: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ``field_end``: first delimiter in [start, line_end).
+
+        The positional-map jump path for an attribute whose successor
+        is not mapped — the legacy path scans with ``str.find`` per row.
+        """
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        ends = np.ascontiguousarray(line_ends, dtype=np.int64)
+        dpos = cbuf.char_positions(self.delimiter)
+        if len(dpos) == 0:
+            return ends
+        i = np.searchsorted(dpos, starts, side="left")
+        cand = dpos[np.minimum(i, len(dpos) - 1)]
+        return np.where((i < len(dpos)) & (cand < ends), cand, ends)

@@ -38,6 +38,7 @@ def governor_report(service: PostgresRawService) -> dict[str, object]:
     return {
         "stats": collectors.get("governor"),
         "residency": collectors.get("residency") or [],
+        "kernels": collectors.get("kernels"),
     }
 
 
@@ -61,6 +62,14 @@ def render_governor_panel(service: PostgresRawService, width: int = 40) -> str:
         )
     else:
         lines.append("(no global budget: per-table silos in effect)")
+    kernels = report.get("kernels")
+    if kernels:
+        lines.append(
+            f"scan kernels: {kernels['entries']}/{kernels['capacity']} "
+            f"cached  hits: {kernels['hits']}  misses: {kernels['misses']}"
+            f"  evictions: {kernels['evictions']}"
+            f"  build: {kernels['build_seconds'] * 1000:.2f} ms"
+        )
     lines.append("")
     lines.append("per-table residency:")
     total = sum(r["nbytes"] for r in residency) or 1

@@ -42,6 +42,8 @@ from __future__ import annotations
 import os
 from typing import Iterable, Iterator, TYPE_CHECKING
 
+import numpy as np
+
 from ..batch import Batch
 from ..core.metrics import QueryMetrics, Stopwatch
 from ..errors import RawDataError, ScanWorkerError
@@ -245,6 +247,18 @@ class ParallelScanDriver:
         # streaming dispatch pulls them as the window frees up) bounds
         # how many of those text copies exist at once.
         share = cfg.parallel_backend == "thread"
+        kcontent = None
+        if share and scan._kernels() is not None:
+            # Threads also share one byte-level kernel view: without it
+            # every chunk worker would re-encode the whole decoded
+            # content to UTF-8 and rebuild the delimiter-position index
+            # — O(file) work per *chunk*, which at 64 KiB chunks costs
+            # more than the scan itself.  The lazy caches are warmed
+            # here, serially, so the workers' concurrent reads race on
+            # nothing.
+            kcontent = scan._kernel_content()
+            kcontent.char_positions(scan.dialect.delimiter)
+            kcontent.char_to_byte(np.zeros(0, dtype=np.int64))
 
         def make_task(i: int, r0: int, r1: int) -> ChunkTask:
             c0 = 0 if share else int(bounds[r0])
@@ -253,6 +267,7 @@ class ParallelScanDriver:
             if share:
                 task.text = content
                 task.local_bounds = bounds[r0 : r1 + 1]
+                task.kernel_content = kcontent
             else:
                 c1 = min(int(bounds[r1]), len(content))
                 task.text = content[c0:c1]

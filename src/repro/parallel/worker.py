@@ -33,6 +33,7 @@ from ..config import PostgresRawConfig
 from ..core.metrics import BreakdownComponent, QueryMetrics
 from ..core.raw_scan import RawScan, RawTableState
 from ..errors import RawDataError, ScanWorkerError
+from ..kernels import ContentBuffer
 from ..rawio.dialect import CsvDialect
 from ..rawio.reader import decode_raw
 from ..rawio.tokenizer import build_line_index
@@ -71,6 +72,12 @@ class ChunkTask:
     anchor_chunks: list[tuple[tuple[int, ...], np.ndarray]] = field(
         default_factory=list
     )
+    #: Thread backend only: the driver's byte-level content view, shared
+    #: so workers do not re-encode the whole file (and rebuild delimiter
+    #: positions) once per chunk.  Never set on process tasks — the
+    #: buffer must not cross pickling; those workers build their own
+    #: over their chunk-local text.
+    kernel_content: ContentBuffer | None = None
 
 
 @dataclass
@@ -188,6 +195,8 @@ def _scan_chunk(task: ChunkTask) -> ChunkResult:
         collect_stats=task.collect_stats,
     )
     scan._content = content
+    if task.kernel_content is not None:
+        scan._kcontent = task.kernel_content
 
     if task.local_bounds is not None:
         bounds = np.asarray(task.local_bounds, dtype=np.int64)

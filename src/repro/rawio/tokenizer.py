@@ -30,16 +30,22 @@ from .dialect import CsvDialect
 
 
 def _newline_positions(content: str) -> np.ndarray:
-    """Offsets of every ``\\n`` in ``content`` (vectorized for ASCII)."""
+    """Offsets of every ``\\n`` in ``content`` (always vectorized).
+
+    Non-ASCII content is scanned over its UTF-8 encoding: ``\\n`` never
+    appears inside a multi-byte sequence (continuation bytes all have
+    the high bit set), so the byte positions are exact and a cumulative
+    count of continuation bytes maps them back to character offsets.
+    """
     if content.isascii():
         buf = np.frombuffer(content.encode("ascii"), dtype=np.uint8)
         return np.flatnonzero(buf == 0x0A).astype(np.int64)
-    positions = []
-    pos = content.find("\n")
-    while pos != -1:
-        positions.append(pos)
-        pos = content.find("\n", pos + 1)
-    return np.asarray(positions, dtype=np.int64)
+    buf = np.frombuffer(content.encode("utf-8"), dtype=np.uint8)
+    newline_bytes = np.flatnonzero(buf == 0x0A)
+    # continuation[i] = count of UTF-8 continuation bytes in buf[:i+1];
+    # byte offset minus that count is the character offset.
+    continuation = np.cumsum((buf & 0xC0) == 0x80, dtype=np.int64)
+    return newline_bytes - continuation[newline_bytes]
 
 
 def build_line_index(content: str, has_header: bool = False) -> np.ndarray:

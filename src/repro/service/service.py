@@ -66,6 +66,7 @@ from ..errors import (
     ServiceError,
 )
 from ..executor.result import Cursor, QueryResult
+from ..kernels import KernelCache
 from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
 from ..rawio.sniffer import infer_schema
 from ..sql.ast import Expression, SelectStatement
@@ -182,12 +183,19 @@ class PostgresRawService:
         #: monitoring panels render from.
         self.telemetry = Telemetry.from_config(self.config)
         registry = self.telemetry.registry
+        #: Engine-owned cache of specialized scan kernels
+        #: (:mod:`repro.kernels`), shared by every scan this service
+        #: plans; hit/miss/build counters feed the registry.
+        self.kernel_cache = KernelCache(
+            self.config.kernel_cache_entries, registry=registry
+        )
         registry.register_collector("scheduler", self.scheduler.stats)
         registry.register_collector("cursors", self.cursor_stats)
         registry.register_collector("locks", self.lock_stats)
         registry.register_collector("governor", self._collect_governor)
         registry.register_collector("residency", self._collect_residency)
         registry.register_collector("traces", self.telemetry.tracer.stats)
+        registry.register_collector("kernels", self.kernel_cache.stats)
         self._pool = None
         self._pool_lock = threading.Lock()
         self._session_ids = itertools.count(1)
@@ -790,6 +798,7 @@ class PostgresRawService:
             # are parented under this query's trace as chunks merge.
             scan.telemetry = self.telemetry
             scan.trace_parent = root
+            scan.kernel_cache = self.kernel_cache
             scans.append(scan)
             return scan
 

@@ -84,6 +84,10 @@ class Telemetry:
             "time_to_first_batch": metrics.time_to_first_batch,
             "rows_scanned": metrics.rows_scanned,
             "breakdown": breakdown,
+            # Detail of breakdown["nodb"], where kernel builds are
+            # charged — recorded separately so the breakdown keys keep
+            # summing (with "unattributed") to total_seconds exactly.
+            "kernel_build_seconds": metrics.kernel_build_seconds,
             "span_tree": self.tracer.trace_dict(trace_id),
         }
         with self._slow_lock:

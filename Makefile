@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test smoke serve serve-smoke bench bench-parallel bench-concurrent \
-	bench-streaming bench-wire bench-telemetry bench-tokenizer stress \
-	stress-process lint verify
+	bench-streaming bench-wire bench-telemetry bench-tokenizer bench-mv \
+	stress stress-process lint verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -62,6 +62,13 @@ bench-wire:
 # trace-ring + slow-query JSONL sample into bench_artifacts/.
 bench-telemetry:
 	$(PYTHON) -m pytest benchmarks/bench_telemetry.py \
+		--benchmark-only --import-mode=importlib -q -s
+
+# Adaptive aggregate cache: cold / warm-maps / mv-hit / mv-partial qps
+# on one table (asserts MV hits >= 5x warm positional maps at full
+# scale, MV answers row-identical to raw, accounting balanced).
+bench-mv:
+	$(PYTHON) -m pytest benchmarks/bench_mv_cache.py \
 		--benchmark-only --import-mode=importlib -q -s
 
 # Vectorized scan kernels vs the interpreted tokenize+parse path on

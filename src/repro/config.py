@@ -250,6 +250,32 @@ class PostgresRawConfig:
     #: breakdown and span tree (``None`` disables the log).
     slow_query_s: float | None = None
 
+    #: Master switch for the adaptive materialized-aggregate cache
+    #: (:mod:`repro.mv`).  Enabled, the planner consults the MV catalog
+    #: for aggregate queries (exact hit, wider-MV partial
+    #: re-aggregation, raw fallback) and the workload analyzer mines
+    #: query signatures; disabled, planner and service behave exactly
+    #: as before the subsystem existed.
+    mv_enabled: bool = True
+
+    #: Auto-materialization: when a query signature has been planned
+    #: ``mv_min_repeats`` times, its next raw execution captures the
+    #: finished aggregate as a governed MV.  Off (the default), the
+    #: analyzer still mines and *suggests*; materialization happens only
+    #: through explicit ``service.build_mv(sql)``.
+    mv_auto: bool = False
+
+    #: How many times a signature must repeat before ``mv_auto``
+    #: captures it.
+    mv_min_repeats: int = 3
+
+    #: Largest fraction of the governing byte budget
+    #: (``memory_budget``, or ``cache_budget`` in silo mode) that
+    #: materialized aggregates may occupy; a single capture larger than
+    #: this is rejected outright, and in silo mode the MV store evicts
+    #: its lowest benefit-per-byte entries to stay under it.
+    mv_max_bytes_fraction: float = 0.25
+
     #: Half-life (seconds) for decaying the ``benefit_seconds`` signal
     #: of governed structures: a positional chunk or cache entry that
     #: has not been touched for one half-life counts at half its
@@ -324,6 +350,10 @@ class PostgresRawConfig:
             raise BudgetError("stats_interval_s must be > 0")
         if self.slow_query_s is not None and self.slow_query_s <= 0:
             raise BudgetError("slow_query_s must be > 0 (or None)")
+        if self.mv_min_repeats < 1:
+            raise BudgetError("mv_min_repeats must be >= 1")
+        if not (0.0 < self.mv_max_bytes_fraction <= 1.0):
+            raise BudgetError("mv_max_bytes_fraction must be in (0, 1]")
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.

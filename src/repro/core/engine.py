@@ -158,6 +158,10 @@ class PostgresRaw:
     def execute_stream(self, stmt: SelectStatement) -> Cursor:
         return self._session.execute_stream(stmt)
 
+    def build_mv(self, sql: str) -> dict[str, object]:
+        """Materialize the aggregate result of ``sql`` right now."""
+        return self.service.build_mv(sql)
+
     def explain(self, sql: str) -> str:
         """The physical plan as indented text (EXPLAIN)."""
         return self.service.explain(sql)

@@ -9,6 +9,7 @@ scan (conventional baselines) and never know which.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -282,7 +283,7 @@ class _Accumulator:
                 return
             self.distinct_set.add(value)
         self.count += 1
-        if self.func in ("sum", "avg"):
+        if self.func in ("sum", "sum0", "avg"):
             self.total += value
         elif self.func == "min":
             if self.minimum is None or value < self.minimum:
@@ -294,6 +295,11 @@ class _Accumulator:
     def result(self, dtype: DataType) -> object:
         if self.func == "count":
             return self.count
+        if self.func == "sum0":
+            # SUM defaulting to 0 over empty input: the re-aggregation
+            # of stored COUNT components must yield 0, not NULL, when
+            # every MV group is filtered away (matching raw COUNT).
+            return int(self.total) if dtype is DataType.INTEGER else self.total
         if self.count == 0:
             return None
         if self.func == "sum":
@@ -342,8 +348,8 @@ class HashAggregate(Operator):
         arg_type = infer_type(spec.arg, child_types)
         if spec.func == "avg":
             return DataType.FLOAT
-        if spec.func in ("sum", "min", "max"):
-            if spec.func == "sum" and not arg_type.is_numeric:
+        if spec.func in ("sum", "sum0", "min", "max"):
+            if spec.func in ("sum", "sum0") and not arg_type.is_numeric:
                 raise ExecutionError("SUM expects a numeric argument")
             return arg_type
         raise ExecutionError(f"unknown aggregate {spec.func!r}")
@@ -410,6 +416,103 @@ class HashAggregate(Operator):
         keys = ", ".join(n for n, __ in self.group_items) or "<global>"
         aggs = ", ".join(f"{s.func}->{s.name}" for s in self.aggregates)
         return f"HashAggregate [keys: {keys}; aggs: {aggs}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class MVScan(Operator):
+    """Serve a stored materialized-aggregate batch; no raw-file scan."""
+
+    def __init__(
+        self,
+        batch: Batch,
+        types: dict[str, DataType],
+        label: str = "MVScan",
+    ) -> None:
+        self._batch = batch
+        self._types = types
+        self._label = label
+
+    def execute(self) -> Iterator[Batch]:
+        yield self._batch
+
+    def output_types(self) -> dict[str, DataType]:
+        return dict(self._types)
+
+    def describe(self) -> str:
+        return self._label
+
+
+class MVCapture(Operator):
+    """Tee a finished aggregate toward materialization.
+
+    Wraps the raw ``HashAggregate``, timing the child's consumption —
+    the scan+aggregate seconds a future MV hit saves, which becomes the
+    entry's governed benefit — and hands the complete result to
+    ``sink(batch, elapsed_seconds)``.  Downstream sees the batch minus
+    ``drop`` columns (capture-only AVG components the query itself did
+    not request), so query output is unchanged by the capture.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        sink: Callable[[Batch, float], None],
+        drop: tuple[str, ...] = (),
+        label: str = "MVCapture",
+    ) -> None:
+        self.child = child
+        self._sink = sink
+        self._drop = tuple(drop)
+        self._label = label
+
+    def execute(self) -> Iterator[Batch]:
+        start = time.perf_counter()
+        batches = list(self.child.execute())
+        elapsed = time.perf_counter() - start
+        if len(batches) == 1:
+            full = batches[0]
+        elif not batches:
+            types = self.child.output_types()
+            full = Batch(
+                {
+                    name: ColumnVector.from_pylist(dtype, [])
+                    for name, dtype in types.items()
+                }
+            )
+        else:
+            names = batches[0].column_names()
+            full = Batch(
+                {
+                    name: ColumnVector.concat(
+                        [b.column(name) for b in batches]
+                    )
+                    for name in names
+                }
+            )
+        self._sink(full, elapsed)
+        if self._drop:
+            yield Batch(
+                {
+                    name: vector
+                    for name, vector in full.columns.items()
+                    if name not in self._drop
+                },
+                num_rows=full.num_rows,
+            )
+        else:
+            yield full
+
+    def output_types(self) -> dict[str, DataType]:
+        return {
+            name: dtype
+            for name, dtype in self.child.output_types().items()
+            if name not in self._drop
+        }
+
+    def describe(self) -> str:
+        return self._label
 
     def children(self) -> list[Operator]:
         return [self.child]

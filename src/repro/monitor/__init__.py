@@ -25,7 +25,11 @@ from .governor import (
     render_governor_panel,
 )
 from .panel import SystemMonitorPanel
-from .usage import render_attribute_usage
+from .usage import (
+    query_signature_stats,
+    render_attribute_usage,
+    render_query_signatures,
+)
 
 __all__ = [
     "BreakdownReport",
@@ -38,5 +42,7 @@ __all__ = [
     "render_concurrency_panel",
     "render_governor_panel",
     "SystemMonitorPanel",
+    "query_signature_stats",
     "render_attribute_usage",
+    "render_query_signatures",
 ]

@@ -39,6 +39,7 @@ def governor_report(service: PostgresRawService) -> dict[str, object]:
         "stats": collectors.get("governor"),
         "residency": collectors.get("residency") or [],
         "kernels": collectors.get("kernels"),
+        "mv": collectors.get("mv"),
     }
 
 
@@ -70,6 +71,22 @@ def render_governor_panel(service: PostgresRawService, width: int = 40) -> str:
             f"  evictions: {kernels['evictions']}"
             f"  build: {kernels['build_seconds'] * 1000:.2f} ms"
         )
+    mv = report.get("mv")
+    if mv:
+        lines.append(
+            f"aggregate cache: {mv['mvs']} MVs / "
+            f"{mv['bytes'] / 1024:.0f} KiB  hits: {mv['hits']}"
+            f" (+{mv['partial_hits']} partial)  misses: {mv['misses']}"
+            f"  builds: {mv['builds']}  evictions: {mv['evictions']}"
+            f"  invalidated: {mv['invalidations']}"
+        )
+        for entry in mv.get("entries", []):
+            lines.append(
+                f"  mv#{entry['mv_id']} {entry['signature']}  "
+                f"{entry['rows']} rows / {entry['nbytes'] / 1024:.1f} KiB"
+                f"  hits {entry['hits']}+{entry['partial_hits']}p"
+                f"  benefit {entry['benefit_seconds'] * 1000:.1f} ms"
+            )
     lines.append("")
     lines.append("per-table residency:")
     total = sum(r["nbytes"] for r in residency) or 1

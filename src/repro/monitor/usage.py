@@ -1,8 +1,12 @@
-"""Attribute usage statistics.
+"""Workload usage statistics.
 
 "we provide usage statistics regarding the accessed attributes of the
 raw data file" — per-attribute query-touch counts, rendered standalone
-(the panel embeds the same data)."""
+(the panel embeds the same data).  The same mining now extends one
+level up to whole query shapes: :func:`query_signature_stats` ranks
+mined aggregate signatures by benefit-per-byte — the seconds a
+materialized aggregate would save per repeat, divided by its estimated
+result size — the same currency the memory governor evicts by."""
 
 from __future__ import annotations
 
@@ -28,4 +32,39 @@ def render_attribute_usage(state: RawTableState, width: int = 30) -> str:
     for name, count in counts.items():
         bar = "#" * max(1, int(count / peak * width))
         lines.append(f"{name.rjust(name_width)} {bar} {count}")
+    return "\n".join(lines)
+
+
+def query_signature_stats(service, limit: int = 10) -> list[dict[str, object]]:
+    """Mined aggregate-query shapes ranked by benefit-per-byte.
+
+    Each row carries the signature label, how often the planner saw it,
+    observed raw vs MV-served cost, the statistics-estimated result
+    size and its materialization status (``materialized`` / candidate /
+    cold).  Empty when ``mv_enabled=False``.
+    """
+    mv = getattr(service, "mv", None)
+    if mv is None:
+        return []
+    materialized = {e.signature for e in mv.catalog.entries()}
+    return mv.analyzer.suggestions(
+        estimator=mv.estimate_result_bytes,
+        materialized=materialized,
+        limit=limit,
+    )
+
+
+def render_query_signatures(service, limit: int = 10) -> str:
+    """The mined workload as an ASCII table (panel embeds the same)."""
+    rows = query_signature_stats(service, limit=limit)
+    if not rows:
+        return "(no aggregate signatures mined yet)"
+    lines = ["signature  repeats  raw-ms  served-ms  est-KiB  status"]
+    for row in rows:
+        lines.append(
+            f"{row['signature']}  x{row['repeats']}  "
+            f"{row['mean_raw_seconds'] * 1000:.2f}  "
+            f"{row['mean_served_seconds'] * 1000:.2f}  "
+            f"{row['est_result_bytes'] / 1024:.1f}  {row['status']}"
+        )
     return "\n".join(lines)

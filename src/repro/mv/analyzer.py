@@ -1,0 +1,203 @@
+"""Workload mining: which aggregates deserve materialization?
+
+The NoDB thesis one level up: positional maps and caches are built from
+the byte ranges queries touch; the analyzer applies the same adaptive
+logic to *query shapes*.  Every planned aggregate query records its
+:class:`repro.mv.signature.QuerySignature`; every raw (non-MV-served)
+completion records its observed cost from ``QueryMetrics``.  Candidates
+are ranked by **benefit-per-byte** —
+
+    seconds saved per repeat / estimated result bytes
+
+— the exact currency the :class:`repro.service.MemoryGovernor` evicts
+by, so a suggestion's rank predicts how well the resulting MV will
+compete against positional-map chunks and cache entries once resident.
+
+``mv_auto=True`` closes the loop: a signature planned ``mv_min_repeats``
+times is captured on its next raw execution.  Explicit
+``service.build_mv(sql)`` uses the same machinery with a force flag
+(which also suppresses serving for that signature, so a wider partial
+match cannot shadow the build).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .signature import QuerySignature
+
+#: Fallback result-size estimate when table statistics cannot price a
+#: candidate (no distinct counts yet): one typical aggregate batch.
+DEFAULT_RESULT_BYTES = 4096
+
+
+@dataclass
+class SignatureStats:
+    """Mined history of one query shape."""
+
+    signature: QuerySignature
+    #: Times the planner saw this shape (hits and misses alike).
+    repeats: int = 0
+    #: Completed executions that took the raw path.
+    raw_runs: int = 0
+    raw_seconds_total: float = 0.0
+    #: Completed executions served from an MV (exact or partial).
+    served_runs: int = 0
+    served_seconds_total: float = 0.0
+    last_seen_unix: float = field(default_factory=time.time)
+
+    def mean_raw_seconds(self) -> float:
+        return self.raw_seconds_total / self.raw_runs if self.raw_runs else 0.0
+
+    def mean_served_seconds(self) -> float:
+        if not self.served_runs:
+            return 0.0
+        return self.served_seconds_total / self.served_runs
+
+
+class WorkloadAnalyzer:
+    """Signature frequencies, observed costs, and capture decisions."""
+
+    def __init__(self, min_repeats: int, auto: bool) -> None:
+        self.min_repeats = min_repeats
+        self.auto = auto
+        self._lock = threading.Lock()
+        self._stats: dict[QuerySignature, SignatureStats] = {}
+        self._forced: dict[QuerySignature, int] = {}
+
+    # ------------------------------------------------------------------
+    # Mining (plan time + retire time).
+    # ------------------------------------------------------------------
+
+    def note_planned(self, sig: QuerySignature) -> int:
+        """Record one planned occurrence; returns the repeat count."""
+        with self._lock:
+            stats = self._stats.get(sig)
+            if stats is None:
+                stats = SignatureStats(sig)
+                self._stats[sig] = stats
+            stats.repeats += 1
+            stats.last_seen_unix = time.time()
+            return stats.repeats
+
+    def note_completed(
+        self, sig: QuerySignature, decision: str | None, seconds: float
+    ) -> None:
+        """Record one finished execution's observed cost.
+
+        ``decision`` is the plan's MV verdict: ``"exact"``/``"partial"``
+        executions measure the served cost; anything else measures the
+        raw scan+aggregate cost an MV would save.
+        """
+        with self._lock:
+            stats = self._stats.get(sig)
+            if stats is None:
+                stats = SignatureStats(sig)
+                self._stats[sig] = stats
+            if decision in ("exact", "partial"):
+                stats.served_runs += 1
+                stats.served_seconds_total += seconds
+            else:
+                stats.raw_runs += 1
+                stats.raw_seconds_total += seconds
+
+    def observed_seconds(self, sig: QuerySignature) -> float:
+        """Mean raw cost of this shape (0.0 when never run raw)."""
+        with self._lock:
+            stats = self._stats.get(sig)
+            return stats.mean_raw_seconds() if stats is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Capture decisions.
+    # ------------------------------------------------------------------
+
+    def force(self, sig: QuerySignature) -> None:
+        """Pin a signature for capture-on-next-execution (build_mv)."""
+        with self._lock:
+            self._forced[sig] = self._forced.get(sig, 0) + 1
+
+    def unforce(self, sig: QuerySignature) -> None:
+        with self._lock:
+            count = self._forced.get(sig, 0) - 1
+            if count <= 0:
+                self._forced.pop(sig, None)
+            else:
+                self._forced[sig] = count
+
+    def is_forced(self, sig: QuerySignature) -> bool:
+        with self._lock:
+            return sig in self._forced
+
+    def should_capture(
+        self, sig: QuerySignature, already_materialized: bool
+    ) -> bool:
+        with self._lock:
+            if sig in self._forced:
+                return not already_materialized
+            if not self.auto or already_materialized:
+                return False
+            stats = self._stats.get(sig)
+            return stats is not None and stats.repeats >= self.min_repeats
+
+    # ------------------------------------------------------------------
+    # Ranking / suggestions.
+    # ------------------------------------------------------------------
+
+    def suggestions(
+        self,
+        estimator=None,
+        materialized=frozenset(),
+        limit: int = 10,
+    ) -> list[dict[str, object]]:
+        """Candidates ranked by benefit-per-byte, best first.
+
+        ``estimator(sig) -> int | None`` prices a candidate's result
+        bytes (the runtime wires table statistics in);
+        ``materialized`` signatures are reported with their status
+        instead of re-suggested.
+        """
+        with self._lock:
+            rows = []
+            for sig, stats in self._stats.items():
+                est_bytes = None
+                if estimator is not None:
+                    est_bytes = estimator(sig)
+                if est_bytes is None:
+                    est_bytes = DEFAULT_RESULT_BYTES
+                saved = stats.mean_raw_seconds()
+                rows.append(
+                    {
+                        "signature": sig.label(),
+                        "table": sig.table,
+                        "repeats": stats.repeats,
+                        "raw_runs": stats.raw_runs,
+                        "served_runs": stats.served_runs,
+                        "mean_raw_seconds": round(saved, 6),
+                        "mean_served_seconds": round(
+                            stats.mean_served_seconds(), 6
+                        ),
+                        "est_result_bytes": est_bytes,
+                        "benefit_per_byte": saved / max(est_bytes, 1),
+                        "status": (
+                            "materialized"
+                            if sig in materialized
+                            else "candidate"
+                            if stats.repeats >= self.min_repeats
+                            else "cold"
+                        ),
+                    }
+                )
+            rows.sort(
+                key=lambda r: (
+                    r["status"] == "materialized",
+                    -r["benefit_per_byte"] * r["repeats"],
+                    -r["repeats"],
+                )
+            )
+            return rows[:limit]
+
+    def signature_count(self) -> int:
+        with self._lock:
+            return len(self._stats)

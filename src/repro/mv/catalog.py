@@ -1,0 +1,431 @@
+"""Governed storage and fuzzy matching of materialized aggregates.
+
+A :class:`MaterializedAggregate` is one captured ``HashAggregate``
+output, stored as a single :class:`repro.batch.Batch` whose columns are
+keyed by *canonical* names: each dimension column by its normalized
+SQL (``region``, ``(a % 10)``), each aggregate by ``"func:arg"``
+(``sum:amount``, ``count:*``).  An AVG capture also stores its
+``sum:``/``count:`` components, so a stored MV can later serve any
+re-aggregatable subset of its function family.
+
+Matching (:meth:`MVCatalog.match`) is the AppLovin-style ladder:
+
+* **exact** — same dims, same filters, every requested aggregate
+  stored as a final column: serve the batch as-is (bit-identical to
+  the raw path, including AVG).
+* **partial** — the MV is *wider*: its dims are a superset of the
+  query's, its filters a subset (the leftover conjuncts must touch
+  only MV dimension columns, so they can be applied to the stored
+  groups), and every requested aggregate re-derivable from stored
+  components (COUNT/SUM via summation, MIN/MAX via min/max, AVG as
+  ``SUM(sum)/SUM(count)``).
+* otherwise ``None`` — the planner falls through to the raw path.
+
+Governance: each table's MVs form one :class:`GovernedStructure`
+member inside the engine's :class:`repro.service.MemoryGovernor`
+(kind ``"mv"``), valued at ``benefit_seconds / nbytes`` like map
+chunks and cache entries — the benefit being the measured
+scan+aggregate seconds the capture replaced.  Without a governor the
+catalog runs its own silo capped at ``mv_max_bytes_fraction x
+cache_budget``, evicting by the same decayed density.  Appends,
+rewrites and drops invalidate generation-style through the service's
+per-table write path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..batch import Batch
+from ..datatypes import DataType
+from .signature import QuerySignature
+
+#: Which stored component serves a partial re-aggregation of ``func``.
+#: COUNT re-aggregates with the internal ``sum0`` (empty input is 0,
+#: not NULL — matching raw COUNT over zero qualifying rows).
+REAGG_FUNC = {"count": "sum0", "sum": "sum", "min": "min", "max": "max"}
+
+
+def column_name(func: str, arg: str) -> str:
+    """Canonical stored-column name of one aggregate component."""
+    return f"{func}:{arg}"
+
+
+@dataclass
+class MaterializedAggregate:
+    """One governed, generation-stamped captured aggregate."""
+
+    mv_id: int
+    signature: QuerySignature
+    #: Canonical dim column names (== ``signature.dims``).
+    dims: tuple[str, ...]
+    #: ``(func, arg) -> stored column name`` for every stored final
+    #: and component column.
+    columns: dict[tuple[str, str], str]
+    batch: Batch
+    types: dict[str, DataType]
+    nbytes: int
+    #: Table generation at install; bumped generations invalidate.
+    generation: int
+    #: Measured scan+aggregate seconds the capture replaced — the
+    #: seconds a future hit saves (the governor's benefit signal).
+    benefit_seconds: float
+    build_seconds: float
+    created_unix: float
+    hits: int = 0
+    partial_hits: int = 0
+    last_used: int = 0
+    last_used_ts: float = field(default_factory=time.monotonic)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "mv_id": self.mv_id,
+            "table": self.signature.table,
+            "signature": self.signature.label(),
+            "dims": list(self.dims),
+            "rows": self.batch.num_rows,
+            "nbytes": self.nbytes,
+            "hits": self.hits,
+            "partial_hits": self.partial_hits,
+            "benefit_seconds": round(self.benefit_seconds, 6),
+            "benefit_per_byte": self.benefit_seconds / max(self.nbytes, 1),
+        }
+
+
+@dataclass
+class MVMatch:
+    """One serve decision handed to the planner."""
+
+    entry: MaterializedAggregate
+    kind: str  # "exact" | "partial"
+    #: Query conjuncts (normalized SQL) the MV has *not* applied;
+    #: the planner filters the stored groups by them (partial only).
+    residual_filters: tuple[str, ...] = ()
+
+
+class _TableMVs:
+    """Per-table MV container; the governor-facing membership unit.
+
+    Satisfies :class:`repro.service.governor.GovernedStructure`, so a
+    table's MVs are evicted (and ``unregister_table``-released) exactly
+    like its positional-map chunks and cache entries.  All mutation
+    happens under the owning catalog's lock — which *is* the governor's
+    lock when one is attached, preserving the "one lock serializes
+    budget decisions and container mutations" invariant.
+    """
+
+    def __init__(self, catalog: "MVCatalog", table: str) -> None:
+        self._catalog = catalog
+        self.table = table
+        self.entries: dict[int, MaterializedAggregate] = {}
+
+    def governed_bytes(self) -> int:
+        with self._catalog.lock:
+            return sum(e.nbytes for e in self.entries.values())
+
+    def governed_items(self) -> list[tuple]:
+        with self._catalog.lock:
+            return [
+                (
+                    e.mv_id,
+                    e.nbytes,
+                    e.benefit_seconds / max(e.nbytes, 1),
+                    e.last_used,
+                    e.last_used_ts,
+                )
+                for e in self.entries.values()
+            ]
+
+    def governed_evict(self, token: object) -> int:
+        with self._catalog.lock:
+            entry = self.entries.pop(token, None)
+            if entry is None:
+                return 0
+            self._catalog._note_evicted(entry)
+            return entry.nbytes
+
+
+class MVCatalog:
+    """All resident materialized aggregates of one engine."""
+
+    def __init__(
+        self,
+        registry,
+        governor=None,
+        max_total_bytes: int = 0,
+        max_entry_bytes: int | None = None,
+    ) -> None:
+        self._registry = registry
+        self._governor = governor
+        # Sharing the governor's reentrant lock makes grant-triggered
+        # evictions re-enter our containers without a second lock (and
+        # without an install-vs-evict lock-order inversion).
+        self.lock = governor.lock if governor is not None else (
+            threading.RLock()
+        )
+        #: Silo-mode cap on total MV bytes (ignored under a governor,
+        #: which arbitrates the global budget itself).
+        self.max_total_bytes = max_total_bytes
+        #: Per-entry size ceiling in both modes.
+        self.max_entry_bytes = (
+            max_entry_bytes if max_entry_bytes is not None else max_total_bytes
+        )
+        self._tables: dict[str, _TableMVs] = {}
+        self._ids = itertools.count(1)
+        self._tick = itertools.count(1)
+        self.evictions = 0
+        self.invalidations = 0
+        self.rejected = 0
+        self.builds = 0
+        self.build_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Lookup & matching.
+    # ------------------------------------------------------------------
+
+    def find(self, sig: QuerySignature) -> MaterializedAggregate | None:
+        """The entry captured from exactly this signature, if resident."""
+        with self.lock:
+            container = self._tables.get(sig.table)
+            if container is None:
+                return None
+            for entry in container.entries.values():
+                if entry.signature == sig:
+                    return entry
+            return None
+
+    def match(self, sig: QuerySignature) -> MVMatch | None:
+        """Best resident MV able to answer ``sig`` (exact beats
+        partial; smaller beats wider among partials)."""
+        with self.lock:
+            container = self._tables.get(sig.table)
+            if container is None:
+                return None
+            exact: MaterializedAggregate | None = None
+            partials: list[MaterializedAggregate] = []
+            for entry in container.entries.values():
+                kind = self._compatibility(entry, sig)
+                if kind == "exact":
+                    exact = entry
+                    break
+                if kind == "partial":
+                    partials.append(entry)
+            if exact is not None:
+                return MVMatch(exact, "exact")
+            if not partials:
+                return None
+            best = min(partials, key=lambda e: (len(e.dims), e.nbytes))
+            residual = tuple(
+                f for f in sig.filters if f not in set(best.signature.filters)
+            )
+            return MVMatch(best, "partial", residual)
+
+    def _compatibility(
+        self, entry: MaterializedAggregate, sig: QuerySignature
+    ) -> str | None:
+        stored = entry.columns
+        if (
+            entry.signature.dims == sig.dims
+            and entry.signature.filters == sig.filters
+            and all(key in stored for key in sig.aggs)
+        ):
+            return "exact"
+        if not set(sig.dims) <= set(entry.dims):
+            return None
+        if not set(entry.signature.filters) <= set(sig.filters):
+            return None
+        # Leftover query conjuncts must be evaluable over the stored
+        # groups: every column they touch must itself be an MV dim.
+        mv_filters = set(entry.signature.filters)
+        dim_cols = set(entry.dims)
+        for conjunct_sql, refs in sig.filter_columns:
+            if conjunct_sql in mv_filters:
+                continue
+            if not set(refs) <= dim_cols:
+                return None
+        for func, arg in sig.aggs:
+            if func == "avg":
+                if ("sum", arg) not in stored or ("count", arg) not in stored:
+                    return None
+            elif (func, arg) not in stored:
+                return None
+        return "partial"
+
+    def note_served(self, match: MVMatch) -> None:
+        """Mark a hit: recency + hit counters feed the benefit decay."""
+        with self.lock:
+            entry = match.entry
+            if match.kind == "partial":
+                entry.partial_hits += 1
+            else:
+                entry.hits += 1
+            entry.last_used = next(self._tick)
+            entry.last_used_ts = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Install / invalidate / drop.
+    # ------------------------------------------------------------------
+
+    def install(self, entry: MaterializedAggregate) -> bool:
+        """Admit one captured aggregate; ``False`` when rejected.
+
+        Callers hold the table's write lock (install is part of the
+        deferred post-pump path), so admission races a concurrent
+        reconcile/drop never interleave mid-decision.
+        """
+        if self.max_entry_bytes and entry.nbytes > self.max_entry_bytes:
+            with self.lock:
+                self.rejected += 1
+            return False
+        table = entry.signature.table
+        if self._governor is not None:
+            with self.lock:
+                container = self._ensure_container(table)
+                stale = [
+                    e.mv_id
+                    for e in container.entries.values()
+                    if e.signature == entry.signature
+                ]
+                for mv_id in stale:
+                    container.governed_evict(mv_id)
+                if not self._governor.grant(container, entry.nbytes):
+                    self.rejected += 1
+                    return False
+                self._admit(container, entry)
+            return True
+        with self.lock:
+            container = self._ensure_container(table)
+            stale = [
+                e.mv_id
+                for e in container.entries.values()
+                if e.signature == entry.signature
+            ]
+            for mv_id in stale:
+                container.governed_evict(mv_id)
+            if not self._silo_make_room(entry.nbytes):
+                self.rejected += 1
+                return False
+            self._admit(container, entry)
+        return True
+
+    def _ensure_container(self, table: str) -> _TableMVs:
+        container = self._tables.get(table)
+        if container is None:
+            container = _TableMVs(self, table)
+            self._tables[table] = container
+            if self._governor is not None:
+                self._governor.register(container, table, "mv")
+        return container
+
+    def _admit(
+        self, container: _TableMVs, entry: MaterializedAggregate
+    ) -> None:
+        entry.last_used = next(self._tick)
+        entry.last_used_ts = time.monotonic()
+        container.entries[entry.mv_id] = entry
+        self.builds += 1
+        self.build_seconds += entry.build_seconds
+        self._registry.counter("mv_builds_total").inc()
+        self._registry.counter("mv_build_seconds_total").inc(
+            entry.build_seconds
+        )
+        self._update_gauge()
+
+    def _silo_make_room(self, nbytes: int) -> bool:
+        """Evict lowest benefit-per-byte MVs until ``nbytes`` fits the
+        silo cap (governor-less mode only)."""
+        if not self.max_total_bytes:
+            return True
+        candidates = [
+            (entry.benefit_seconds / max(entry.nbytes, 1), entry.last_used,
+             entry.mv_id, container, entry.nbytes)
+            for container in self._tables.values()
+            for entry in container.entries.values()
+        ]
+        candidates.sort(key=lambda c: c[:3])
+        used = sum(c[4] for c in candidates)
+        for __, __, mv_id, container, entry_bytes in candidates:
+            if used + nbytes <= self.max_total_bytes:
+                break
+            container.governed_evict(mv_id)
+            used -= entry_bytes
+        return used + nbytes <= self.max_total_bytes
+
+    def _note_evicted(self, entry: MaterializedAggregate) -> None:
+        """Called (under the lock) by containers for every removal that
+        goes through ``governed_evict`` — governor pressure, silo
+        pressure, or same-signature replacement."""
+        self.evictions += 1
+        self._registry.counter("mv_evictions_total").inc()
+        self._update_gauge()
+
+    def invalidate_table(self, table: str) -> int:
+        """Generation-style invalidation on append/rewrite: drop every
+        MV of the table (the stored groups no longer match the file)."""
+        with self.lock:
+            container = self._tables.get(table)
+            if container is None:
+                return 0
+            dropped = len(container.entries)
+            container.entries.clear()
+            if dropped:
+                self.invalidations += dropped
+                self._registry.counter("mv_invalidations_total").inc(dropped)
+                self._update_gauge()
+            return dropped
+
+    def drop_table(self, table: str) -> None:
+        """Forget a dropped table entirely.  The governor membership is
+        released by ``unregister_table`` on the service side."""
+        with self.lock:
+            container = self._tables.pop(table, None)
+            if container is not None and container.entries:
+                self.invalidations += len(container.entries)
+                container.entries.clear()
+            self._update_gauge()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        with self.lock:
+            return sum(
+                e.nbytes
+                for c in self._tables.values()
+                for e in c.entries.values()
+            )
+
+    def entry_count(self) -> int:
+        with self.lock:
+            return sum(len(c.entries) for c in self._tables.values())
+
+    def entries(self) -> list[MaterializedAggregate]:
+        with self.lock:
+            return [
+                e
+                for c in self._tables.values()
+                for e in c.entries.values()
+            ]
+
+    def residency(self) -> list[dict[str, object]]:
+        """Silo-mode residency rows (the governor renders its own)."""
+        with self.lock:
+            return [
+                {
+                    "table": table,
+                    "kind": "mv",
+                    "nbytes": container.governed_bytes(),
+                    "items": len(container.entries),
+                }
+                for table, container in sorted(self._tables.items())
+            ]
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def _update_gauge(self) -> None:
+        self._registry.gauge("mv_bytes").set(float(self.total_bytes()))

@@ -220,6 +220,12 @@ class MemoryGovernor:
             ]
 
     def stats(self) -> dict[str, object]:
+        with self.lock:
+            by_kind: dict[str, int] = {}
+            for _, kind, structure in self._members:
+                by_kind[kind] = (
+                    by_kind.get(kind, 0) + structure.governed_bytes()
+                )
         return {
             "budget_bytes": self.budget_bytes,
             "used_bytes": self.used_bytes,
@@ -228,4 +234,5 @@ class MemoryGovernor:
             "cross_evictions": self.cross_evictions,
             "rejected_grants": self.rejected_grants,
             "released_bytes": self.released_bytes,
+            "by_kind": by_kind,
         }

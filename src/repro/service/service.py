@@ -67,6 +67,7 @@ from ..errors import (
 )
 from ..executor.result import Cursor, QueryResult
 from ..kernels import KernelCache
+from ..mv import MVRuntime
 from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
 from ..rawio.sniffer import infer_schema
 from ..sql.ast import Expression, SelectStatement
@@ -138,6 +139,10 @@ class Session:
     def explain(self, sql: str) -> str:
         return self.service.explain(sql)
 
+    def build_mv(self, sql: str) -> dict[str, object]:
+        """Materialize the aggregate result of ``sql`` right now."""
+        return self.service.build_mv(sql, session_id=self.session_id)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Session(id={self.session_id}, "
@@ -156,6 +161,10 @@ class _StreamHandle:
     root: Span | None = field(default=None)
     #: Original SQL text when known (slow-query log context).
     sql: str | None = field(default=None)
+    #: MV signature + serve verdict of the plan (workload mining: the
+    #: observed cost is recorded against these at retire time).
+    mv_signature: object | None = field(default=None)
+    mv_decision: str | None = field(default=None)
 
 
 class PostgresRawService:
@@ -189,6 +198,19 @@ class PostgresRawService:
         self.kernel_cache = KernelCache(
             self.config.kernel_cache_entries, registry=registry
         )
+        #: Adaptive materialized-aggregate cache (:mod:`repro.mv`):
+        #: workload-mined aggregate results governed alongside the
+        #: positional maps and caches.  ``None`` when ``mv_enabled``
+        #: is off — which restores the pre-MV planner byte-for-byte.
+        self.mv: MVRuntime | None = None
+        if self.config.mv_enabled:
+            self.mv = MVRuntime(
+                self.config,
+                registry,
+                governor=self.governor,
+                stats_provider=self._stats_provider,
+            )
+        registry.register_collector("mv", self._collect_mv)
         registry.register_collector("scheduler", self.scheduler.stats)
         registry.register_collector("cursors", self.cursor_stats)
         registry.register_collector("locks", self.lock_stats)
@@ -317,6 +339,8 @@ class PostgresRawService:
                 self._table_locks.pop(name, None)
             if self.governor is not None:
                 self.governor.unregister_table(name)
+            if self.mv is not None:
+                self.mv.drop_table(name)
 
     def table_state(self, name: str) -> RawTableState:
         """Adaptive state of a table (positional map, cache, statistics) —
@@ -422,8 +446,11 @@ class PostgresRawService:
 
             # Phase 2 — plan.  Planning reads schemas and statistics only.
             scans: list[RawScan] = []
+            captures: list = []
             with tracer.span(root, "plan"):
-                planner = self._planner(metrics, scans, root)
+                planner = self._planner(
+                    metrics, scans, root, captures=captures
+                )
                 plan = planner.plan(stmt)
             # The cursor contract is "rows from the table as admitted":
             # the producer re-checks these generations under its locks
@@ -445,6 +472,8 @@ class PostgresRawService:
             channel=channel,
             root=root,
             sql=sql,
+            mv_signature=plan.mv_signature,
+            mv_decision=plan.mv_decision,
         )
         with self._cursor_lock:
             self._open_streams[handle.stream_id] = handle
@@ -465,7 +494,16 @@ class PostgresRawService:
         cursor.trace_id = None if root is None else root.trace_id
         thread = threading.Thread(
             target=self._produce,
-            args=(plan, scans, tables, generations, metrics, channel, root),
+            args=(
+                plan,
+                scans,
+                tables,
+                generations,
+                metrics,
+                channel,
+                root,
+                captures,
+            ),
             name=f"repro-cursor-{handle.stream_id}",
             daemon=True,
         )
@@ -482,8 +520,47 @@ class PostgresRawService:
         """The physical plan as indented text (EXPLAIN)."""
         stmt = parse_select(sql)
         metrics = QueryMetrics()
-        plan = self._planner(metrics, []).plan(stmt)
+        # mining=False: EXPLAIN previews the MV serve decision without
+        # counting as a workload repeat or bumping hit/miss counters.
+        plan = self._planner(metrics, [], mining=False).plan(stmt)
         return plan.explain()
+
+    def build_mv(self, sql: str, session_id: object = 0) -> dict[str, object]:
+        """Materialize the aggregate result of ``sql`` right now.
+
+        Runs the query once with capture forced (a wider resident MV
+        cannot shadow the build) and installs the finished aggregate as
+        a governed :class:`repro.mv.MaterializedAggregate`.  Returns the
+        entry's description; idempotent when one is already resident.
+        """
+        if self.mv is None:
+            raise ServiceError(
+                "materialized aggregates are disabled (mv_enabled=False)"
+            )
+        stmt = parse_select(sql)
+        sig = self._planner(QueryMetrics(), [], mining=False).mv_signature(
+            stmt
+        )
+        if sig is None:
+            raise ServiceError(
+                "not an MV-eligible query: needs a single-table aggregate "
+                "with re-aggregatable COUNT/SUM/AVG/MIN/MAX (no DISTINCT)"
+            )
+        existing = self.mv.find(sig)
+        if existing is not None:
+            return self.mv.describe_entry(existing)
+        self.mv.force(sig)
+        try:
+            self.execute(stmt, session_id=session_id, sql=sql)
+        finally:
+            self.mv.unforce(sig)
+        entry = self.mv.find(sig)
+        if entry is None:
+            raise ServiceError(
+                "materialization failed: the table changed mid-build or "
+                "the entry was rejected by the memory budget"
+            )
+        return self.mv.describe_entry(entry)
 
     def refresh(self, name: str | None = None) -> dict[str, FileChange]:
         """Force update detection now (instead of before the next query).
@@ -514,6 +591,7 @@ class PostgresRawService:
         metrics: QueryMetrics,
         channel: BatchChannel,
         root: Span | None = None,
+        captures: list | None = None,
     ) -> None:
         """Producer-thread body: run the plan, feed the channel.
 
@@ -524,7 +602,14 @@ class PostgresRawService:
         try:
             with self.telemetry.tracer.span(root, "produce"):
                 self._run_stream(
-                    plan, scans, tables, generations, metrics, channel, root
+                    plan,
+                    scans,
+                    tables,
+                    generations,
+                    metrics,
+                    channel,
+                    root,
+                    captures,
                 )
         except BaseException as exc:
             # BaseException included: swallowing even SystemExit here is
@@ -551,10 +636,14 @@ class PostgresRawService:
         metrics: QueryMetrics,
         channel: BatchChannel,
         root: Span | None = None,
+        captures: list | None = None,
     ) -> None:
         # Phase 3 — classify: can every scan be served by already-built
         # structures?  If so, run under shared locks and defer whatever
-        # the scan learns; otherwise take the exclusive path.
+        # the scan learns; otherwise take the exclusive path.  An
+        # MV-served plan has no scans at all, so all() over the empty
+        # list puts it on the shared-lock path automatically: a
+        # generation check under shared locks, zero raw-file work.
         read_path = bool(tables) and all(
             self._covered(scan) for scan in scans
         )
@@ -605,8 +694,44 @@ class PostgresRawService:
             finally:
                 self._release_all(tables, write=True, held=held)
 
-        for _, state, _ in tables:
-            metrics.rows_scanned += state.positional_map.n_rows
+        # Deferred MV installs: captured aggregates go resident under
+        # the table's write lock, after the rows are out (same ordering
+        # discipline as the scans' own InstallPlans above).
+        if captures:
+            self._install_mv_captures(captures, generations)
+
+        if plan.mv_decision not in ("exact", "partial"):
+            # MV-served queries touched no raw rows; everything else
+            # reports the table rows its scans covered.
+            for _, state, _ in tables:
+                metrics.rows_scanned += state.positional_map.n_rows
+
+    def _install_mv_captures(
+        self, captures: list, generations: dict[str, int]
+    ) -> None:
+        """Install captured aggregates under their table's write lock.
+
+        A capture is discarded when its table changed since planning —
+        generation bump (rewrite/drop) or pending append — because the
+        batch aggregates a snapshot that no longer matches the file.
+        """
+        if self.mv is None:
+            return
+        for sig, layout, batch, elapsed in captures:
+            lock = self._table_locks.get(sig.table)
+            if lock is None:
+                continue  # table dropped while we were producing
+            with lock.write():
+                state = self._states.get(sig.table)
+                if (
+                    state is None
+                    or state.generation != generations.get(sig.table)
+                    or state.pending_append
+                ):
+                    continue
+                self.mv.install(
+                    sig, layout, batch, elapsed, state.generation
+                )
 
     def _pump(
         self,
@@ -713,6 +838,15 @@ class PostgresRawService:
             trace_id=getattr(cursor, "trace_id", None),
             sql=handle.sql,
         )
+        if self.mv is not None and handle.mv_signature is not None:
+            # Workload mining, cost half: the observed seconds of this
+            # completion — raw runs measure what an MV would save,
+            # served runs measure what it actually costs.
+            self.mv.observe_completion(
+                handle.mv_signature,
+                handle.mv_decision,
+                cursor.metrics.total_seconds,
+            )
 
     def _acquire_all(
         self, tables, write: bool, root: Span | None = None
@@ -776,6 +910,8 @@ class PostgresRawService:
         metrics: QueryMetrics,
         scans: list[RawScan],
         root: Span | None = None,
+        mining: bool = True,
+        captures: list | None = None,
     ) -> Planner:
         def scan_factory(
             table: str, columns: list[str], predicate: Expression | None
@@ -802,7 +938,14 @@ class PostgresRawService:
             scans.append(scan)
             return scan
 
-        return Planner(self.catalog, scan_factory, self._stats_provider)
+        return Planner(
+            self.catalog,
+            scan_factory,
+            self._stats_provider,
+            mv=self.mv,
+            mv_mining=mining,
+            mv_captures=captures,
+        )
 
     def _stats_provider(self, table: str) -> StatisticsStore | None:
         if not self.config.enable_statistics:
@@ -845,6 +988,12 @@ class PostgresRawService:
             state.fingerprint = fingerprint
         else:
             state.fingerprint = fingerprint
+        if change in (FileChange.APPENDED, FileChange.REWRITTEN):
+            # Stored aggregates summarize the old rows: drop them.  (A
+            # positional map survives an append as a valid prefix; an
+            # aggregate does not — its groups are already totals.)
+            if self.mv is not None:
+                self.mv.invalidate_table(state.entry.name)
         return change
 
     # ------------------------------------------------------------------
@@ -862,6 +1011,10 @@ class PostgresRawService:
     def _collect_governor(self) -> dict[str, object] | None:
         """Registry collector: governor stats (None without a budget)."""
         return self.governor.stats() if self.governor is not None else None
+
+    def _collect_mv(self) -> dict[str, object] | None:
+        """Registry collector: MV cache stats (None when disabled)."""
+        return self.mv.stats() if self.mv is not None else None
 
     def _collect_residency(self) -> list[dict[str, object]]:
         """Registry collector: per-structure residency rows — from the
@@ -889,6 +1042,8 @@ class PostgresRawService:
                     "items": state.cache.entry_count,
                 }
             )
+        if self.mv is not None:
+            residency.extend(self.mv.catalog.residency())
         return residency
 
     def cursor_stats(self) -> dict[str, object]:

@@ -28,6 +28,8 @@ from ..executor.operators import (
     HashAggregate,
     HashJoin,
     Limit,
+    MVCapture,
+    MVScan,
     Operator,
     Project,
     SingleRowSource,
@@ -120,9 +122,19 @@ class LogicalPlan:
     root: Operator
     output_names: list[str]
     output_types: dict[str, DataType]
+    #: MV-eligible queries carry their mined signature and the serve
+    #: verdict ("exact" | "partial" | "miss"); everything else ``None``.
+    mv_signature: object | None = None
+    mv_decision: str | None = None
 
     def explain(self) -> str:
-        return "\n".join(self.root.explain_lines())
+        text = "\n".join(self.root.explain_lines())
+        if self.mv_decision == "miss":
+            text += (
+                "\n-- mv: raw fallback "
+                "(no matching materialized aggregate)"
+            )
+        return text
 
 
 @dataclass
@@ -141,11 +153,25 @@ class Planner:
         scan_factory: ScanFactory,
         stats_provider: StatsProvider | None = None,
         optimizer: Optimizer | None = None,
+        mv=None,
+        mv_mining: bool = True,
+        mv_captures: list | None = None,
     ) -> None:
         self.catalog = catalog
         self.scan_factory = scan_factory
         self.stats_provider = stats_provider or (lambda __: None)
         self.optimizer = optimizer or Optimizer()
+        #: Duck-typed :class:`repro.mv.MVRuntime` (``None`` disables MV
+        #: planning entirely — mv.signature imports ``transform_expr``
+        #: from here, so this module must never import repro.mv).
+        self.mv = mv
+        #: ``False`` for EXPLAIN: preview serve decisions without
+        #: mining the signature or bumping hit/miss counters.
+        self.mv_mining = mv_mining
+        #: Capture sink: the service's per-stream list receiving
+        #: ``(signature, layout, batch, elapsed_seconds)`` tuples from
+        #: :class:`MVCapture` operators at execution time.
+        self.mv_captures = mv_captures
 
     # ------------------------------------------------------------------
     # Entry point.
@@ -161,6 +187,19 @@ class Planner:
 
         self._resolve_statement(stmt, bindings, types_full)
 
+        mv_sig = None
+        mv_decision = None
+        if self.mv is not None and len(bindings) == 1:
+            mv_sig = self.mv.signature_of(stmt, bindings[0].table_name)
+        if mv_sig is not None:
+            match = self.mv.serve(mv_sig, record=self.mv_mining)
+            if match is not None:
+                plan, select_items = self._plan_from_mv(stmt, mv_sig, match)
+                return self._finish_plan(
+                    stmt, plan, select_items, mv_sig, match.kind
+                )
+            mv_decision = "miss"
+
         if not bindings:
             plan: Operator = SingleRowSource()
             residual: list[Expression] = []
@@ -172,7 +211,20 @@ class Planner:
         for conjunct in residual:
             plan = Filter(plan, conjunct)
 
-        plan, select_items = self._plan_aggregation(stmt, plan)
+        plan, select_items = self._plan_aggregation(stmt, plan, mv_sig)
+        return self._finish_plan(
+            stmt, plan, select_items, mv_sig, mv_decision
+        )
+
+    def _finish_plan(
+        self,
+        stmt: SelectStatement,
+        plan: Operator,
+        select_items: list[tuple[str, Expression]],
+        mv_sig=None,
+        mv_decision: str | None = None,
+    ) -> LogicalPlan:
+        """The shared post-aggregation tail of every plan shape."""
         plan, output_names = self._plan_projection_and_order(
             stmt, plan, select_items
         )
@@ -182,7 +234,24 @@ class Planner:
             plan = Limit(plan, stmt.limit, stmt.offset or 0)
 
         types = plan.output_types()
-        return LogicalPlan(plan, output_names, types)
+        return LogicalPlan(plan, output_names, types, mv_sig, mv_decision)
+
+    def mv_signature(self, stmt: SelectStatement):
+        """Bind/resolve ``stmt`` and return its MV signature (or
+        ``None`` when MV-ineligible) without building a plan — the
+        service's ``build_mv`` entry point."""
+        if self.mv is None:
+            return None
+        bindings = self._bind_tables(stmt)
+        if len(bindings) != 1:
+            return None
+        types_full = {
+            f"{b.alias}.{c.name}": c.dtype
+            for b in bindings
+            for c in b.schema
+        }
+        self._resolve_statement(stmt, bindings, types_full)
+        return self.mv.signature_of(stmt, bindings[0].table_name)
 
     # ------------------------------------------------------------------
     # Binding & resolution.
@@ -538,11 +607,213 @@ class Planner:
         )
 
     # ------------------------------------------------------------------
+    # Materialized-aggregate serving.
+    # ------------------------------------------------------------------
+
+    def _aggregate_calls(self, stmt: SelectStatement) -> list[FunctionCall]:
+        """Every aggregate call in the post-grouping expressions."""
+        exprs = [
+            item.expr for item in stmt.items if not isinstance(item.expr, Star)
+        ]
+        if stmt.having is not None:
+            exprs.append(stmt.having)
+        exprs.extend(order.expr for order in stmt.order_by)
+        calls = []
+        for expr in exprs:
+            for node in walk_expr(expr):
+                if isinstance(node, FunctionCall) and node.is_aggregate:
+                    calls.append(node)
+        return calls
+
+    def _mv_agg_key(self, node: FunctionCall) -> tuple[str, str]:
+        """``(func, normalized arg)`` — the MV catalog's column key."""
+        if not node.args or isinstance(node.args[0], Star):
+            return (node.name, "*")
+        return (node.name, self.mv.normalize(node.args[0]))
+
+    def _plan_from_mv(
+        self, stmt: SelectStatement, sig, match
+    ) -> tuple[Operator, list[tuple[str, Expression]]]:
+        """Serve an aggregate query from a resident MV — no raw scan.
+
+        Exact match: the stored batch *is* the aggregate output; group
+        keys and aggregate calls map straight onto its canonical
+        columns.  Partial match: the MV is wider, so leftover filters
+        and a re-aggregation run over the stored groups first.
+        """
+        entry = match.entry
+        if match.kind == "exact":
+            plan: Operator = MVScan(
+                entry.batch, entry.types, "MVScan [exact]"
+            )
+            mapping: dict[str, Expression] = {}
+            for expr in stmt.group_by:
+                mapping.setdefault(
+                    expr_to_sql(expr),
+                    ColumnRef(self.mv.normalize(expr)),
+                )
+            for node in self._aggregate_calls(stmt):
+                qualified = expr_to_sql(node)
+                if qualified in mapping:
+                    continue
+                mapping[qualified] = ColumnRef(
+                    entry.columns[self._mv_agg_key(node)]
+                )
+        else:
+            plan, mapping = self._plan_mv_partial(stmt, sig, match)
+
+        select_items = self._expand_select_items(stmt, plan)
+        rewrite = lambda e: self._rewrite_post_agg(e, mapping)  # noqa: E731
+        rewritten = [(name, rewrite(expr)) for name, expr in select_items]
+        if stmt.having is not None:
+            plan = Filter(plan, rewrite(stmt.having))
+        for order in stmt.order_by:
+            order.expr = rewrite(order.expr)
+        return plan, rewritten
+
+    def _plan_mv_partial(
+        self, stmt: SelectStatement, sig, match
+    ) -> tuple[Operator, dict[str, Expression]]:
+        """Filter + re-aggregate a wider MV down to the query's shape.
+
+        COUNT re-sums stored counts (``sum0``: zero, not NULL, when
+        every group is filtered away), SUM re-sums, MIN/MAX re-min/max,
+        AVG divides re-summed SUM components by re-summed COUNT
+        components (0 groups -> NULL, matching raw AVG of no rows).
+        """
+        entry = match.entry
+        dims = ", ".join(sig.dims) or "<global>"
+        plan: Operator = MVScan(
+            entry.batch,
+            entry.types,
+            f"MVScan [partial: re-agg over {dims}]",
+        )
+        residual = set(match.residual_filters)
+        applied: set[str] = set()
+        for conjunct in split_conjuncts(stmt.where):
+            normalized = self.mv.normalize(conjunct)
+            if normalized in residual and normalized not in applied:
+                applied.add(normalized)
+                plan = Filter(plan, self._strip_alias(conjunct))
+
+        group_items: list[tuple[str, Expression]] = []
+        mapping: dict[str, Expression] = {}
+        for expr in stmt.group_by:
+            qualified = expr_to_sql(expr)
+            if qualified in mapping:
+                continue
+            name = f"__g{len(group_items)}"
+            group_items.append((name, ColumnRef(self.mv.normalize(expr))))
+            mapping[qualified] = ColumnRef(name)
+
+        specs: list[AggregateSpec] = []
+        spec_names: dict[tuple[str, str], str] = {}
+        reagg = {"count": "sum0", "sum": "sum", "min": "min", "max": "max"}
+
+        def component(func: str, arg: str) -> str:
+            key = (func, arg)
+            name = spec_names.get(key)
+            if name is None:
+                name = f"__a{len(specs)}"
+                specs.append(
+                    AggregateSpec(
+                        name, reagg[func], ColumnRef(entry.columns[key])
+                    )
+                )
+                spec_names[key] = name
+            return name
+
+        for node in self._aggregate_calls(stmt):
+            qualified = expr_to_sql(node)
+            if qualified in mapping:
+                continue
+            func, arg = self._mv_agg_key(node)
+            if func == "avg":
+                mapping[qualified] = BinaryOp(
+                    "/",
+                    ColumnRef(component("sum", arg)),
+                    ColumnRef(component("count", arg)),
+                )
+            else:
+                mapping[qualified] = ColumnRef(component(func, arg))
+        return HashAggregate(plan, group_items, specs), mapping
+
+    def _build_aggregate(
+        self,
+        plan: Operator,
+        group_items: list[tuple[str, Expression]],
+        specs: list[AggregateSpec],
+        mv_sig,
+    ) -> Operator:
+        """The raw aggregate, wrapped in an MVCapture when this
+        signature has earned materialization."""
+        if (
+            mv_sig is None
+            or self.mv is None
+            or self.mv_captures is None
+            or not self.mv_mining
+            or not self.mv.should_capture(mv_sig)
+        ):
+            return HashAggregate(plan, group_items, specs)
+
+        by_key: dict[tuple[str, str], AggregateSpec] = {}
+        for spec in specs:
+            arg_sql = "*" if spec.arg is None else self.mv.normalize(spec.arg)
+            by_key[(spec.func, arg_sql)] = spec
+
+        layout_aggs: list[tuple[str, str, str]] = []
+        for func, arg in mv_sig.aggs:
+            spec = by_key.get((func, arg))
+            if spec is None:  # normalization drift: skip the capture
+                return HashAggregate(plan, group_items, specs)
+            layout_aggs.append((spec.name, func, arg))
+
+        # AVG entries additionally store their SUM/COUNT components so
+        # the stored MV can later be partially re-aggregated; capture-
+        # only components are dropped before the query's own output.
+        extra: list[AggregateSpec] = []
+        drop: list[str] = []
+        sig_aggs = set(mv_sig.aggs)
+        for func, arg in mv_sig.aggs:
+            if func != "avg":
+                continue
+            base = by_key[("avg", arg)]
+            for comp in ("sum", "count"):
+                if (comp, arg) in sig_aggs:
+                    continue
+                comp_spec = by_key.get((comp, arg))
+                if comp_spec is None:
+                    name = f"__mv{len(extra)}"
+                    comp_arg = transform_expr(base.arg, lambda __: None)
+                    comp_spec = AggregateSpec(name, comp, comp_arg)
+                    extra.append(comp_spec)
+                    drop.append(name)
+                    by_key[(comp, arg)] = comp_spec
+                layout_aggs.append((comp_spec.name, comp, arg))
+
+        agg = HashAggregate(plan, group_items, specs + extra)
+        layout = {
+            "dims": [
+                (name, self.mv.normalize(expr))
+                for name, expr in group_items
+            ],
+            "aggs": layout_aggs,
+            "types": agg.output_types(),
+        }
+        captures = self.mv_captures
+        sig = mv_sig
+
+        def sink(batch: object, elapsed: float) -> None:
+            captures.append((sig, layout, batch, elapsed))
+
+        return MVCapture(agg, sink, tuple(drop), f"MVCapture [{sig.label()}]")
+
+    # ------------------------------------------------------------------
     # Aggregation.
     # ------------------------------------------------------------------
 
     def _plan_aggregation(
-        self, stmt: SelectStatement, plan: Operator
+        self, stmt: SelectStatement, plan: Operator, mv_sig=None
     ) -> tuple[Operator, list[tuple[str, Expression]]]:
         """Insert HashAggregate when needed; returns rewritten select items."""
         select_exprs = [
@@ -609,7 +880,7 @@ class Planner:
         rewritten_items = [
             (name, rewrite(expr)) for name, expr in select_items
         ]
-        plan = HashAggregate(plan, group_items, specs)
+        plan = self._build_aggregate(plan, group_items, specs, mv_sig)
         if stmt.having is not None:
             plan = Filter(plan, rewrite(stmt.having))
         for order in stmt.order_by:
@@ -617,13 +888,16 @@ class Planner:
         return plan, rewritten_items
 
     def _rewrite_post_agg(
-        self, expr: Expression, mapping: dict[str, ColumnRef]
+        self, expr: Expression, mapping: dict[str, Expression]
     ) -> Expression:
         def replace(node: Expression) -> Expression | None:
             signature = expr_to_sql(node)
             target = mapping.get(signature)
             if target is not None:
-                return ColumnRef(target.name)
+                # Deep-copy the replacement (plain ColumnRefs on the
+                # raw path; whole expressions, e.g. AVG's SUM/COUNT
+                # division, when serving a partial MV match).
+                return transform_expr(target, lambda __: None)
             if isinstance(node, ColumnRef):
                 raise PlanningError(
                     f"column {node.key!r} must appear in GROUP BY or be "

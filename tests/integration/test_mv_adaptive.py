@@ -1,0 +1,270 @@
+"""Adaptive materialized-aggregate lifecycle against a live service.
+
+Auto-materialization after ``mv_min_repeats``, explicit ``build_mv``,
+append/rewrite/drop invalidation, governed accounting with MVs in the
+budget, monitor panels, and an aggregate-heavy concurrent hammer whose
+every answer must match a fresh MV-less engine.
+
+``REPRO_STRESS_ROUNDS`` scales the hammer like the other stress suites.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro import PostgresRaw, PostgresRawConfig, PostgresRawService
+from repro.catalog.schema import TableSchema
+from repro.monitor import render_governor_panel, render_query_signatures
+from repro.rawio.writer import append_csv_rows, write_csv
+
+N_THREADS = 8
+ROUNDS = int(os.environ.get("REPRO_STRESS_ROUNDS", "2"))
+
+SCHEMA = TableSchema.from_pairs(
+    [("region", "text"), ("amount", "integer"), ("qty", "integer")]
+)
+ROWS = [(f"r{i % 5}", i * 3 % 1000, i % 11) for i in range(2000)]
+
+AGG_QUERIES = [
+    "SELECT region, SUM(amount) AS s, COUNT(*) AS n FROM t "
+    "GROUP BY region",
+    "SELECT SUM(amount) AS s FROM t",
+    "SELECT region, AVG(amount) AS m FROM t GROUP BY region",
+    "SELECT COUNT(*) AS n FROM t WHERE qty < 6",
+    "SELECT region, MIN(amount) AS lo, MAX(amount) AS hi FROM t "
+    "GROUP BY region",
+]
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv(path, ROWS, SCHEMA)
+    return path
+
+
+def reference(path, queries):
+    with PostgresRaw(PostgresRawConfig(mv_enabled=False)) as engine:
+        engine.register_csv("t", path, SCHEMA)
+        return {sql: sorted(engine.query(sql).rows) for sql in queries}
+
+
+def test_auto_materialization_lifecycle(csv_path):
+    config = PostgresRawConfig(mv_auto=True, mv_min_repeats=3)
+    sql = AGG_QUERIES[0]
+    expected = reference(csv_path, [sql])[sql]
+    with PostgresRaw(config) as engine:
+        engine.register_csv("t", csv_path, SCHEMA)
+        mv = engine.service.mv
+        # Below the repeat threshold: every run stays raw.
+        for __ in range(2):
+            assert sorted(engine.query(sql).rows) == expected
+        assert mv.catalog.entry_count() == 0
+        # The third plan crosses mv_min_repeats: that run captures.
+        assert sorted(engine.query(sql).rows) == expected
+        assert mv.catalog.entry_count() == 1
+        # From now on the planner serves the MV.
+        assert "MVScan [exact]" in engine.explain(sql)
+        assert sorted(engine.query(sql).rows) == expected
+        stats = mv.stats()
+        assert stats["hits"] == 1 and stats["builds"] == 1
+        assert stats["mvs"] == 1 and stats["bytes"] > 0
+        # The narrower global sum re-aggregates from the same MV.
+        narrow = "SELECT SUM(amount) AS s FROM t"
+        expected_narrow = reference(csv_path, [narrow])[narrow]
+        assert "MVScan [partial" in engine.explain(narrow)
+        assert sorted(engine.query(narrow).rows) == expected_narrow
+        assert mv.stats()["partial_hits"] == 1
+
+
+def test_build_mv_explicit_and_idempotent(csv_path):
+    with PostgresRaw() as engine:  # mv_auto defaults off
+        engine.register_csv("t", csv_path, SCHEMA)
+        sql = AGG_QUERIES[4]
+        entry = engine.build_mv(sql)
+        assert entry["rows"] == 5 and entry["table"] == "t"
+        again = engine.build_mv(sql)
+        assert again["mv_id"] == entry["mv_id"]  # idempotent
+        assert "MVScan [exact]" in engine.explain(sql)
+        assert sorted(engine.query(sql).rows) == reference(
+            csv_path, [sql]
+        )[sql]
+        # Auto stays off: other shapes keep running raw.
+        engine.query(AGG_QUERIES[1])
+        engine.query(AGG_QUERIES[1])
+        assert engine.service.mv.catalog.entry_count() == 1
+
+
+def test_append_and_rewrite_invalidate(csv_path):
+    config = PostgresRawConfig(mv_auto=True, mv_min_repeats=1)
+    sql = AGG_QUERIES[0]
+    with PostgresRaw(config) as engine:
+        engine.register_csv("t", csv_path, SCHEMA)
+        engine.query(sql)
+        assert engine.service.mv.catalog.entry_count() == 1
+
+        append_csv_rows(csv_path, [("r9", 123, 1)] * 7, SCHEMA)
+        expected = reference(csv_path, [sql])[sql]
+        assert sorted(engine.query(sql).rows) == expected
+        assert engine.service.mv.catalog.invalidations >= 1
+
+        # Warm again, then rewrite the file wholesale.
+        engine.query(sql)
+        write_csv(csv_path, ROWS[:500], SCHEMA)
+        expected = reference(csv_path, [sql])[sql]
+        assert sorted(engine.query(sql).rows) == expected
+        assert sorted(engine.query(sql).rows) == expected
+
+
+def test_drop_table_forgets_mvs(csv_path):
+    config = PostgresRawConfig(
+        mv_auto=True, mv_min_repeats=1, memory_budget=8 * 1024 * 1024
+    )
+    with PostgresRaw(config) as engine:
+        engine.register_csv("t", csv_path, SCHEMA)
+        engine.query(AGG_QUERIES[0])
+        assert engine.service.mv.catalog.entry_count() == 1
+        engine.drop_table("t")
+        assert engine.service.mv.catalog.entry_count() == 0
+        governor = engine.service.governor
+        assert governor.used_bytes == 0
+
+
+def test_disabled_matches_enabled_row_for_row(csv_path):
+    expected = reference(csv_path, AGG_QUERIES)
+    config = PostgresRawConfig(mv_auto=True, mv_min_repeats=1)
+    with PostgresRaw(config) as engine:
+        engine.register_csv("t", csv_path, SCHEMA)
+        for __ in range(2):  # second pass is MV-served
+            for sql in AGG_QUERIES:
+                assert sorted(engine.query(sql).rows) == expected[sql]
+        assert engine.service.mv.catalog.entry_count() > 0
+    # And an engine with the subsystem off never grows the plan: no
+    # collector, no MVScan, identical answers.
+    with PostgresRaw(PostgresRawConfig(mv_enabled=False)) as engine:
+        engine.register_csv("t", csv_path, SCHEMA)
+        for sql in AGG_QUERIES:
+            assert sorted(engine.query(sql).rows) == expected[sql]
+            assert "MVScan" not in engine.explain(sql)
+        snapshot = engine.service.telemetry.registry.snapshot()
+        assert snapshot["collectors"].get("mv") is None
+
+
+def test_governor_accounting_balances_with_mvs(csv_path, tmp_path):
+    """MVs compete in the same budget as maps and caches; the books
+    must balance whatever got evicted along the way."""
+    other = tmp_path / "u.csv"
+    write_csv(other, ROWS[:900], SCHEMA)
+    config = PostgresRawConfig(
+        mv_auto=True, mv_min_repeats=1, memory_budget=256 * 1024
+    )
+    with PostgresRawService(config) as service:
+        service.register_csv("t", csv_path, SCHEMA)
+        service.register_csv("u", other, SCHEMA)
+        session = service.session()
+        for __ in range(3):
+            for sql in AGG_QUERIES:
+                session.query(sql)
+                session.query(sql.replace(" t", " u"))
+        governor = service.governor
+        assert governor.used_bytes <= governor.budget_bytes
+        residency = governor.residency()
+        assert governor.used_bytes == sum(r["nbytes"] for r in residency)
+        by_kind = governor.stats()["by_kind"]
+        assert by_kind.get("mv", 0) == service.mv.catalog.total_bytes()
+
+
+def test_monitor_panels_render_mv_state(csv_path):
+    config = PostgresRawConfig(
+        mv_auto=True, mv_min_repeats=1, memory_budget=8 * 1024 * 1024
+    )
+    with PostgresRaw(config) as engine:
+        engine.register_csv("t", csv_path, SCHEMA)
+        sql = AGG_QUERIES[0]
+        engine.query(sql)
+        engine.query(sql)
+        panel = render_governor_panel(engine.service)
+        assert "aggregate cache: 1 MVs" in panel
+        assert "mv#" in panel and "t[region;" in panel
+        table = render_query_signatures(engine.service)
+        assert "materialized" in table
+        usage = engine.service.telemetry.registry.snapshot()
+        mv_stats = usage["collectors"]["mv"]
+        assert mv_stats["suggestions"][0]["status"] == "materialized"
+
+
+def _hammer(service, thread_id, expected, errors, mismatches):
+    session = service.session()
+    try:
+        for round_no in range(ROUNDS * 2):
+            offset = (thread_id + round_no) % len(AGG_QUERIES)
+            for i in range(len(AGG_QUERIES)):
+                sql = AGG_QUERIES[(offset + i) % len(AGG_QUERIES)]
+                rows = sorted(session.query(sql).rows)
+                if rows != expected[sql]:
+                    mismatches.append((thread_id, sql))
+    except Exception as exc:
+        errors.append((thread_id, repr(exc)))
+
+
+@pytest.mark.parametrize(
+    "label,config",
+    [
+        (
+            "governed",
+            PostgresRawConfig(
+                mv_auto=True,
+                mv_min_repeats=2,
+                memory_budget=8 * 1024 * 1024,
+                max_concurrent_queries=8,
+            ),
+        ),
+        (
+            "silo_tiny_mv_budget",
+            PostgresRawConfig(
+                mv_auto=True,
+                mv_min_repeats=2,
+                cache_budget=64 * 1024,
+                mv_max_bytes_fraction=0.05,
+            ),
+        ),
+    ],
+)
+def test_concurrent_aggregate_hammer(csv_path, label, config):
+    """8 threads race discovery, capture, serve and eviction; every
+    answer matches a fresh MV-less engine and the books balance."""
+    expected = reference(csv_path, AGG_QUERIES)
+    with PostgresRawService(config) as service:
+        service.register_csv("t", csv_path, SCHEMA)
+        errors: list = []
+        mismatches: list = []
+        threads = [
+            threading.Thread(
+                target=_hammer,
+                args=(service, i, expected, errors, mismatches),
+            )
+            for i in range(N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads), "hammer hung"
+        assert errors == []
+        assert mismatches == []
+        # The cache actually engaged under the race...
+        stats = service.mv.stats()
+        assert stats["builds"] >= 1
+        assert stats["hits"] + stats["partial_hits"] >= 1
+        # ...and the accounting came out balanced.
+        if service.governor is not None:
+            governor = service.governor
+            assert governor.used_bytes == sum(
+                r["nbytes"] for r in governor.residency()
+            )
+        else:
+            catalog = service.mv.catalog
+            assert catalog.total_bytes() <= catalog.max_total_bytes

@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test smoke serve serve-smoke bench bench-parallel bench-concurrent \
 	bench-streaming bench-wire bench-telemetry bench-tokenizer bench-mv \
-	stress stress-process lint verify
+	bench-format stress stress-process lint verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -69,6 +69,13 @@ bench-telemetry:
 # scale, MV answers row-identical to raw, accounting balanced).
 bench-mv:
 	$(PYTHON) -m pytest benchmarks/bench_mv_cache.py \
+		--benchmark-only --import-mode=importlib -q -s
+
+# Multi-format scans + vertical persistence: CSV vs JSONL cold/warm qps
+# and a vp-promoted columnstore scan vs the raw re-scan it replaces
+# (asserts JSONL answers row-identical to CSV and vp wins).
+bench-format:
+	$(PYTHON) -m pytest benchmarks/bench_format_scan.py \
 		--benchmark-only --import-mode=importlib -q -s
 
 # Vectorized scan kernels vs the interpreted tokenize+parse path on

@@ -105,9 +105,12 @@ from .rawio import (
     CsvDialect,
     DatasetSpec,
     append_csv_rows,
+    append_jsonl_rows,
     generate_csv,
+    sniff_format,
     uniform_table_spec,
     write_csv,
+    write_jsonl,
 )
 
 __version__ = "1.0.0"
@@ -158,8 +161,11 @@ __all__ = [
     "CsvDialect",
     "DatasetSpec",
     "append_csv_rows",
+    "append_jsonl_rows",
     "generate_csv",
+    "sniff_format",
     "uniform_table_spec",
     "write_csv",
+    "write_jsonl",
     "__version__",
 ]

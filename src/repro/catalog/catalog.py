@@ -22,16 +22,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass
 class RawTableEntry:
-    """A table whose data lives in a raw CSV file, queried in situ."""
+    """A table whose data lives in a raw file, queried in situ."""
 
     name: str
     schema: TableSchema
     path: Path
     dialect: "CsvDialect"
+    format: str = "csv"
 
     @property
     def kind(self) -> str:
         return "raw"
+
+    @property
+    def adapter(self):
+        """The shared :class:`repro.formats.FormatAdapter` for ``format``."""
+        from ..formats import adapter_for
+
+        return adapter_for(self.format)
 
 
 @dataclass
@@ -59,10 +67,11 @@ class Catalog:
         schema: TableSchema,
         path: str | Path,
         dialect: "CsvDialect",
+        format: str = "csv",
     ) -> RawTableEntry:
         """Register a raw file as a queryable table (no data is read)."""
         self._check_free(name)
-        entry = RawTableEntry(name, schema, Path(path), dialect)
+        entry = RawTableEntry(name, schema, Path(path), dialect, format)
         self._entries[name] = entry
         return entry
 

@@ -276,6 +276,23 @@ class PostgresRawConfig:
     #: its lowest benefit-per-byte entries to stay under it.
     mv_max_bytes_fraction: float = 0.25
 
+    #: Vertical persistence: promote hot converted columns of raw
+    #: tables into the on-disk columnstore as a durable governed cache
+    #: tier.  Scans then serve those columns from binary storage
+    #: without touching the raw file — the NoDB-to-loaded continuum.
+    #: Off (the default) nothing is ever promoted and planner/scan
+    #: behavior is exactly as before the tier existed.
+    vp_enabled: bool = False
+
+    #: How many scans must touch a (table, column) pair before vertical
+    #: persistence promotes its converted vector into the columnstore.
+    vp_min_accesses: int = 3
+
+    #: Directory the vertical-persistence columnstore files live in.
+    #: ``None`` (the default) uses a per-service temporary directory
+    #: that is removed on ``close()``.
+    vp_dir: str | None = None
+
     #: Half-life (seconds) for decaying the ``benefit_seconds`` signal
     #: of governed structures: a positional chunk or cache entry that
     #: has not been touched for one half-life counts at half its
@@ -354,6 +371,8 @@ class PostgresRawConfig:
             raise BudgetError("mv_min_repeats must be >= 1")
         if not (0.0 < self.mv_max_bytes_fraction <= 1.0):
             raise BudgetError("mv_max_bytes_fraction must be in (0, 1]")
+        if self.vp_min_accesses < 1:
+            raise BudgetError("vp_min_accesses must be >= 1")
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.

@@ -114,6 +114,28 @@ class PostgresRaw:
         """
         return self.service.register_csv(name, path, schema, dialect)
 
+    def register_jsonl(
+        self,
+        name: str,
+        path: str | Path,
+        schema: TableSchema | None = None,
+    ) -> RawTableEntry:
+        """Register a raw JSON-lines file as a queryable table."""
+        return self.service.register_jsonl(name, path, schema)
+
+    def register_table(
+        self,
+        name: str,
+        path: str | Path,
+        schema: TableSchema | None = None,
+        dialect: CsvDialect | None = None,
+        format: str | None = None,
+    ) -> RawTableEntry:
+        """Register a raw file, sniffing its format when not declared."""
+        return self.service.register_table(
+            name, path, schema, dialect, format
+        )
+
     def drop_table(self, name: str) -> None:
         """Unregister a table; its adaptive-state bytes return to the
         (global or per-table) budget.  Raises

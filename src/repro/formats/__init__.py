@@ -1,0 +1,22 @@
+"""Format adapters: per-format tokenizing geometry for in-situ tables.
+
+Importing this package registers the built-in adapters (CSV and
+JSON-lines); :func:`adapter_for` resolves a catalog ``format=`` name to
+its shared, stateless adapter instance.
+"""
+
+from .base import FormatAdapter, adapter_for, register_adapter
+from .csv import CSV_ADAPTER, CsvAdapter
+from .jsonl import JSONL_ADAPTER, JSONL_DIALECT, JSONL_NULL, JsonLinesAdapter
+
+__all__ = [
+    "CSV_ADAPTER",
+    "CsvAdapter",
+    "FormatAdapter",
+    "JSONL_ADAPTER",
+    "JSONL_DIALECT",
+    "JSONL_NULL",
+    "JsonLinesAdapter",
+    "adapter_for",
+    "register_adapter",
+]

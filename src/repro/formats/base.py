@@ -1,0 +1,149 @@
+"""The format-adapter seam: one interface per raw on-disk format.
+
+NoDB's machinery — positional maps, selective parsing, adaptive caching
+— is format-agnostic; only the *tokenizing geometry* differs per format.
+A :class:`FormatAdapter` captures exactly that geometry so the scan
+operator (:class:`repro.core.raw_scan.RawScan`), the parallel chunk
+workers and the schema sniffer can serve any newline-delimited format
+through the same adaptive cold->warm flow:
+
+* :meth:`build_line_index` — record (tuple) boundaries, the positional
+  map's pinned backbone;
+* :meth:`tokenize_span` — locate the fields of a record range, producing
+  the :class:`repro.rawio.tokenizer.TokenizedRows` offsets matrix the
+  positional map installs;
+* :meth:`extract_field` / :meth:`extract_fields_between` — the warm
+  positional-map jump: read one field given its recorded start offset.
+
+Capability flags tell the scan which shortcuts are sound for the format:
+
+``contiguous_fields``
+    Adjacent schema attributes in a map chunk imply that the next
+    attribute's start closes this field (true for CSV, where fields are
+    separated by exactly one delimiter; false for JSON-lines, where
+    ``", \"key\": "`` syntax sits between values and key order is not
+    fixed).
+``supports_anchors``
+    Tokenizing may start mid-record at a mapped attribute ("jump ... as
+    close as possible").  False forces every tokenize to start at the
+    record start with attribute 0.
+``selective_tokenizing``
+    Tokenizing may stop at the last needed attribute.  False (e.g.
+    JSON-lines, whose keys arrive in arbitrary per-record order) always
+    tokenizes the full record, so the map learns every attribute at once.
+
+**Newline normalization contract.**  Raw content is normalized exactly
+once, at decode time (:meth:`decode`, delegating to
+:func:`repro.rawio.reader.decode_raw`): CRLF becomes LF before any
+offset is computed, so positional maps never straddle a ``\r`` and
+parallel byte chunks (cut after ``\n``) agree with the serial scan.  An
+unterminated final record is likewise handled in one place —
+:meth:`build_line_index` closes it at end-of-content.  Adapters must not
+re-implement either rule per call site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..rawio.reader import decode_raw
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..catalog.schema import TableSchema
+    from ..rawio.dialect import CsvDialect
+    from ..rawio.tokenizer import TokenizedRows
+
+
+class FormatAdapter:
+    """Per-format tokenizing geometry behind one in-situ scan operator."""
+
+    #: Catalog / kernel-signature key of the format (``"csv"``, ...).
+    name: str = ""
+    contiguous_fields: bool = False
+    supports_anchors: bool = False
+    selective_tokenizing: bool = False
+
+    # Normalization lives once, here (see module docstring).
+    decode = staticmethod(decode_raw)
+
+    def kernel_eligible(self, dialect: "CsvDialect") -> bool:
+        """May :mod:`repro.kernels` tokenize this (format, dialect)?
+
+        ``False`` keeps the interpreted per-record path.
+        """
+        return False
+
+    def default_dialect(self) -> "CsvDialect":
+        """The dialect a table of this format registers with by default."""
+        raise NotImplementedError
+
+    def build_line_index(
+        self, content: str, has_header: bool = False
+    ) -> np.ndarray:
+        """Record-boundary array, length ``n_rows + 1`` (see tokenizer)."""
+        raise NotImplementedError
+
+    def tokenize_span(
+        self,
+        content: str,
+        field_starts: np.ndarray,
+        line_ends: np.ndarray,
+        first_attr: int,
+        last_attr: int,
+        n_attrs: int,
+        dialect: "CsvDialect",
+        schema: "TableSchema | None" = None,
+    ) -> "TokenizedRows":
+        """Locate fields for a record range; offsets feed the map.
+
+        ``schema`` carries attribute names for formats that address
+        fields by key (JSON-lines); positional formats ignore it.
+        """
+        raise NotImplementedError
+
+    def extract_field(
+        self, content: str, start: int, line_end: int, dialect: "CsvDialect"
+    ) -> str:
+        """Warm map jump: read one field given its recorded start offset."""
+        raise NotImplementedError
+
+    def extract_fields_between(
+        self,
+        content: str,
+        starts: np.ndarray,
+        next_starts: np.ndarray,
+        dialect: "CsvDialect",
+    ) -> list[str]:
+        """Extraction when the map knows the next field's start too.
+
+        Only called when :attr:`contiguous_fields` is true.
+        """
+        raise NotImplementedError
+
+    def infer_schema(
+        self,
+        path,
+        dialect: "CsvDialect",
+        sample_rows: int = 200,
+    ) -> "TableSchema":
+        raise NotImplementedError
+
+
+def adapter_for(fmt: str) -> FormatAdapter:
+    """The (stateless, shared) adapter instance for a format name."""
+    try:
+        return _ADAPTERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown table format {fmt!r} (have {sorted(_ADAPTERS)})"
+        ) from None
+
+
+def register_adapter(adapter: FormatAdapter) -> FormatAdapter:
+    _ADAPTERS[adapter.name] = adapter
+    return adapter
+
+
+_ADAPTERS: dict[str, FormatAdapter] = {}

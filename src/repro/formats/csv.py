@@ -1,0 +1,84 @@
+"""The CSV adapter: the original tokenizer behind the adapter seam.
+
+Every method delegates verbatim to :mod:`repro.rawio.tokenizer` — the
+CSV path through :class:`repro.core.raw_scan.RawScan` is byte-for-byte
+the pre-refactor behavior (the existing property suites pin this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rawio import tokenizer
+from ..rawio.dialect import CsvDialect, DEFAULT_DIALECT
+from .base import FormatAdapter, register_adapter
+
+
+class CsvAdapter(FormatAdapter):
+    """Delimiter-separated rows: one delimiter between adjacent fields."""
+
+    name = "csv"
+    #: Field ``j`` ends where field ``j + 1`` starts (minus the delimiter).
+    contiguous_fields = True
+    #: Tokenizing may start at any mapped attribute's offset.
+    supports_anchors = True
+    #: Splitting may stop at the last attribute a query needs.
+    selective_tokenizing = True
+
+    def kernel_eligible(self, dialect: CsvDialect) -> bool:
+        from ..kernels import kernel_supported
+
+        return kernel_supported(dialect)
+
+    def default_dialect(self) -> CsvDialect:
+        return DEFAULT_DIALECT
+
+    def build_line_index(
+        self, content: str, has_header: bool = False
+    ) -> np.ndarray:
+        return tokenizer.build_line_index(content, has_header)
+
+    def tokenize_span(
+        self,
+        content: str,
+        field_starts: np.ndarray,
+        line_ends: np.ndarray,
+        first_attr: int,
+        last_attr: int,
+        n_attrs: int,
+        dialect: CsvDialect,
+        schema=None,  # CSV fields are positional; names are not needed
+    ):
+        return tokenizer.tokenize_span(
+            content,
+            field_starts,
+            line_ends,
+            first_attr,
+            last_attr,
+            n_attrs,
+            dialect,
+        )
+
+    def extract_field(
+        self, content: str, start: int, line_end: int, dialect: CsvDialect
+    ) -> str:
+        return tokenizer.extract_field(content, start, line_end, dialect)
+
+    def extract_fields_between(
+        self,
+        content: str,
+        starts: np.ndarray,
+        next_starts: np.ndarray,
+        dialect: CsvDialect,
+    ) -> list[str]:
+        return tokenizer.extract_fields_between(
+            content, starts, next_starts, dialect
+        )
+
+    def infer_schema(self, path, dialect: CsvDialect, sample_rows: int = 200):
+        from ..rawio.sniffer import infer_schema
+
+        return infer_schema(path, dialect, sample_rows)
+
+
+CSV_ADAPTER = register_adapter(CsvAdapter())

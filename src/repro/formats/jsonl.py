@@ -1,0 +1,297 @@
+"""The JSON-lines adapter: one JSON object per newline-delimited record.
+
+JSONL records are newline-aligned, so the whole adaptive stack
+generalizes: the CSV line index *is* the JSONL record index, parallel
+byte chunks cut after ``\\n`` stay record-aligned, and streaming/wire
+serving are format-blind.  What differs is the positional-map flavor —
+for each record the map stores the **value-start offset of every schema
+key** (wherever that key happens to appear in the record), so a warm
+scan jumps straight to ``"price": <here>`` and parses just that value.
+
+Format geometry (see :class:`repro.formats.base.FormatAdapter`):
+
+* keys arrive in arbitrary per-record order, so tokenizing always scans
+  the full record (``selective_tokenizing = False``) and never anchors
+  mid-record (``supports_anchors = False``) — but it learns *all*
+  attributes in one pass, so one cold query warms the map for every
+  later projection;
+* value offsets of adjacent schema attributes are not adjacent in the
+  record (``contiguous_fields = False``): the warm jump re-scans each
+  value to its top-level ``,`` / ``}`` terminator (quote- and
+  escape-aware for strings);
+* no vectorized kernel (``kernel_eligible`` is always ``False``) — the
+  interpreted per-record path first, as planned.
+
+Value mapping: JSON ``null`` becomes the engine NULL (surfaced as the
+:data:`JSONL_NULL` sentinel token so the shared
+:func:`repro.datatypes.convert_column` path applies); ``true``/``false``
+parse via the BOOLEAN converter; numbers and strings parse by the
+declared column type.  Nested objects/arrays are rejected — this engine
+models flat relational rows, like its CSV side.  A record missing a
+schema key is malformed (use an explicit JSON ``null`` for NULL);
+unknown keys are ignored and duplicate keys last-win.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..errors import RawDataError
+from ..rawio import tokenizer
+from ..rawio.dialect import CsvDialect
+from ..rawio.tokenizer import TokenizedRows
+from .base import FormatAdapter, register_adapter
+
+#: NULL sentinel token for JSONL fields.  JSON has a real ``null``
+#: literal, but the shared convert path recognizes NULLs by comparing
+#: field text against ``dialect.null_token`` — so JSONL nulls surface as
+#: this unprintable sentinel, which cannot collide with data short of a
+#: string escaping a literal NUL character.
+JSONL_NULL = "\x00"
+
+#: The pseudo-dialect JSONL tables register with: no header line, and
+#: the NULL sentinel above.  The delimiter is irrelevant (record syntax
+#: is JSON), but the field keeps every dialect-shaped call site working.
+JSONL_DIALECT = CsvDialect(
+    delimiter=",", quote_char=None, null_token=JSONL_NULL, has_header=False
+)
+
+_WS = " \t"
+
+
+def _skip_ws(content: str, pos: int, limit: int) -> int:
+    while pos < limit and content[pos] in _WS:
+        pos += 1
+    return pos
+
+
+def _scan_string(content: str, start: int, limit: int) -> tuple[str, int]:
+    """Scan the JSON string starting (with ``\"``) at ``start``.
+
+    Returns ``(decoded_text, end)`` with ``end`` one past the closing
+    quote.  Escaped quotes are honored; decoding falls back to
+    :func:`json.loads` only when an escape is present.
+    """
+    pos = start + 1
+    while True:
+        q = content.find('"', pos, limit)
+        if q == -1:
+            raise RawDataError(
+                f"unterminated JSON string at offset {start}"
+            )
+        backslashes = 0
+        b = q - 1
+        while b > start and content[b] == "\\":
+            backslashes += 1
+            b -= 1
+        if backslashes % 2 == 1:
+            pos = q + 1  # escaped quote, keep scanning
+            continue
+        break
+    raw = content[start : q + 1]
+    if "\\" not in raw:
+        return raw[1:-1], q + 1
+    try:
+        return json.loads(raw), q + 1
+    except ValueError:
+        raise RawDataError(
+            f"malformed JSON string at offset {start}: {raw!r}"
+        ) from None
+
+
+def scan_value(
+    content: str, pos: int, line_end: int, null_token: str = JSONL_NULL
+) -> tuple[str, int]:
+    """Scan one JSON value starting at ``pos``; return ``(text, end)``.
+
+    ``text`` is the field in the engine's raw-text form — the form
+    :func:`repro.datatypes.convert_column` parses: decoded string
+    contents, the number/boolean literal verbatim, or ``null_token``
+    for JSON ``null``.  This is both the tokenizer's value scanner and
+    the positional-map jump (:meth:`JsonLinesAdapter.extract_field`).
+    """
+    if pos >= line_end:
+        raise RawDataError(f"missing JSON value at offset {pos}")
+    c = content[pos]
+    if c == '"':
+        return _scan_string(content, pos, line_end)
+    if c == "n" and content.startswith("null", pos):
+        return null_token, pos + 4
+    if c == "t" and content.startswith("true", pos):
+        return "true", pos + 4
+    if c == "f" and content.startswith("false", pos):
+        return "false", pos + 5
+    if c in "{[":
+        raise RawDataError(
+            f"nested JSON containers are not supported (offset {pos}): "
+            "JSONL tables hold flat rows"
+        )
+    end = pos
+    while end < line_end and content[end] not in ",} \t":
+        end += 1
+    if end == pos:
+        raise RawDataError(f"malformed JSON value at offset {pos}")
+    return content[pos:end], end
+
+
+def parse_record(
+    content: str,
+    pos: int,
+    line_end: int,
+    key_to_attr: dict[str, int],
+    row: int = 0,
+    null_token: str = JSONL_NULL,
+) -> tuple[list[int], list[str]]:
+    """Scan one record; return per-attribute value starts and texts.
+
+    Unknown keys are skipped, duplicates last-win, and a missing schema
+    key raises :class:`RawDataError` (JSON ``null`` expresses NULL).
+    """
+    n_attrs = len(key_to_attr)
+    starts = [0] * n_attrs
+    texts: list[str | None] = [None] * n_attrs
+    pos = _skip_ws(content, pos, line_end)
+    if pos >= line_end or content[pos] != "{":
+        raise RawDataError(
+            f"row {row}: expected a JSON object record", row=row
+        )
+    pos = _skip_ws(content, pos + 1, line_end)
+    first = True
+    while True:
+        if pos >= line_end:
+            raise RawDataError(
+                f"row {row}: unterminated JSON object record", row=row
+            )
+        if content[pos] == "}":
+            pos += 1
+            break
+        if not first:
+            if content[pos] != ",":
+                raise RawDataError(
+                    f"row {row}: expected ',' or '}}' at offset {pos}",
+                    row=row,
+                )
+            pos = _skip_ws(content, pos + 1, line_end)
+        first = False
+        if pos >= line_end or content[pos] != '"':
+            raise RawDataError(
+                f"row {row}: expected a quoted key at offset {pos}", row=row
+            )
+        key, pos = _scan_string(content, pos, line_end)
+        pos = _skip_ws(content, pos, line_end)
+        if pos >= line_end or content[pos] != ":":
+            raise RawDataError(
+                f"row {row}: expected ':' after key {key!r}", row=row
+            )
+        pos = _skip_ws(content, pos + 1, line_end)
+        value_start = pos
+        text, pos = scan_value(content, pos, line_end, null_token)
+        attr = key_to_attr.get(key)
+        if attr is not None:
+            starts[attr] = value_start
+            texts[attr] = text
+        pos = _skip_ws(content, pos, line_end)
+    if _skip_ws(content, pos, line_end) < line_end:
+        raise RawDataError(
+            f"row {row}: trailing content after the JSON record", row=row
+        )
+    for attr, text in enumerate(texts):
+        if text is None:
+            name = next(k for k, a in key_to_attr.items() if a == attr)
+            raise RawDataError(
+                f"row {row}: record is missing key {name!r} "
+                "(use JSON null for NULL)",
+                row=row,
+            )
+    return starts, texts  # type: ignore[return-value]
+
+
+class JsonLinesAdapter(FormatAdapter):
+    """One JSON object per line, flat values only."""
+
+    name = "jsonl"
+    contiguous_fields = False
+    supports_anchors = False
+    selective_tokenizing = False
+
+    def kernel_eligible(self, dialect: CsvDialect) -> bool:
+        return False  # interpreted per-record path
+
+    def default_dialect(self) -> CsvDialect:
+        return JSONL_DIALECT
+
+    def build_line_index(
+        self, content: str, has_header: bool = False
+    ) -> np.ndarray:
+        # Records are newline-aligned; JSONL never has a header line.
+        return tokenizer.build_line_index(content, has_header=False)
+
+    def tokenize_span(
+        self,
+        content: str,
+        field_starts: np.ndarray,
+        line_ends: np.ndarray,
+        first_attr: int,
+        last_attr: int,
+        n_attrs: int,
+        dialect: CsvDialect,
+        schema=None,
+    ) -> TokenizedRows:
+        if schema is None:
+            raise RawDataError("JSONL tokenizing needs the table schema")
+        if first_attr != 0 or last_attr != n_attrs - 1:
+            raise RawDataError(
+                "JSONL records tokenize full-width (keys are unordered); "
+                f"got span {first_attr}..{last_attr}"
+            )
+        key_to_attr = {c.name: i for i, c in enumerate(schema.columns)}
+        null_token = dialect.null_token
+        n_rows = len(field_starts)
+        offsets = np.empty((n_rows, n_attrs + 1), dtype=np.int64)
+        fields_out: list[list[str]] = []
+        starts_list = field_starts.tolist()
+        ends_list = line_ends.tolist()
+        for r in range(n_rows):
+            starts, texts = parse_record(
+                content,
+                starts_list[r],
+                ends_list[r],
+                key_to_attr,
+                row=r,
+                null_token=null_token,
+            )
+            offsets[r, :n_attrs] = starts
+            # Uniform end sentinel, like CSV's: one past the record's
+            # newline.  Dropped before map installation (full-width spans
+            # install offsets[:, :-1]) — kept only for shape parity.
+            offsets[r, n_attrs] = ends_list[r] + 1
+            fields_out.append(texts)
+        return TokenizedRows(0, 0, n_attrs - 1, offsets, fields_out)
+
+    def extract_field(
+        self, content: str, start: int, line_end: int, dialect: CsvDialect
+    ) -> str:
+        text, _ = scan_value(content, start, line_end, dialect.null_token)
+        return text
+
+    def extract_fields_between(
+        self,
+        content: str,
+        starts: np.ndarray,
+        next_starts: np.ndarray,
+        dialect: CsvDialect,
+    ) -> list[str]:
+        raise RawDataError(
+            "JSONL fields are not contiguous; extract_fields_between "
+            "must not be called (contiguous_fields is False)"
+        )
+
+    def infer_schema(self, path, dialect: CsvDialect, sample_rows: int = 200):
+        from ..rawio.sniffer import infer_schema_jsonl
+
+        return infer_schema_jsonl(path, sample_rows=sample_rows)
+
+
+JSONL_ADAPTER = register_adapter(JsonLinesAdapter())

@@ -52,6 +52,12 @@ class KernelSignature:
     first_attr: int
     last_attr: int
     n_attrs: int
+    #: Source format the kernel specializes ("csv", ...).  Only formats
+    #: whose adapter reports ``kernel_eligible`` ever reach the cache,
+    #: but the key carries the format so per-format specializations
+    #: (per "Code Generation Techniques for Raw Data Processing") never
+    #: collide.
+    fmt: str = "csv"
 
 
 def make_signature(
@@ -59,6 +65,7 @@ def make_signature(
     dtypes: tuple[DataType, ...],
     first_attr: int,
     last_attr: int,
+    fmt: str = "csv",
 ) -> KernelSignature:
     return KernelSignature(
         delimiter=dialect.delimiter,
@@ -67,6 +74,7 @@ def make_signature(
         first_attr=first_attr,
         last_attr=last_attr,
         n_attrs=len(dtypes),
+        fmt=fmt,
     )
 
 

@@ -94,7 +94,8 @@ def render_governor_panel(service: PostgresRawService, width: int = 40) -> str:
         share = row["nbytes"] / total
         bar = "#" * max(int(share * 20), 1 if row["nbytes"] else 0)
         lines.append(
-            f"{row['table']:>12s}/{row['kind']:<5s} "
+            f"{row['table']:>12s}/{row['kind']:<11s} "
+            f"{row.get('format', '-'):<5s} "
             f"[{bar:<20s}] {row['nbytes'] / 1024:8.0f} KiB "
             f"in {row['items']} items"
         )

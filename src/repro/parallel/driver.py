@@ -336,6 +336,7 @@ class ParallelScanDriver:
             config=worker_config,
             collect_stats=cfg.enable_statistics,
             first_chunk=first_chunk,
+            fmt=self.state.entry.format,
         )
 
     def inflight_window(self) -> int:

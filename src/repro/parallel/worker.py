@@ -36,7 +36,6 @@ from ..errors import RawDataError, ScanWorkerError
 from ..kernels import ContentBuffer
 from ..rawio.dialect import CsvDialect
 from ..rawio.reader import decode_raw
-from ..rawio.tokenizer import build_line_index
 from ..sql.ast import Expression
 
 
@@ -59,6 +58,10 @@ class ChunkTask:
     config: PostgresRawConfig
     collect_stats: bool
     first_chunk: bool
+    #: Source-file format of the table (``repro.formats``): the worker
+    #: rebuilds its chunk-local entry with the same adapter, so JSONL
+    #: chunks tokenize as JSON records on both pool backends.
+    fmt: str = "csv"
     # Chunk text source (exactly one of the two).
     text: str | None = None
     path: str | None = None
@@ -184,6 +187,7 @@ def _scan_chunk(task: ChunkTask) -> ChunkResult:
         task.schema,
         Path(task.path) if task.path else Path(task.entry_name),
         task.dialect,
+        task.fmt,
     )
     state = RawTableState(entry, task.config)
     scan = _ChunkScan(
@@ -202,7 +206,7 @@ def _scan_chunk(task: ChunkTask) -> ChunkResult:
         bounds = np.asarray(task.local_bounds, dtype=np.int64)
     else:
         with metrics.time(BreakdownComponent.TOKENIZING):
-            bounds = build_line_index(
+            bounds = entry.adapter.build_line_index(
                 content, task.first_chunk and task.dialect.has_header
             )
     n_rows = max(len(bounds) - 1, 0)

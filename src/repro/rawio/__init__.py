@@ -17,7 +17,13 @@ from .generator import (
     generate_csv,
     uniform_table_spec,
 )
-from .writer import write_csv, append_csv_rows
+from .sniffer import sniff_format
+from .writer import (
+    append_csv_rows,
+    append_jsonl_rows,
+    write_csv,
+    write_jsonl,
+)
 
 __all__ = [
     "CsvDialect",
@@ -35,4 +41,7 @@ __all__ = [
     "uniform_table_spec",
     "write_csv",
     "append_csv_rows",
+    "write_jsonl",
+    "append_jsonl_rows",
+    "sniff_format",
 ]

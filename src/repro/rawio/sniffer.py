@@ -8,6 +8,7 @@ INTEGER -> FLOAT -> DATE -> BOOLEAN -> TEXT).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from ..catalog.schema import Column, TableSchema
@@ -16,6 +17,34 @@ from ..errors import ConversionError, RawDataError
 from .dialect import CsvDialect, DEFAULT_DIALECT
 
 _SAMPLE_ROWS = 200
+
+
+def sniff_format(path: str | Path) -> str:
+    """Detect a raw file's format: ``"jsonl"`` or ``"csv"``.
+
+    A file whose first non-empty line parses as a JSON object is JSONL;
+    everything else — including single-column CSVs, CSVs whose *quoted
+    fields* happen to contain JSON text, and empty files — is CSV (the
+    historical default).  A quoted CSV field never starts a line with a
+    bare ``{``, so the probe is unambiguous on well-formed inputs.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("{"):
+                try:
+                    return (
+                        "jsonl"
+                        if isinstance(json.loads(stripped), dict)
+                        else "csv"
+                    )
+                except ValueError:
+                    return "csv"
+            return "csv"
+    return "csv"
 
 
 def _fits(texts: list[str], probe) -> bool:
@@ -94,4 +123,77 @@ def infer_schema(
             if row[i] != dialect.null_token
         ]
         columns.append(Column(name.strip(), infer_column_type(samples)))
+    return TableSchema(columns)
+
+
+def infer_schema_jsonl(
+    path: str | Path, sample_rows: int = _SAMPLE_ROWS
+) -> TableSchema:
+    """Infer a schema from the head of a JSON-lines file.
+
+    Keys are taken in first-seen order; each key's type is the
+    narrowest one accepting every sampled non-null value (JSON types
+    first — bool/int/float are native — then DATE-looking strings).
+    """
+    path = Path(path)
+    keys: list[str] = []
+    samples: dict[str, list[object]] = {}
+    n = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except ValueError as exc:
+                raise RawDataError(
+                    f"row {n}: not valid JSON ({exc})", row=n
+                ) from None
+            if not isinstance(record, dict):
+                raise RawDataError(
+                    f"row {n}: JSONL records must be objects", row=n
+                )
+            for key, value in record.items():
+                if key not in samples:
+                    keys.append(key)
+                    samples[key] = []
+                if isinstance(value, (dict, list)):
+                    raise RawDataError(
+                        f"row {n}: key {key!r} holds a nested container; "
+                        "JSONL tables hold flat rows",
+                        row=n,
+                    )
+                if value is not None:
+                    samples[key].append(value)
+            n += 1
+            if n >= sample_rows:
+                break
+    if not keys:
+        raise RawDataError(f"cannot infer a schema from empty file {path}")
+
+    columns = []
+    for key in keys:
+        values = samples[key]
+        # bool before int: bool is an int subclass in Python.
+        if values and all(isinstance(v, bool) for v in values):
+            dtype = DataType.BOOLEAN
+        elif values and all(
+            isinstance(v, int) and not isinstance(v, bool) for v in values
+        ):
+            dtype = DataType.INTEGER
+        elif values and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in values
+        ):
+            dtype = DataType.FLOAT
+        elif values and all(isinstance(v, str) for v in values):
+            dtype = (
+                DataType.DATE
+                if _fits(values, parse_date)
+                else DataType.TEXT
+            )
+        else:
+            dtype = DataType.TEXT
+        columns.append(Column(key, dtype))
     return TableSchema(columns)

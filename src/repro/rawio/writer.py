@@ -8,11 +8,12 @@ then detect and reconcile them.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..catalog.schema import TableSchema
-from ..datatypes import format_scalar
+from ..datatypes import DataType, format_scalar
 from ..errors import RawDataError
 from .dialect import CsvDialect, DEFAULT_DIALECT
 
@@ -87,6 +88,71 @@ def append_csv_rows(
     """
     body = render_rows(rows, schema, dialect)
     data = body.encode("utf-8")
+    with open(path, "ab") as f:
+        f.write(data)
+    return len(data)
+
+
+def render_jsonl_rows(
+    rows: Iterable[Sequence[object]], schema: TableSchema
+) -> str:
+    """Format binary rows as JSON-lines text (trailing newline).
+
+    Field texts render through the same :func:`format_scalar` as the
+    CSV writer, so a CSV file and a JSONL file written from the same
+    rows carry byte-identical value literals — the format property
+    suite leans on this.
+    """
+    dtypes = schema.dtypes()
+    names = schema.names()
+    lines = []
+    for row in rows:
+        if len(row) != len(dtypes):
+            raise RawDataError(
+                f"row has {len(row)} values, schema has {len(dtypes)}"
+            )
+        parts = []
+        for name, value, dtype in zip(names, row, dtypes):
+            if value is None:
+                literal = "null"
+            elif dtype in (
+                DataType.INTEGER,
+                DataType.FLOAT,
+                DataType.BOOLEAN,
+            ):
+                # format_scalar yields valid JSON literals for these.
+                literal = format_scalar(value, dtype, "null")
+            else:  # TEXT, DATE
+                literal = json.dumps(format_scalar(value, dtype, "null"))
+            parts.append(f"{json.dumps(name)}: {literal}")
+        lines.append("{" + ", ".join(parts) + "}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(
+    path: str | Path,
+    rows: Iterable[Sequence[object]],
+    schema: TableSchema,
+) -> Path:
+    """Write a raw JSON-lines file (one object per line, no header)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        f.write(render_jsonl_rows(rows, schema))
+    return path
+
+
+def append_jsonl_rows(
+    path: str | Path,
+    rows: Iterable[Sequence[object]],
+    schema: TableSchema,
+) -> int:
+    """Append JSONL records, as an external process would.
+
+    Returns the number of bytes appended.
+    """
+    data = render_jsonl_rows(rows, schema).encode("utf-8")
     with open(path, "ab") as f:
         f.write(data)
     return len(data)

@@ -84,7 +84,7 @@ class MemoryGovernor:
         self.budget_bytes = int(budget_bytes)
         self.benefit_half_life_s = benefit_half_life_s
         self.lock = threading.RLock()
-        self._members: list[tuple[str, str, GovernedStructure]] = []
+        self._members: list[tuple[str, str, str, GovernedStructure]] = []
         self.evictions = 0
         self.cross_evictions = 0
         self.rejected_grants = 0
@@ -95,16 +95,25 @@ class MemoryGovernor:
     # ------------------------------------------------------------------
 
     def register(
-        self, structure: GovernedStructure, table: str, kind: str
+        self,
+        structure: GovernedStructure,
+        table: str,
+        kind: str,
+        fmt: str = "csv",
     ) -> None:
+        """``fmt`` is the source-file format the structure indexes —
+        every per-format structure competes in the same
+        benefit-per-byte economy, the label is for the monitor panel."""
         with self.lock:
-            self._members.append((table, kind, structure))
+            self._members.append((table, kind, fmt, structure))
 
     def unregister_table(self, table: str) -> int:
         """Detach a dropped table's structures; returns bytes released."""
         with self.lock:
             freed = sum(
-                s.governed_bytes() for t, _, s in self._members if t == table
+                s.governed_bytes()
+                for t, _, _, s in self._members
+                if t == table
             )
             self._members = [m for m in self._members if m[0] != table]
             self.released_bytes += freed
@@ -117,7 +126,7 @@ class MemoryGovernor:
     @property
     def used_bytes(self) -> int:
         with self.lock:
-            return sum(s.governed_bytes() for _, _, s in self._members)
+            return sum(s.governed_bytes() for _, _, _, s in self._members)
 
     def pressure(self) -> float:
         if self.budget_bytes <= 0:
@@ -169,7 +178,7 @@ class MemoryGovernor:
         """Evictable items, cheapest-to-lose first (decayed benefit)."""
         now = time.monotonic()
         candidates: list[GovernedItem] = []
-        for _, _, structure in self._members:
+        for _, _, _, structure in self._members:
             for (
                 token,
                 nbytes,
@@ -213,16 +222,17 @@ class MemoryGovernor:
                 {
                     "table": table,
                     "kind": kind,
+                    "format": fmt,
                     "nbytes": structure.governed_bytes(),
                     "items": len(structure.governed_items()),
                 }
-                for table, kind, structure in self._members
+                for table, kind, fmt, structure in self._members
             ]
 
     def stats(self) -> dict[str, object]:
         with self.lock:
             by_kind: dict[str, int] = {}
-            for _, kind, structure in self._members:
+            for _, kind, _, structure in self._members:
                 by_kind[kind] = (
                     by_kind.get(kind, 0) + structure.governed_bytes()
                 )

@@ -46,6 +46,8 @@ existing call site keeps working unchanged.
 from __future__ import annotations
 
 import itertools
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -73,6 +75,7 @@ from ..rawio.sniffer import infer_schema
 from ..sql.ast import Expression, SelectStatement
 from ..sql.parser import parse_select
 from ..sql.planner import LogicalPlan, Planner
+from ..storage.vertical import VerticalStore
 from ..telemetry import Telemetry
 from ..telemetry.trace import Span
 from .governor import MemoryGovernor
@@ -218,6 +221,10 @@ class PostgresRawService:
         registry.register_collector("residency", self._collect_residency)
         registry.register_collector("traces", self.telemetry.tracer.stats)
         registry.register_collector("kernels", self.kernel_cache.stats)
+        #: Vertical-persistence stores, one per table (``vp_enabled``).
+        self._vertical: dict[str, VerticalStore] = {}
+        self._vp_dir: Path | None = None
+        self._vp_dir_owned = False
         self._pool = None
         self._pool_lock = threading.Lock()
         self._session_ids = itertools.count(1)
@@ -262,6 +269,12 @@ class PostgresRawService:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.close()
+        for store in list(self._vertical.values()):
+            store.invalidate()
+        self._vertical.clear()
+        if self._vp_dir_owned and self._vp_dir is not None:
+            shutil.rmtree(self._vp_dir, ignore_errors=True)
+            self._vp_dir = None
 
     def __enter__(self) -> "PostgresRawService":
         return self
@@ -303,24 +316,100 @@ class PostgresRawService:
         schema: TableSchema | None = None,
         dialect: CsvDialect = DEFAULT_DIALECT,
     ) -> RawTableEntry:
-        """Register a raw file as a queryable table.
+        """Register a raw CSV file as a queryable table.
 
         No data is read (beyond a small sample if ``schema`` is omitted
         and must be inferred); queries can start immediately.
         """
         if schema is None:
             schema = infer_schema(path, dialect)
+        return self._register(name, path, schema, dialect, "csv")
+
+    def register_jsonl(
+        self,
+        name: str,
+        path: str | Path,
+        schema: TableSchema | None = None,
+    ) -> RawTableEntry:
+        """Register a raw JSON-lines file as a queryable table."""
+        from ..formats import JSONL_DIALECT, adapter_for
+
+        adapter = adapter_for("jsonl")
+        if schema is None:
+            schema = adapter.infer_schema(path, JSONL_DIALECT)
+        return self._register(name, path, schema, JSONL_DIALECT, "jsonl")
+
+    def register_table(
+        self,
+        name: str,
+        path: str | Path,
+        schema: TableSchema | None = None,
+        dialect: CsvDialect | None = None,
+        format: str | None = None,
+    ) -> RawTableEntry:
+        """Register a raw file, sniffing its format when not declared."""
+        from ..rawio.sniffer import sniff_format
+
+        fmt = format or sniff_format(path)
+        if fmt == "csv":
+            return self.register_csv(
+                name, path, schema, dialect or DEFAULT_DIALECT
+            )
+        if fmt == "jsonl":
+            if dialect is not None:
+                raise ServiceError(
+                    "JSONL tables do not take a CSV dialect"
+                )
+            return self.register_jsonl(name, path, schema)
+        raise ServiceError(f"unknown table format {fmt!r}")
+
+    def _register(
+        self,
+        name: str,
+        path: str | Path,
+        schema: TableSchema,
+        dialect: CsvDialect,
+        fmt: str,
+    ) -> RawTableEntry:
         with self._registry_lock:
-            entry = self.catalog.register_raw(name, schema, path, dialect)
+            entry = self.catalog.register_raw(
+                name, schema, path, dialect, fmt
+            )
             state = RawTableState(entry, self.config)
             if self.governor is not None:
                 state.positional_map.bind_governor(self.governor)
                 state.cache.bind_governor(self.governor)
-                self.governor.register(state.positional_map, name, "map")
-                self.governor.register(state.cache, name, "cache")
+                self.governor.register(
+                    state.positional_map, name, "map", fmt
+                )
+                self.governor.register(state.cache, name, "cache", fmt)
+            if self.config.vp_enabled:
+                store = VerticalStore(
+                    name,
+                    self._vp_root(),
+                    self.config,
+                    registry=self.telemetry.registry,
+                )
+                if self.governor is not None:
+                    store.bind_governor(self.governor)
+                    self.governor.register(store, name, "columnstore", fmt)
+                self._vertical[name] = store
             self._states[name] = state
             self._table_locks[name] = RWLock()
         return entry
+
+    def _vp_root(self) -> Path:
+        """Directory vertical-persistence columns are written under."""
+        if self._vp_dir is None:
+            if self.config.vp_dir is not None:
+                self._vp_dir = Path(self.config.vp_dir)
+                self._vp_dir.mkdir(parents=True, exist_ok=True)
+            else:
+                self._vp_dir = Path(
+                    tempfile.mkdtemp(prefix="repro-vp-")
+                )
+                self._vp_dir_owned = True
+        return self._vp_dir
 
     def drop_table(self, name: str) -> None:
         """Unregister a table, releasing its adaptive-state bytes.
@@ -341,6 +430,9 @@ class PostgresRawService:
                 self.governor.unregister_table(name)
             if self.mv is not None:
                 self.mv.drop_table(name)
+            store = self._vertical.pop(name, None)
+            if store is not None:
+                store.invalidate()
 
     def table_state(self, name: str) -> RawTableState:
         """Adaptive state of a table (positional map, cache, statistics) —
@@ -768,7 +860,10 @@ class PostgresRawService:
         self, deferred: list[tuple[RawScan, InstallPlan]]
     ) -> None:
         for scan, install_plan in deferred:
-            if install_plan.empty():
+            # An empty plan still matters to vertical persistence: a
+            # cache-served repeat query discovers nothing new, yet it is
+            # exactly the usage signal that crosses ``vp_min_accesses``.
+            if install_plan.empty() and scan.vp is None:
                 continue
             lock = self._table_locks.get(scan.state.entry.name)
             if lock is None:
@@ -894,11 +989,14 @@ class PostgresRawService:
         if state.pending_append or pm.line_bounds is None:
             return False
         n_rows = pm.n_rows
+        vp = self._vertical.get(state.entry.name)
         for attr in scan._needed_attrs:
             if (
                 self.config.enable_cache
                 and state.cache.coverage_rows(attr) >= n_rows
             ):
+                continue
+            if vp is not None and vp.coverage_rows(attr) >= n_rows:
                 continue
             if pm.coverage_rows(attr) >= n_rows:
                 continue
@@ -935,6 +1033,7 @@ class PostgresRawService:
             scan.telemetry = self.telemetry
             scan.trace_parent = root
             scan.kernel_cache = self.kernel_cache
+            scan.vp = self._vertical.get(table)
             scans.append(scan)
             return scan
 
@@ -994,6 +1093,12 @@ class PostgresRawService:
             # aggregate does not — its groups are already totals.)
             if self.mv is not None:
                 self.mv.invalidate_table(state.entry.name)
+            # Promoted columns likewise: a vertical column is a full
+            # prefix snapshot, stale the moment the file grows or
+            # changes underneath it.
+            store = self._vertical.get(state.entry.name)
+            if store is not None:
+                store.invalidate()
         return change
 
     # ------------------------------------------------------------------
@@ -1026,10 +1131,12 @@ class PostgresRawService:
         with self._registry_lock:
             states = sorted(self._states.items())
         for name, state in states:
+            fmt = state.entry.format
             residency.append(
                 {
                     "table": name,
                     "kind": "map",
+                    "format": fmt,
                     "nbytes": state.positional_map.used_bytes,
                     "items": state.positional_map.chunk_count,
                 }
@@ -1038,10 +1145,22 @@ class PostgresRawService:
                 {
                     "table": name,
                     "kind": "cache",
+                    "format": fmt,
                     "nbytes": state.cache.used_bytes,
                     "items": state.cache.entry_count,
                 }
             )
+            store = self._vertical.get(name)
+            if store is not None:
+                residency.append(
+                    {
+                        "table": name,
+                        "kind": "columnstore",
+                        "format": fmt,
+                        "nbytes": store.governed_bytes(),
+                        "items": len(store.governed_items()),
+                    }
+                )
         if self.mv is not None:
             residency.extend(self.mv.catalog.residency())
         return residency

@@ -1,0 +1,233 @@
+"""Vertical persistence: governed promotion of hot raw columns.
+
+The NoDB-to-loaded continuum ("Workload-Driven Vertical Partitioning",
+PAPERS.md): the workload itself nominates hot (table, column) pairs of a
+raw table, and their already-converted vectors are written into the
+on-disk columnstore (:mod:`repro.storage.columnstore`) as a *durable*
+governed cache tier.  Later scans serve those columns straight from
+binary storage — no raw-file I/O, no tokenizing, no parsing — while the
+table stays registered in situ.
+
+One :class:`VerticalStore` exists per raw table (when ``vp_enabled``).
+It is a :class:`repro.service.governor.GovernedStructure` of kind
+``"columnstore"``: promoted bytes are admitted through
+``governor.grant`` against the same budget as positional-map chunks,
+cache entries and materialized aggregates, and evict per column by
+benefit-per-byte.  Appends, rewrites and drops invalidate the whole
+store, exactly like materialized aggregates — promoted vectors always
+describe a full, current row prefix.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..batch import ColumnVector
+from ..catalog.schema import Column, TableSchema
+from ..config import PostgresRawConfig
+from ..datatypes import DataType
+from .columnstore import ColumnStoreTable
+
+
+@dataclass
+class PromotedColumn:
+    """One (table, column) pair resident in the columnstore tier."""
+
+    attr: int
+    name: str
+    dtype: DataType
+    store: ColumnStoreTable
+    rows: int
+    nbytes: int
+    #: Measured conversion time the promotion captured — what a future
+    #: scan of this column saves, for benefit-per-byte eviction.
+    benefit_seconds: float
+    last_used: int = 0
+    last_used_ts: float = field(default_factory=time.monotonic)
+    hits: int = 0
+
+
+class VerticalStore:
+    """Per-table columnstore tier holding promoted hot columns."""
+
+    def __init__(
+        self,
+        table: str,
+        root: str | Path,
+        config: PostgresRawConfig,
+        registry=None,
+    ) -> None:
+        self.table = table
+        self.root = Path(root)
+        self.config = config
+        self.registry = registry
+        self._lock = threading.RLock()
+        self._columns: dict[int, PromotedColumn] = {}
+        self._clock = 0
+        self._governor = None
+
+    def bind_governor(self, governor) -> None:
+        self._governor = governor
+
+    # ------------------------------------------------------------------
+    # GovernedStructure protocol.
+    # ------------------------------------------------------------------
+
+    def governed_bytes(self) -> int:
+        with self._lock:
+            return sum(c.nbytes for c in self._columns.values())
+
+    def governed_items(self):
+        with self._lock:
+            return [
+                (
+                    c.attr,
+                    c.nbytes,
+                    (c.benefit_seconds / c.nbytes) if c.nbytes else 0.0,
+                    c.last_used,
+                    c.last_used_ts,
+                )
+                for c in self._columns.values()
+            ]
+
+    def governed_evict(self, token: object) -> int:
+        with self._lock:
+            column = self._columns.pop(token, None)
+            if column is None:
+                return 0
+            shutil.rmtree(column.store.directory, ignore_errors=True)
+            return column.nbytes
+
+    # ------------------------------------------------------------------
+    # Promotion / serving.
+    # ------------------------------------------------------------------
+
+    def coverage_rows(self, attr: int) -> int:
+        with self._lock:
+            column = self._columns.get(attr)
+            return column.rows if column is not None else 0
+
+    def promote(
+        self,
+        attr: int,
+        name: str,
+        dtype: DataType,
+        vector: ColumnVector,
+        benefit_seconds: float,
+    ) -> bool:
+        """Write one converted column into the columnstore tier.
+
+        Bytes are measured from the files actually written, then
+        admitted through the governor (which may evict other governed
+        structures — or refuse, in which case the files are removed
+        again).  Returns whether the column is now resident.
+        """
+        directory = self.root / f"{self.table}-{attr}-{name}"
+        schema = TableSchema([Column(name, dtype)])
+        # Zone maps are skipped: this tier is a cache serving row
+        # ranges, not a block-skipping scan target.
+        store = ColumnStoreTable.create(
+            directory, schema, {name: vector}, build_zone_maps=False
+        )
+        nbytes = store.storage_bytes()
+        if not self._admit(nbytes):
+            shutil.rmtree(directory, ignore_errors=True)
+            return False
+        with self._lock:
+            old = self._columns.get(attr)
+            if old is not None:
+                shutil.rmtree(old.store.directory, ignore_errors=True)
+            self._clock += 1
+            self._columns[attr] = PromotedColumn(
+                attr=attr,
+                name=name,
+                dtype=dtype,
+                store=store,
+                rows=len(vector),
+                nbytes=nbytes,
+                benefit_seconds=benefit_seconds,
+                last_used=self._clock,
+            )
+        if self.registry is not None:
+            self.registry.counter("vp_promotions_total").inc()
+        return True
+
+    def _admit(self, nbytes: int) -> bool:
+        if self._governor is not None:
+            return self._governor.grant(self, nbytes)
+        # Silo mode (no shared governor): stay under the cache budget by
+        # evicting the lowest benefit-per-byte columns first.
+        budget = self.config.cache_budget
+        if nbytes > budget:
+            return False
+        with self._lock:
+            used = sum(c.nbytes for c in self._columns.values())
+            if used + nbytes <= budget:
+                return True
+            victims = sorted(
+                self._columns.values(),
+                key=lambda c: (
+                    (c.benefit_seconds / c.nbytes) if c.nbytes else 0.0,
+                    c.last_used,
+                ),
+            )
+            for victim in victims:
+                used -= self.governed_evict(victim.attr)
+                if used + nbytes <= budget:
+                    return True
+        return False
+
+    def read(
+        self,
+        attr: int,
+        name: str,
+        lo: int,
+        hi: int,
+        sel: np.ndarray | None,
+        metrics,
+    ) -> ColumnVector:
+        """Serve rows [lo, hi) (or the ``sel`` subset) of one column.
+
+        mmap loads are charged to the ``io`` bucket by the columnstore
+        itself; the raw file is never touched.
+        """
+        with self._lock:
+            column = self._columns[attr]
+            self._clock += 1
+            column.last_used = self._clock
+            column.last_used_ts = time.monotonic()
+            column.hits += 1
+        if self.registry is not None:
+            self.registry.counter("vp_served_total").inc()
+        index = sel if sel is not None else slice(lo, hi)
+        return column.store._vector(name, index, metrics)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def invalidate(self) -> int:
+        """Append/rewrite/drop: the promoted prefixes are stale."""
+        with self._lock:
+            dropped = len(self._columns)
+            for column in self._columns.values():
+                shutil.rmtree(column.store.directory, ignore_errors=True)
+            self._columns.clear()
+        if self.registry is not None and dropped:
+            self.registry.counter("vp_invalidations_total").inc(dropped)
+        return dropped
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "table": self.table,
+                "columns": sorted(c.name for c in self._columns.values()),
+                "nbytes": sum(c.nbytes for c in self._columns.values()),
+                "hits": sum(c.hits for c in self._columns.values()),
+            }

@@ -1,0 +1,230 @@
+"""Vertical persistence: hot columns promoted into the columnstore.
+
+With ``vp_enabled=True`` a repeated workload crosses the
+``vp_min_accesses`` threshold and the governor admits promoted columns
+as a durable "columnstore" tier; later scans of a promoted column are
+served without touching the raw file, appends/rewrites/drops invalidate
+the store, and with the default ``vp_enabled=False`` nothing changes.
+"""
+
+import pytest
+
+from repro import (
+    Column,
+    DataType,
+    PostgresRaw,
+    PostgresRawConfig,
+    TableSchema,
+    append_csv_rows,
+    write_csv,
+)
+from repro.monitor.governor import render_governor_panel
+
+SCHEMA = TableSchema(
+    [
+        Column("a", DataType.INTEGER),
+        Column("b", DataType.INTEGER),
+        Column("c", DataType.TEXT),
+    ]
+)
+
+ROWS = [(i, i * 2, f"r{i}") for i in range(400)]
+
+SQL = "SELECT a FROM t WHERE a >= 0"
+
+
+def _vp_config(tmp_path, **kw):
+    return PostgresRawConfig(
+        memory_budget=50_000_000,
+        vp_enabled=True,
+        vp_min_accesses=2,
+        vp_dir=str(tmp_path / "vp"),
+        **kw,
+    )
+
+
+def _make_engine(tmp_path, config):
+    path = tmp_path / "t.csv"
+    write_csv(path, ROWS, SCHEMA)
+    eng = PostgresRaw(config)
+    eng.register_csv("t", path, SCHEMA)
+    return eng
+
+
+def _counter(eng, name):
+    return eng.telemetry.registry.counter(name).value
+
+
+def test_repeated_workload_promotes_and_serves(tmp_path, monkeypatch):
+    eng = _make_engine(tmp_path, _vp_config(tmp_path))
+    try:
+        expected = [(r[0],) for r in ROWS]
+        for _ in range(3):
+            assert list(eng.query(SQL)) == expected
+        assert _counter(eng, "vp_promotions_total") >= 1
+
+        # Drop the binary cache (keep the positional map so the line
+        # bounds survive): the next scan must come from the columnstore
+        # without re-reading the raw file.  Prove the raw file is never
+        # opened by making the raw reader explode.
+        state = eng.table_state("t")
+        state.cache.invalidate()
+
+        import repro.core.raw_scan as raw_scan_mod
+
+        def _no_raw_reads(*args, **kwargs):
+            raise AssertionError("raw file was read on a VP-served scan")
+
+        monkeypatch.setattr(raw_scan_mod, "RawFileReader", _no_raw_reads)
+        served_before = _counter(eng, "vp_served_total")
+        result = eng.query(SQL)
+        assert list(result) == expected
+        assert _counter(eng, "vp_served_total") > served_before
+        # No tokenizing or parsing either: the column arrives binary.
+        assert result.metrics.tokenizing_seconds == 0.0
+        assert result.metrics.parsing_seconds == 0.0
+    finally:
+        eng.close()
+
+
+def test_explain_annotates_vp_serving(tmp_path):
+    eng = _make_engine(tmp_path, _vp_config(tmp_path))
+    try:
+        assert "vp: served from columnstore" not in eng.explain(SQL)
+        for _ in range(3):
+            eng.query(SQL)
+        assert "-- vp: served from columnstore" in eng.explain(SQL)
+        # A projection including an unpromoted column is not annotated.
+        assert "vp: served from columnstore" not in eng.explain(
+            "SELECT a, c FROM t WHERE a >= 0"
+        )
+    finally:
+        eng.close()
+
+
+def test_residency_rows_and_accounting_balance(tmp_path):
+    eng = _make_engine(tmp_path, _vp_config(tmp_path))
+    try:
+        for _ in range(3):
+            eng.query(SQL)
+        governor = eng.service.governor
+        rows = governor.residency()
+        kinds = {row["kind"] for row in rows}
+        assert "columnstore" in kinds
+        assert all("format" in row for row in rows)
+        cs_rows = [r for r in rows if r["kind"] == "columnstore"]
+        assert cs_rows[0]["format"] == "csv"
+        assert cs_rows[0]["nbytes"] > 0
+        # Governed byte accounting balances across all tiers.
+        assert governor.used_bytes == sum(r["nbytes"] for r in rows)
+    finally:
+        eng.close()
+
+
+def test_monitor_panel_shows_format_and_columnstore(tmp_path):
+    eng = _make_engine(tmp_path, _vp_config(tmp_path))
+    try:
+        for _ in range(3):
+            eng.query(SQL)
+        panel = render_governor_panel(eng.service)
+        assert "columnstore" in panel
+        assert "csv" in panel
+    finally:
+        eng.close()
+
+
+def test_append_invalidates_promoted_columns(tmp_path):
+    eng = _make_engine(tmp_path, _vp_config(tmp_path))
+    try:
+        for _ in range(3):
+            eng.query(SQL)
+        assert _counter(eng, "vp_promotions_total") >= 1
+        promos_before = _counter(eng, "vp_promotions_total")
+        append_csv_rows(tmp_path / "t.csv", [(1000, 2000, "x")], SCHEMA)
+        eng.refresh()
+        assert _counter(eng, "vp_invalidations_total") >= 1
+        # The stale promotion is gone until a scan rebuilds it.
+        assert "vp: served from columnstore" not in eng.explain(SQL)
+        # Stale columnstore data must not leak into answers.
+        got = list(eng.query(SQL))
+        assert len(got) == len(ROWS) + 1
+        assert got[-1] == (1000,)
+        # The still-hot column re-promotes over the appended rows.
+        assert _counter(eng, "vp_promotions_total") > promos_before
+    finally:
+        eng.close()
+
+
+def test_rewrite_invalidates_promoted_columns(tmp_path):
+    eng = _make_engine(tmp_path, _vp_config(tmp_path))
+    try:
+        for _ in range(3):
+            eng.query(SQL)
+        assert _counter(eng, "vp_promotions_total") >= 1
+        write_csv(tmp_path / "t.csv", ROWS[:10], SCHEMA)
+        eng.refresh()
+        assert _counter(eng, "vp_invalidations_total") >= 1
+        assert list(eng.query(SQL)) == [(r[0],) for r in ROWS[:10]]
+    finally:
+        eng.close()
+
+
+def test_drop_table_releases_columnstore_bytes(tmp_path):
+    eng = _make_engine(tmp_path, _vp_config(tmp_path))
+    try:
+        for _ in range(3):
+            eng.query(SQL)
+        governor = eng.service.governor
+        assert governor.used_bytes > 0
+        eng.drop_table("t")
+        assert governor.used_bytes == 0
+        assert governor.residency() == []
+    finally:
+        eng.close()
+
+
+def test_vp_disabled_by_default(tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv(path, ROWS, SCHEMA)
+    eng = PostgresRaw(PostgresRawConfig(memory_budget=50_000_000))
+    try:
+        eng.register_csv("t", path, SCHEMA)
+        for _ in range(4):
+            assert len(list(eng.query(SQL))) == len(ROWS)
+        assert _counter(eng, "vp_promotions_total") == 0
+        assert eng.service._vertical == {}
+        kinds = {r["kind"] for r in eng.service.governor.residency()}
+        assert "columnstore" not in kinds
+        assert "vp: served from columnstore" not in eng.explain(SQL)
+    finally:
+        eng.close()
+
+
+def test_vp_min_accesses_validated():
+    from repro.errors import BudgetError
+
+    with pytest.raises(BudgetError):
+        PostgresRawConfig(vp_min_accesses=0)
+
+
+def test_vp_respects_governor_budget(tmp_path):
+    # A budget too small for any promotion: the engine still answers,
+    # promotions are denied, and accounting stays balanced.
+    config = PostgresRawConfig(
+        memory_budget=2048,
+        vp_enabled=True,
+        vp_min_accesses=2,
+        vp_dir=str(tmp_path / "vp"),
+    )
+    eng = _make_engine(tmp_path, config)
+    try:
+        expected = [(r[0],) for r in ROWS]
+        for _ in range(4):
+            assert list(eng.query(SQL)) == expected
+        governor = eng.service.governor
+        assert governor.used_bytes <= 2048
+        assert governor.used_bytes == sum(
+            r["nbytes"] for r in governor.residency()
+        )
+    finally:
+        eng.close()

@@ -1,0 +1,221 @@
+"""Cross-format equivalence properties.
+
+A JSONL file and a CSV file encoding the same rows must answer every
+query identically — cold, warm, under the 4-worker chunked scan pool,
+and through streaming cursors.  Mirrors the shapes of
+``test_engine_props.py`` but runs each generated query against *both*
+encodings of the same generated rows and compares row lists directly.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import (
+    Column,
+    CsvDialect,
+    DataType,
+    PostgresRaw,
+    PostgresRawConfig,
+    TableSchema,
+    write_csv,
+    write_jsonl,
+)
+
+N_COLS = 4
+SCHEMA = TableSchema(
+    [
+        Column("c0", DataType.INTEGER),
+        Column("c1", DataType.INTEGER),
+        Column("c2", DataType.TEXT),
+        Column("c3", DataType.FLOAT),
+    ]
+)
+
+# Quoted dialect with a distinct NULL token: generated text may contain
+# commas, quotes and JSON punctuation, and the empty string must stay
+# distinguishable from NULL on the CSV side (JSON always distinguishes).
+DIALECT = CsvDialect(
+    delimiter=",", quote_char='"', null_token="NULL", has_header=False
+)
+
+# Deliberately nasty alphabet: delimiters, CSV quotes, JSON syntax
+# characters, backslashes and a non-ASCII letter.
+TEXT_ALPHABET = 'ab:,"{}[]\\ é0'
+
+cell_strategies = [
+    st.one_of(st.none(), st.integers(min_value=-50, max_value=50)),
+    st.one_of(st.none(), st.integers(min_value=-50, max_value=50)),
+    st.one_of(
+        st.none(),
+        st.text(alphabet=TEXT_ALPHABET, max_size=12).filter(
+            lambda s: s != DIALECT.null_token
+        ),
+    ),
+    st.one_of(
+        st.none(),
+        st.integers(min_value=-400, max_value=400).map(lambda i: i / 8.0),
+    ),
+]
+
+rows_strategy = st.lists(
+    st.tuples(*cell_strategies), min_size=1, max_size=40
+)
+
+OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+query_strategy = st.fixed_dictionaries(
+    {
+        "proj": st.lists(
+            st.integers(min_value=0, max_value=N_COLS - 1),
+            min_size=1,
+            max_size=N_COLS,
+            unique=True,
+        ),
+        "filter_col": st.sampled_from([0, 1]),
+        "op": st.sampled_from(sorted(OPS)),
+        "constant": st.integers(min_value=-50, max_value=50),
+    }
+)
+
+
+def _sql(query) -> str:
+    proj = ", ".join(f"c{i}" for i in query["proj"])
+    return (
+        f"SELECT {proj} FROM t "
+        f"WHERE c{query['filter_col']} {query['op']} {query['constant']}"
+    )
+
+
+def _write_pair(tmp_path, rows):
+    csv_path = tmp_path / "t.csv"
+    jsonl_path = tmp_path / "t.jsonl"
+    write_csv(csv_path, rows, SCHEMA, DIALECT)
+    write_jsonl(jsonl_path, rows, SCHEMA)
+    return csv_path, jsonl_path
+
+
+def _engines(tmp_path, rows, config):
+    csv_path, jsonl_path = _write_pair(tmp_path, rows)
+    csv_eng = PostgresRaw(config)
+    csv_eng.register_csv("t", csv_path, SCHEMA, DIALECT)
+    jsonl_eng = PostgresRaw(config)
+    jsonl_eng.register_jsonl("t", jsonl_path, SCHEMA)
+    return csv_eng, jsonl_eng
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(rows=rows_strategy, queries=st.lists(query_strategy, max_size=4))
+def test_jsonl_matches_csv_serial(tmp_path_factory, rows, queries):
+    tmp_path = tmp_path_factory.mktemp("fmt-serial")
+    config = PostgresRawConfig(batch_size=16)
+    csv_eng, jsonl_eng = _engines(tmp_path, rows, config)
+    try:
+        for query in queries:
+            sql = _sql(query)
+            # Run twice: the second pass exercises the warm
+            # positional-map / cache path on both sides.
+            for _ in range(2):
+                assert list(jsonl_eng.query(sql)) == list(
+                    csv_eng.query(sql)
+                ), sql
+    finally:
+        csv_eng.close()
+        jsonl_eng.close()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(rows=rows_strategy, query=query_strategy)
+def test_jsonl_matches_csv_parallel_threads(tmp_path_factory, rows, query):
+    tmp_path = tmp_path_factory.mktemp("fmt-par")
+    config = PostgresRawConfig(
+        batch_size=16, scan_workers=4, parallel_chunk_bytes=64
+    )
+    csv_eng, jsonl_eng = _engines(tmp_path, rows, config)
+    try:
+        sql = _sql(query)
+        for _ in range(2):
+            assert list(jsonl_eng.query(sql)) == list(csv_eng.query(sql)), sql
+    finally:
+        csv_eng.close()
+        jsonl_eng.close()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(rows=rows_strategy, query=query_strategy)
+def test_jsonl_matches_csv_streaming(tmp_path_factory, rows, query):
+    tmp_path = tmp_path_factory.mktemp("fmt-stream")
+    config = PostgresRawConfig(batch_size=8)
+    csv_eng, jsonl_eng = _engines(tmp_path, rows, config)
+    try:
+        sql = _sql(query)
+        with jsonl_eng.query_stream(sql) as jcur, csv_eng.query_stream(
+            sql
+        ) as ccur:
+            assert list(jcur.fetchall()) == list(ccur.fetchall()), sql
+    finally:
+        csv_eng.close()
+        jsonl_eng.close()
+
+
+def test_jsonl_matches_csv_process_backend(tmp_path):
+    """One deterministic pass through the process scan pool."""
+    rows = [
+        (i % 23 - 11, (i * 7) % 19, f"s{i}" if i % 5 else None, i / 8.0)
+        for i in range(500)
+    ]
+    config = PostgresRawConfig(
+        scan_workers=4, parallel_chunk_bytes=1024, parallel_backend="process"
+    )
+    csv_eng, jsonl_eng = _engines(tmp_path, rows, config)
+    try:
+        for sql in (
+            "SELECT c0, c2 FROM t WHERE c1 > 5",
+            "SELECT c3, c0 FROM t WHERE c0 <= 0",
+        ):
+            assert list(jsonl_eng.query(sql)) == list(csv_eng.query(sql)), sql
+    finally:
+        csv_eng.close()
+        jsonl_eng.close()
+
+
+def test_jsonl_append_matches_csv_append(tmp_path):
+    """Appends to both encodings keep answers identical after refresh."""
+    from repro import append_csv_rows, append_jsonl_rows
+
+    rows = [(i, -i, f"r{i}", i / 4.0) for i in range(40)]
+    extra = [(100 + i, i, None, None) for i in range(10)]
+    csv_eng, jsonl_eng = _engines(tmp_path, rows, PostgresRawConfig())
+    try:
+        sql = "SELECT c0, c1, c2, c3 FROM t WHERE c0 >= 0"
+        assert list(jsonl_eng.query(sql)) == list(csv_eng.query(sql))
+        append_csv_rows(tmp_path / "t.csv", extra, SCHEMA, DIALECT)
+        append_jsonl_rows(tmp_path / "t.jsonl", extra, SCHEMA)
+        csv_eng.refresh()
+        jsonl_eng.refresh()
+        got_csv = list(csv_eng.query(sql))
+        got_jsonl = list(jsonl_eng.query(sql))
+        assert len(got_csv) == 50
+        assert got_jsonl == got_csv
+    finally:
+        csv_eng.close()
+        jsonl_eng.close()

@@ -4,9 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke serve serve-smoke bench bench-parallel bench-concurrent \
-	bench-streaming bench-wire bench-telemetry bench-tokenizer bench-mv \
-	bench-format stress stress-process lint verify
+.PHONY: test smoke serve serve-smoke serve-sharded sharded-smoke bench \
+	bench-parallel bench-concurrent bench-streaming bench-wire \
+	bench-telemetry bench-tokenizer bench-mv bench-format bench-sharded \
+	stress stress-process lint verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,7 +23,7 @@ smoke:
 	$(PYTHON) examples/quickstart.py
 
 # Foreground wire-protocol server over a generated demo table
-# (Ctrl-C to stop); point repro.client.connect() at port 5433.
+# (Ctrl-C to stop); point repro.connect("raw://127.0.0.1:5433/") at it.
 serve:
 	$(PYTHON) -m repro.server --demo --port 5433
 
@@ -31,6 +32,17 @@ serve:
 # shutdown with no leaked cursors, scheduler slots or connections.
 serve-smoke:
 	$(PYTHON) examples/wire_quickstart.py
+
+# Foreground 2-shard cluster over a generated demo table (Ctrl-C to
+# stop); it prints the cluster DSN to hand to repro.connect(...).
+serve-sharded:
+	$(PYTHON) -m repro.sharding --demo --shards 2
+
+# CI gate for the sharded tier: partitions a table, boots a real
+# multi-process cluster, and drives routed + scattered queries through
+# the DSN surface, asserting answers match a single-node engine.
+sharded-smoke:
+	$(PYTHON) examples/sharded_quickstart.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --import-mode=importlib \
@@ -83,6 +95,13 @@ bench-format:
 # asserts the kernels win (>= 3x on wide numeric at full scale).
 bench-tokenizer:
 	$(PYTHON) -m pytest benchmarks/bench_tokenizer.py \
+		--benchmark-only --import-mode=importlib -q -s
+
+# Sharded serving tier: scatter-gather aggregate qps at 1/2/4 shards
+# vs one server, routed point-lookup qps, and routed-vs-scattered TTFB
+# (asserts 4-shard aggregates >= 1.5x single-node on >= 4 cores).
+bench-sharded:
+	$(PYTHON) -m pytest benchmarks/bench_sharded.py \
 		--benchmark-only --import-mode=importlib -q -s
 
 # Heavier threaded stress run of the concurrent serving layer (the

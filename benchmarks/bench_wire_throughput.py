@@ -99,8 +99,8 @@ def _run_wire(server, n_clients: int, encodings) -> tuple[float, int]:
 
     def client():
         try:
-            with repro.client.connect(
-                port=server.port, encodings=encodings
+            with repro.client.Connection(
+                "127.0.0.1", server.port, encodings=encodings
             ) as conn:
                 assert conn.encoding == encodings[0]
                 start.wait()
@@ -127,7 +127,7 @@ def _run_multiplexed(server) -> tuple[float, list]:
     from repro.core.metrics import Stopwatch
 
     watch = Stopwatch()
-    with repro.client.connect(port=server.port) as conn:
+    with repro.client.Connection("127.0.0.1", server.port) as conn:
         cursors = [conn.cursor(STREAM_SQL) for _ in range(MUX_STREAMS)]
         results: list = [[] for _ in cursors]
         live = set(range(len(cursors)))
@@ -149,7 +149,7 @@ def _run_separate_connections(server) -> tuple[float, list]:
 
     def client(idx: int) -> None:
         try:
-            with repro.client.connect(port=server.port) as conn:
+            with repro.client.Connection("127.0.0.1", server.port) as conn:
                 results[idx] = conn.query(STREAM_SQL).rows
         except Exception as exc:
             errors.append(repr(exc))
@@ -174,7 +174,7 @@ def _run_pool_contrast(server) -> dict:
 
     watch = Stopwatch()
     for _ in range(POOL_QUERIES):
-        with repro.client.connect(port=server.port) as conn:
+        with repro.client.Connection("127.0.0.1", server.port) as conn:
             conn.query(POOL_SQL)
     fresh_wall = watch.elapsed()
     with ConnectionPool(port=server.port, min_size=1, max_size=2) as pool:
@@ -205,7 +205,7 @@ def _measure_ttfb(server, results: list, idx: int, ttfb_hist) -> None:
     round's TTFB is observed into the shared histogram."""
     from repro.core.metrics import Stopwatch
 
-    with repro.client.connect(port=server.port) as conn:
+    with repro.client.Connection("127.0.0.1", server.port) as conn:
         watch = Stopwatch()
         best_ttfb = None
         for _ in range(TTFB_ROUNDS):

@@ -43,7 +43,7 @@ def main() -> None:
             sql = "SELECT a0, a1 FROM m WHERE a2 < 500000"
             reference = service.query(sql).rows
 
-            with repro.client.connect(port=server.port) as conn:
+            with repro.client.Connection("127.0.0.1", server.port) as conn:
                 # Materialized over the wire == in-process, row for row.
                 result = conn.query(sql)
                 assert result.rows == reference, "wire rows diverged!"
@@ -86,8 +86,8 @@ def main() -> None:
                 )
 
             # The JSON floor answers identically to the binary default.
-            with repro.client.connect(
-                port=server.port, encodings=("json",)
+            with repro.client.Connection(
+                "127.0.0.1", server.port, encodings=("json",)
             ) as floor:
                 assert floor.encoding == "json"
                 assert floor.query(sql).rows == reference

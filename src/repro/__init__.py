@@ -24,6 +24,12 @@ The library provides:
   scans and fully-unmapped tail scans split the file into newline-aligned
   chunks processed by a scan pool, with per-chunk positional maps, cache
   columns and statistics merged back deterministically;
+* :mod:`repro.sharding` — the scale-out tier: a coordinator partitions
+  raw files by key across N worker processes (one engine + wire server
+  each), and :func:`connect` with a multi-host DSN returns a
+  shard-aware client that routes partition-key lookups and
+  scatter/merges everything else (aggregates re-merge through the same
+  partial-aggregation algebra the materialized-view cache uses);
 * :class:`ConventionalDBMS` / :class:`ExternalFilesDBMS` — load-first and
   external-files baselines sharing the same planner and executor;
 * workload generators, a "friendly race" harness and ASCII monitoring
@@ -60,8 +66,9 @@ positional map are identical to the serial path either way.
 """
 
 from .batch import Batch, ColumnVector
-from .catalog import Catalog, Column, TableSchema
+from .catalog import Catalog, Column, PartitionSpec, TableSchema
 from .config import PostgresRawConfig
+from .dsn import connect, format_dsn, parse_dsn
 from .core import (
     FileChange,
     PostgresRaw,
@@ -86,10 +93,31 @@ from .errors import (
     ScanWorkerError,
     SchemaError,
     ServiceError,
+    ShardingError,
     SQLSyntaxError,
     StorageError,
 )
 from .errors import ProtocolError
+
+# PEP 249 module interface: the exception hierarchy under its DB-API
+# names, plus the three module globals.  ``paramstyle`` is nominal —
+# the SELECT-only dialect has no parameter binding yet.
+from .errors import (  # noqa: F401 (re-exported per PEP 249)
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,  # noqa: A004 - PEP 249 mandates the name
+)
+
+apilevel = "2.0"
+threadsafety = 2  # threads may share the module and connections
+paramstyle = "qmark"
 from .executor import Cursor, QueryResult
 from .service import (
     MemoryGovernor,
@@ -120,8 +148,25 @@ __all__ = [
     "ColumnVector",
     "Catalog",
     "Column",
+    "PartitionSpec",
     "TableSchema",
     "PostgresRawConfig",
+    "connect",
+    "format_dsn",
+    "parse_dsn",
+    "apilevel",
+    "threadsafety",
+    "paramstyle",
+    "Error",
+    "Warning",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
     "FileChange",
     "PostgresRaw",
     "QueryMetrics",
@@ -145,6 +190,7 @@ __all__ = [
     "ReproError",
     "SchemaError",
     "ServiceError",
+    "ShardingError",
     "SQLSyntaxError",
     "StorageError",
     "Cursor",

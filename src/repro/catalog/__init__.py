@@ -1,10 +1,11 @@
 """Schemas and the table catalog."""
 
-from .schema import Column, TableSchema
+from .schema import Column, PartitionSpec, TableSchema
 from .catalog import Catalog, RawTableEntry, LoadedTableEntry
 
 __all__ = [
     "Column",
+    "PartitionSpec",
     "TableSchema",
     "Catalog",
     "RawTableEntry",

@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..errors import CatalogError
-from .schema import TableSchema
+from .schema import PartitionSpec, TableSchema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..rawio.dialect import CsvDialect
@@ -29,6 +29,9 @@ class RawTableEntry:
     path: Path
     dialect: "CsvDialect"
     format: str = "csv"
+    #: Set on tables registered as one shard of a partitioned whole
+    #: (:mod:`repro.sharding`); ``None`` for ordinary tables.
+    partition: PartitionSpec | None = None
 
     @property
     def kind(self) -> str:
@@ -68,10 +71,18 @@ class Catalog:
         path: str | Path,
         dialect: "CsvDialect",
         format: str = "csv",
+        partition: PartitionSpec | None = None,
     ) -> RawTableEntry:
         """Register a raw file as a queryable table (no data is read)."""
         self._check_free(name)
-        entry = RawTableEntry(name, schema, Path(path), dialect, format)
+        if partition is not None and not schema.has_column(partition.key):
+            raise CatalogError(
+                f"partition key {partition.key!r} is not a column of "
+                f"{name!r} (have {schema.names()})"
+            )
+        entry = RawTableEntry(
+            name, schema, Path(path), dialect, format, partition
+        )
         self._entries[name] = entry
         return entry
 

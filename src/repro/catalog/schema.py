@@ -26,6 +26,54 @@ class Column:
             raise SchemaError(f"invalid column name: {self.name!r}")
 
 
+#: Partitioning schemes understood by :mod:`repro.sharding`.
+PARTITION_SCHEMES = ("hash", "range")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How a table's rows are split across shard workers.
+
+    ``key`` names the partitioning column; ``scheme`` is ``"hash"``
+    (deterministic CRC32 of the key's canonical text) or ``"range"``
+    (``bounds`` holds ``shards - 1`` ascending split points; shard *i*
+    owns keys in ``[bounds[i-1], bounds[i])``).  ``index`` is filled on
+    shard workers with the shard this catalog entry holds; on the
+    coordinator/client side it stays ``None``.  A spec with
+    ``shards == 1`` describes the trivial single-shard layout the
+    default engine path uses.
+    """
+
+    key: str
+    scheme: str = "hash"
+    shards: int = 1
+    bounds: tuple = ()
+    index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in PARTITION_SCHEMES:
+            raise SchemaError(
+                f"partition scheme must be one of {PARTITION_SCHEMES}, "
+                f"not {self.scheme!r}"
+            )
+        if self.shards < 1:
+            raise SchemaError("partition shards must be >= 1")
+        if self.scheme == "range":
+            if len(self.bounds) != self.shards - 1:
+                raise SchemaError(
+                    f"range partitioning over {self.shards} shards needs "
+                    f"{self.shards - 1} bounds, got {len(self.bounds)}"
+                )
+            if list(self.bounds) != sorted(self.bounds):
+                raise SchemaError("range partition bounds must ascend")
+        elif self.bounds:
+            raise SchemaError("hash partitioning takes no bounds")
+        if self.index is not None and not (0 <= self.index < self.shards):
+            raise SchemaError(
+                f"partition index {self.index} outside [0, {self.shards})"
+            )
+
+
 class TableSchema:
     """An ordered, uniquely-named list of columns.
 

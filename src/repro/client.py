@@ -10,9 +10,9 @@ source decodes ROWS frames off the socket instead of draining a local
 re-raise the *same* exception classes (:class:`repro.errors.AdmissionError`,
 :class:`repro.errors.CursorTimeoutError`, ...) via their wire codes::
 
-    import repro.client
+    import repro
 
-    with repro.client.connect(port=server.port) as conn:
+    with repro.connect(f"raw://127.0.0.1:{server.port}/") as conn:
         with conn.cursor("SELECT a0 FROM t WHERE a1 < 100") as cur:
             for row in cur:
                 ...
@@ -54,6 +54,7 @@ import itertools
 import socket
 import threading
 import time
+import warnings
 from collections import deque
 from typing import Iterator
 
@@ -100,12 +101,22 @@ def connect(
     frame_bytes: int = 1 << 20,
     encodings: tuple[str, ...] = DEFAULT_ENCODINGS,
 ) -> "Connection":
-    """Open a connection and complete the handshake.
+    """Deprecated: use ``repro.connect("raw://host:port/")`` instead.
 
+    The DSN entry point replaces this per-argument signature — one
+    string now also names multi-host shard clusters (see
+    :mod:`repro.dsn`).  This shim opens the same single-server
+    :class:`Connection` and will be removed in a future release.
     ``encodings`` is the ROWS-encoding preference offered in HELLO
-    (pass ``("json",)`` to pin the portable floor, e.g. to compare
-    encodings in benchmarks).
+    (pass ``("json",)`` to pin the portable floor); callers needing it
+    should construct :class:`Connection` directly.
     """
+    warnings.warn(
+        "repro.client.connect(host, port) is deprecated; use "
+        'repro.connect("raw://host:port/") or repro.client.Connection',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Connection(
         host,
         port,
@@ -751,7 +762,9 @@ class ConnectionPool:
         self.stale_discarded = 0
         try:
             for _ in range(min_size):
-                conn = connect(self.host, self.port, **self._connect_kwargs)
+                conn = Connection(
+                    self.host, self.port, **self._connect_kwargs
+                )
                 with self._cond:
                     self._size += 1
                     self.connections_opened += 1
@@ -806,7 +819,9 @@ class ConnectionPool:
             for conn in stale:
                 conn.close()
         try:
-            conn = connect(self.host, self.port, **self._connect_kwargs)
+            conn = Connection(
+                self.host, self.port, **self._connect_kwargs
+            )
         except BaseException:
             with self._cond:
                 self._size -= 1

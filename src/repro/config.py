@@ -9,9 +9,12 @@ programmatic equivalent; every knob maps to a sentence in the paper
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import inspect
+import re
+from dataclasses import dataclass, fields, replace
 from typing import Any
 
+from .catalog.schema import PARTITION_SCHEMES
 from .errors import BudgetError
 
 #: Number of tuples processed per vectorized batch by the scan operators.
@@ -293,6 +296,24 @@ class PostgresRawConfig:
     #: that is removed on ``close()``.
     vp_dir: str | None = None
 
+    #: How many shard workers a :class:`repro.sharding.ShardCluster`
+    #: spawns, each a full service over its partition of every raw
+    #: file.  ``1`` (the default) is the single-node layout: no
+    #: partitioning happens and the engine path is byte-identical to a
+    #: cluster-less deployment.
+    shard_count: int = 1
+
+    #: Default partitioning scheme for sharded tables: ``"hash"``
+    #: (deterministic CRC32 of the key's canonical text) or
+    #: ``"range"`` (ascending split points derived from the data or
+    #: supplied per table).
+    shard_scheme: str = "hash"
+
+    #: Directory the coordinator writes partitioned shard files into.
+    #: ``None`` (the default) uses a per-cluster temporary directory
+    #: removed when the cluster stops.
+    shard_data_dir: str | None = None
+
     #: Half-life (seconds) for decaying the ``benefit_seconds`` signal
     #: of governed structures: a positional chunk or cache entry that
     #: has not been touched for one half-life counts at half its
@@ -373,6 +394,13 @@ class PostgresRawConfig:
             raise BudgetError("mv_max_bytes_fraction must be in (0, 1]")
         if self.vp_min_accesses < 1:
             raise BudgetError("vp_min_accesses must be >= 1")
+        if self.shard_count < 1:
+            raise BudgetError("shard_count must be >= 1")
+        if self.shard_scheme not in PARTITION_SCHEMES:
+            raise BudgetError(
+                f"shard_scheme must be one of {PARTITION_SCHEMES}, "
+                f"not {self.shard_scheme!r}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "PostgresRawConfig":
         """Return a copy with the given fields replaced.
@@ -403,3 +431,92 @@ class PostgresRawConfig:
     def cache_only(cls) -> "PostgresRawConfig":
         """Cache enabled, positional map disabled (ablation arm)."""
         return cls(enable_positional_map=False)
+
+
+# ----------------------------------------------------------------------
+# Knob documentation (single source of truth for the README table).
+# ----------------------------------------------------------------------
+
+#: Sentence-boundary abbreviations the first-sentence extractor must
+#: not split after.
+_ABBREVIATIONS = ("e.g", "i.e", "etc", "vs", "cf")
+
+
+def _first_sentence(text: str) -> str:
+    """The leading sentence of a knob doc (abbreviation-aware)."""
+    i = 0
+    while True:
+        j = text.find(". ", i)
+        if j == -1:
+            return text
+        if text[:j].endswith(_ABBREVIATIONS):
+            i = j + 2
+            continue
+        return text[: j + 1]
+
+
+def _format_default(value: object) -> str:
+    """Render a knob default the way the docs talk about it."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, int):
+        # Byte-sized knobs read better humanized; plain counts (batch
+        # sizes, sample sizes) stay numeric.
+        if value >= 1024 * 1024 and value % (1024 * 1024) == 0:
+            return f"{value // (1024 * 1024)} MiB"
+        return str(value)
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+def knob_docs() -> list[dict[str, str]]:
+    """Every :class:`PostgresRawConfig` knob with its default and doc.
+
+    Parsed from the ``#:`` attribute docstrings in this module's
+    source, in declaration order — the generator behind the README's
+    knob table (``tools/gen_knob_table.py``), so docs edited here are
+    the only place they live.
+    """
+    source = inspect.getsource(PostgresRawConfig)
+    docs: dict[str, str] = {}
+    buffer: list[str] = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#:"):
+            buffer.append(stripped[2:].strip())
+            continue
+        if buffer:
+            head = stripped.split(":", 1)[0].strip()
+            if head.isidentifier():
+                docs[head] = " ".join(buffer)
+            buffer = []
+    return [
+        {
+            "name": f.name,
+            "default": _format_default(f.default),
+            "doc": docs.get(f.name, ""),
+        }
+        for f in fields(PostgresRawConfig)
+    ]
+
+
+def _rst_to_markdown(text: str) -> str:
+    """Docstrings use Sphinx markup; the README speaks markdown."""
+    text = re.sub(r":\w+:`~?([^`]+)`", r"`\1`", text)
+    return text.replace("``", "`")
+
+
+def knob_table_markdown() -> str:
+    """The README's knob table, generated from :func:`knob_docs`."""
+    lines = [
+        "| Knob | Default | What it controls |",
+        "| --- | --- | --- |",
+    ]
+    for knob in knob_docs():
+        meaning = _rst_to_markdown(_first_sentence(knob["doc"]))
+        meaning = meaning.replace("|", "\\|")
+        lines.append(
+            f"| `{knob['name']}` | `{knob['default']}` | {meaning} |"
+        )
+    return "\n".join(lines)

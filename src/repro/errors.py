@@ -45,6 +45,12 @@ class PlanningError(ReproError):
     """A parsed query could not be turned into an executable plan."""
 
 
+class ShardingError(PlanningError):
+    """A query cannot run against a sharded cluster: its shape is not
+    scatter-mergeable (joins, non-decomposable aggregates) or the
+    partition metadata is inconsistent with the statement."""
+
+
 class ExecutionError(ReproError):
     """A plan failed while running (type mismatch, bad aggregate, ...)."""
 
@@ -145,6 +151,36 @@ class StreamLimitError(ServiceError):
     close a cursor (or use another pooled connection) and retry."""
 
 
+class IntegrityError(ReproError):
+    """A constraint would be violated (reserved: the engine currently
+    declares no constraints; part of the PEP 249 surface)."""
+
+
+class InternalError(ReproError):
+    """The library reached a state it believes impossible."""
+
+
+class NotSupportedError(ReproError):
+    """A requested feature is outside the supported SQL/API subset."""
+
+
+class Warning(Exception):  # noqa: A001 - name mandated by PEP 249
+    """Important non-fatal notice (PEP 249); never raised as an error."""
+
+
+#: PEP 249 exception names, aliased onto the native hierarchy so
+#: ``except repro.OperationalError`` works like any DB-API driver.
+#: Deviation from the PEP's two-branch tree: everything descends from
+#: :class:`ReproError` (= ``Error``), so ``InterfaceError`` is also a
+#: ``DatabaseError`` — harmless for catch-clause purposes.
+Error = ReproError
+DatabaseError = ReproError
+InterfaceError = ProtocolError
+DataError = RawDataError
+OperationalError = ServiceError
+ProgrammingError = SQLSyntaxError
+
+
 def fresh_copy(exc: BaseException) -> BaseException:
     """A new exception instance equivalent to ``exc``.
 
@@ -206,6 +242,7 @@ for _code, _cls in (
     ("protocol", ProtocolError),
     ("service", ServiceError),
     ("sql_syntax", SQLSyntaxError),
+    ("sharding", ShardingError),
     ("planning", PlanningError),
     ("execution", ExecutionError),
     ("conversion", ConversionError),
@@ -214,6 +251,8 @@ for _code, _cls in (
     ("catalog", CatalogError),
     ("schema", SchemaError),
     ("storage", StorageError),
+    ("integrity", IntegrityError),
+    ("not_supported", NotSupportedError),
     ("budget", BudgetError),
     ("update_conflict", UpdateConflictError),
     ("internal", ReproError),

@@ -51,6 +51,8 @@ class Cursor:
         self.column_names = list(column_names)
         self.column_types = list(column_types)
         self.metrics = metrics or QueryMetrics()
+        #: Default :meth:`fetchmany` size (PEP 249); mutable per cursor.
+        self.arraysize = 1
         self._batches = batches
         self._pending: list[tuple] = []  # rows decoded, not yet fetched
         self._on_close = on_close
@@ -115,6 +117,35 @@ class Cursor:
     # Row-level consumption (DB-API flavored).
     # ------------------------------------------------------------------
 
+    @property
+    def description(self) -> list[tuple]:
+        """PEP 249 column descriptions.
+
+        One 7-tuple per result column: ``(name, type_code, None, None,
+        None, None, None)`` — ``type_code`` is the column's
+        :class:`repro.datatypes.DataType` (compare with ``==``); the
+        display/size/precision/nullability slots are not tracked.
+        """
+        return [
+            (name, dtype, None, None, None, None, None)
+            for name, dtype in zip(self.column_names, self.column_types)
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        """Rows produced by the stream; ``-1`` while still streaming
+        (a lazy cursor cannot know its cardinality up front, which PEP
+        249 anticipates)."""
+        if self.exhausted or self.closed:
+            return self.rows_fetched
+        return -1
+
+    def setinputsizes(self, sizes: object) -> None:
+        """PEP 249 no-op (no parameter binding on the SELECT subset)."""
+
+    def setoutputsize(self, size: int, column: int | None = None) -> None:
+        """PEP 249 no-op (values are never truncated)."""
+
     def __iter__(self) -> Iterator[tuple]:
         while True:
             row = self.fetchone()
@@ -126,8 +157,11 @@ class Cursor:
         rows = self.fetchmany(1)
         return rows[0] if rows else None
 
-    def fetchmany(self, n: int) -> list[tuple]:
-        """Up to ``n`` rows; fewer only at end of stream."""
+    def fetchmany(self, n: int | None = None) -> list[tuple]:
+        """Up to ``n`` rows (default :attr:`arraysize`, per PEP 249);
+        fewer only at end of stream."""
+        if n is None:
+            n = self.arraysize
         if n < 0:
             raise ExecutionError(f"fetchmany needs n >= 0, got {n}")
         while len(self._pending) < n:
@@ -250,6 +284,19 @@ class QueryResult:
         return cls(names, [types[n] for n in names], rows, metrics)
 
     def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def description(self) -> list[tuple]:
+        """PEP 249-shaped column descriptions (see
+        :attr:`Cursor.description`)."""
+        return [
+            (name, dtype, None, None, None, None, None)
+            for name, dtype in zip(self.column_names, self.column_types)
+        ]
+
+    @property
+    def rowcount(self) -> int:
         return len(self.rows)
 
     def __iter__(self) -> Iterator[tuple]:

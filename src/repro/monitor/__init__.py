@@ -9,7 +9,9 @@
   memory-budget residency per table, governor pressure counters,
   scheduler occupancy and per-table lock contention;
 * :mod:`repro.monitor.connections` — the wire-server panel: open
-  connections, frame/row throughput and per-connection TTFB.
+  connections, frame/row throughput and per-connection TTFB;
+* :mod:`repro.monitor.shards` — the shard-cluster panel: per-shard
+  query/row load shares from the coordinator's relayed STATS.
 """
 
 from .breakdown import (
@@ -25,6 +27,7 @@ from .governor import (
     render_governor_panel,
 )
 from .panel import SystemMonitorPanel
+from .shards import render_shard_panel, shard_report
 from .usage import (
     query_signature_stats,
     render_attribute_usage,
@@ -42,6 +45,8 @@ __all__ = [
     "render_concurrency_panel",
     "render_governor_panel",
     "SystemMonitorPanel",
+    "render_shard_panel",
+    "shard_report",
     "query_signature_stats",
     "render_attribute_usage",
     "render_query_signatures",

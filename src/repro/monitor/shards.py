@@ -1,0 +1,75 @@
+"""Shard-cluster panel: per-shard load balance at a glance.
+
+Renders the coordinator's relayed STATS (see
+:meth:`repro.sharding.ShardCluster.stats` /
+:meth:`repro.sharding.ShardedConnectionPool.stats`) as an ASCII panel:
+one row per shard with its query and batch counts, a bar showing each
+shard's share of total queries served (skew jumps out as one long
+bar), and the cluster-wide counter totals — the view that tells you
+whether the hash key actually spread the workload.
+"""
+
+from __future__ import annotations
+
+_BAR_KEYS = (
+    "server.queries_total",
+    "queries_total",
+    "wire.queries_total",
+)
+
+
+def shard_report(stats: dict) -> list[dict[str, object]]:
+    """Per-shard load rows from a relayed STATS payload."""
+    rows = []
+    for i, snap in enumerate(stats.get("shards", [])):
+        counters = snap.get("counters", {}) if snap else {}
+        rows.append(
+            {
+                "shard": i,
+                "queries": _pick(counters, "quer"),
+                "batches": _pick(counters, "batch"),
+            }
+        )
+    return rows
+
+
+def _pick(counters: dict, needle: str) -> float:
+    """Sum all counters whose flat name mentions ``needle``."""
+    return sum(
+        v
+        for k, v in counters.items()
+        if needle in k and isinstance(v, (int, float))
+    )
+
+
+def render_shard_panel(stats: dict, width: int = 40) -> str:
+    """The cluster's shard balance as an ASCII panel."""
+    rows = shard_report(stats)
+    if not rows:
+        return "=== Shard Cluster === (no shards)"
+    total_queries = sum(r["queries"] for r in rows) or 1.0
+    lines = [f"=== Shard Cluster ({len(rows)} shards) ==="]
+    client = stats.get("client")
+    if client:
+        lines.append(
+            f"client: {client.get('routed', 0)} routed / "
+            f"{client.get('scattered', 0)} scattered"
+        )
+    for row in rows:
+        share = row["queries"] / total_queries
+        filled = int(round(share * width))
+        lines.append(
+            f"shard {row['shard']:<2d} "
+            f"[{'#' * filled}{'.' * (width - filled)}] "
+            f"{share * 100:5.1f}%  "
+            f"queries: {row['queries']:<8.0f} "
+            f"batches: {row['batches']:.0f}"
+        )
+    totals = stats.get("totals", {}).get("counters", {})
+    if totals:
+        shown = sorted(totals.items())[:6]
+        lines.append(
+            "totals: "
+            + "  ".join(f"{k}={v:.0f}" for k, v in shown)
+        )
+    return "\n".join(lines)

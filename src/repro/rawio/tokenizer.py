@@ -78,7 +78,15 @@ def build_line_index(content: str, has_header: bool = False) -> np.ndarray:
         bounds[:-1] = starts
         bounds[-1] = ends[-1] + 1
     else:
-        bounds[0] = len(content) + 1
+        # No data rows: the boundary is where the first row would
+        # start — one past the header's newline, which is len(content)
+        # when the header line is terminated (matching the non-empty
+        # convention of bounds[-1] = last newline + 1).  An append
+        # resumes tokenizing from this offset, so overshooting by one
+        # here would eat the first byte of the first appended row.
+        bounds[0] = (
+            len(content) if content.endswith("\n") else len(content) + 1
+        )
     return bounds
 
 

@@ -35,7 +35,7 @@ while at most ``max_concurrent_queries`` producers run.
 Use it embedded (tests, benchmarks)::
 
     server = RawServer(service).start()     # background event loop
-    ... repro.client.connect(port=server.port) ...
+    ... repro.connect(f"raw://127.0.0.1:{server.port}/") ...
     server.stop()
 
 or standalone (``make serve``)::

@@ -55,7 +55,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..catalog.catalog import Catalog, RawTableEntry
-from ..catalog.schema import TableSchema
+from ..catalog.schema import PartitionSpec, TableSchema
 from ..config import PostgresRawConfig
 from ..core.metrics import BreakdownComponent, QueryMetrics
 from ..core.raw_scan import InstallPlan, RawScan, RawTableState
@@ -315,21 +315,25 @@ class PostgresRawService:
         path: str | Path,
         schema: TableSchema | None = None,
         dialect: CsvDialect = DEFAULT_DIALECT,
+        partition: PartitionSpec | None = None,
     ) -> RawTableEntry:
         """Register a raw CSV file as a queryable table.
 
         No data is read (beyond a small sample if ``schema`` is omitted
         and must be inferred); queries can start immediately.
+        ``partition`` marks the file as one shard of a partitioned
+        whole (:mod:`repro.sharding`) — pure metadata on this node.
         """
         if schema is None:
             schema = infer_schema(path, dialect)
-        return self._register(name, path, schema, dialect, "csv")
+        return self._register(name, path, schema, dialect, "csv", partition)
 
     def register_jsonl(
         self,
         name: str,
         path: str | Path,
         schema: TableSchema | None = None,
+        partition: PartitionSpec | None = None,
     ) -> RawTableEntry:
         """Register a raw JSON-lines file as a queryable table."""
         from ..formats import JSONL_DIALECT, adapter_for
@@ -337,7 +341,9 @@ class PostgresRawService:
         adapter = adapter_for("jsonl")
         if schema is None:
             schema = adapter.infer_schema(path, JSONL_DIALECT)
-        return self._register(name, path, schema, JSONL_DIALECT, "jsonl")
+        return self._register(
+            name, path, schema, JSONL_DIALECT, "jsonl", partition
+        )
 
     def register_table(
         self,
@@ -346,6 +352,7 @@ class PostgresRawService:
         schema: TableSchema | None = None,
         dialect: CsvDialect | None = None,
         format: str | None = None,
+        partition: PartitionSpec | None = None,
     ) -> RawTableEntry:
         """Register a raw file, sniffing its format when not declared."""
         from ..rawio.sniffer import sniff_format
@@ -353,14 +360,14 @@ class PostgresRawService:
         fmt = format or sniff_format(path)
         if fmt == "csv":
             return self.register_csv(
-                name, path, schema, dialect or DEFAULT_DIALECT
+                name, path, schema, dialect or DEFAULT_DIALECT, partition
             )
         if fmt == "jsonl":
             if dialect is not None:
                 raise ServiceError(
                     "JSONL tables do not take a CSV dialect"
                 )
-            return self.register_jsonl(name, path, schema)
+            return self.register_jsonl(name, path, schema, partition)
         raise ServiceError(f"unknown table format {fmt!r}")
 
     def _register(
@@ -370,10 +377,11 @@ class PostgresRawService:
         schema: TableSchema,
         dialect: CsvDialect,
         fmt: str,
+        partition: PartitionSpec | None = None,
     ) -> RawTableEntry:
         with self._registry_lock:
             entry = self.catalog.register_raw(
-                name, schema, path, dialect, fmt
+                name, schema, path, dialect, fmt, partition
             )
             state = RawTableState(entry, self.config)
             if self.governor is not None:

@@ -1,0 +1,39 @@
+"""Sharded multi-process serving tier over partitioned raw files.
+
+The scale-out layer of the in-situ engine: a coordinator
+(:class:`ShardCluster`) splits raw files by a partition key, runs one
+full engine + wire server per shard in its own process (sidestepping
+the GIL for CPU-bound tokenize/parse scans), and a shard-aware client
+(:class:`ShardedConnectionPool`) routes partition-key point queries to
+the owning shard while scattering everything else and merging through
+the engine's own operator algebra — aggregates re-merge exactly like
+the materialized-view partial re-aggregation path.
+"""
+
+from .partition import (
+    append_rows_partitioned,
+    derive_range_bounds,
+    key_bytes,
+    partition_file,
+    shard_of,
+)
+from .scatter import ScatterPlan, ScatterPlanner, ShardResult, gather
+from .coordinator import ShardCluster
+from .client import ShardedConnectionPool
+from .worker import WorkerTable, run_worker
+
+__all__ = [
+    "ScatterPlan",
+    "ScatterPlanner",
+    "ShardCluster",
+    "ShardResult",
+    "ShardedConnectionPool",
+    "WorkerTable",
+    "append_rows_partitioned",
+    "derive_range_bounds",
+    "gather",
+    "key_bytes",
+    "partition_file",
+    "run_worker",
+    "shard_of",
+]

@@ -271,3 +271,53 @@ def expr_to_sql(expr: Expression) -> str:
     if isinstance(expr, Star):
         return "*"
     return repr(expr)
+
+
+def select_to_sql(stmt: SelectStatement) -> str:
+    """Render a full statement back to parseable SQL.
+
+    The inverse of :func:`repro.sql.parser.parse_select` for the
+    supported subset (modulo whitespace and redundant parentheses):
+    the sharding layer rewrites statements — stripped ORDER BY,
+    decomposed aggregates, hidden sort columns — and ships the result
+    to shard servers as text, so the rendering must round-trip.
+    """
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    rendered_items = []
+    for item in stmt.items:
+        text = expr_to_sql(item.expr)
+        if item.alias is not None:
+            text += f" AS {item.alias}"
+        rendered_items.append(text)
+    parts.append(", ".join(rendered_items))
+    if stmt.from_table is not None:
+        parts.append(f"FROM {stmt.from_table.name}")
+        if stmt.from_table.alias is not None:
+            parts.append(stmt.from_table.alias)
+    for join in stmt.joins:
+        kind = "LEFT JOIN" if join.kind == "left" else "JOIN"
+        parts.append(f"{kind} {join.table.name}")
+        if join.table.alias is not None:
+            parts.append(join.table.alias)
+        parts.append(f"ON {expr_to_sql(join.condition)}")
+    if stmt.where is not None:
+        parts.append(f"WHERE {expr_to_sql(stmt.where)}")
+    if stmt.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(expr_to_sql(e) for e in stmt.group_by)
+        )
+    if stmt.having is not None:
+        parts.append(f"HAVING {expr_to_sql(stmt.having)}")
+    if stmt.order_by:
+        keys = ", ".join(
+            expr_to_sql(o.expr) + ("" if o.ascending else " DESC")
+            for o in stmt.order_by
+        )
+        parts.append(f"ORDER BY {keys}")
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+    if stmt.offset:
+        parts.append(f"OFFSET {stmt.offset}")
+    return " ".join(parts)

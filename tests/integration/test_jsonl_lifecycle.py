@@ -112,7 +112,7 @@ def test_wire_serving(jsonl_path):
         reference = service.query(SQL).rows
         server = RawServer(service).start()
         try:
-            with repro.client.connect(port=server.port) as conn:
+            with repro.client.Connection("127.0.0.1", server.port) as conn:
                 assert conn.query(SQL).rows == reference
         finally:
             server.stop()

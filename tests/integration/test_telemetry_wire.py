@@ -71,7 +71,7 @@ class TestTracedWireQuery:
         self, served
     ):
         service, server = served
-        with repro.client.connect(port=server.port) as conn:
+        with repro.client.Connection("127.0.0.1", server.port) as conn:
             cursor = conn.cursor(SQL)
             rows = cursor.fetchall().rows
             assert rows  # the query actually streamed
@@ -101,7 +101,7 @@ class TestTracedWireQuery:
 
     def test_stats_snapshot_carries_engine_counters(self, served):
         service, server = served
-        with repro.client.connect(port=server.port) as conn:
+        with repro.client.Connection("127.0.0.1", server.port) as conn:
             conn.query(SQL)
             payload = conn.stats()
             stats = payload["stats"]
@@ -114,7 +114,7 @@ class TestTracedWireQuery:
 
     def test_stats_stream_pushes_and_closes(self, served):
         service, server = served
-        with repro.client.connect(port=server.port) as conn:
+        with repro.client.Connection("127.0.0.1", server.port) as conn:
             with conn.stats_stream(interval_s=0.05) as updates:
                 first = next(updates)
                 second = next(updates)
@@ -133,7 +133,7 @@ class TestTracedWireQuery:
         with PostgresRawService(config) as service:
             service.register_csv("t", path, schema)
             with RawServer(service) as server:
-                with repro.client.connect(port=server.port) as conn:
+                with repro.client.Connection("127.0.0.1", server.port) as conn:
                     with conn.stats_stream(interval_s=0.05) as updates:
                         next(updates)
                         # One allowed query stream still opens fine.
@@ -141,7 +141,7 @@ class TestTracedWireQuery:
 
     def test_slow_query_log_records_breakdown_and_span_tree(self, served):
         service, server = served
-        with repro.client.connect(port=server.port) as conn:
+        with repro.client.Connection("127.0.0.1", server.port) as conn:
             conn.query(SQL)
         entries = service.telemetry.slow_queries()
         assert entries
@@ -156,7 +156,7 @@ class TestTracedWireQuery:
 
     def test_jsonl_exports_parse(self, served, tmp_path):
         service, server = served
-        with repro.client.connect(port=server.port) as conn:
+        with repro.client.Connection("127.0.0.1", server.port) as conn:
             conn.query(SQL)
         traces = tmp_path / "traces.jsonl"
         slow = tmp_path / "slow.jsonl"
@@ -171,7 +171,7 @@ class TestTracedWireQuery:
 
     def test_stats_rejected_on_v1(self, served):
         service, server = served
-        with repro.client.connect(port=server.port) as conn:
+        with repro.client.Connection("127.0.0.1", server.port) as conn:
             conn.version = 1  # simulate a v1 negotiation client-side
             with pytest.raises(ProtocolError):
                 conn.stats()
@@ -182,7 +182,7 @@ class TestTracedWireQuery:
         with PostgresRawService(config) as service:
             service.register_csv("t", path, schema)
             with RawServer(service) as server:
-                with repro.client.connect(port=server.port) as conn:
+                with repro.client.Connection("127.0.0.1", server.port) as conn:
                     cursor = conn.cursor(SQL)
                     assert cursor.fetchall().rows
                     cursor.close()

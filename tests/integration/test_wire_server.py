@@ -69,7 +69,7 @@ def served(table_csv):
 
 
 def wire_connect(server, **kwargs):
-    return repro.client.connect(port=server.port, **kwargs)
+    return repro.client.Connection("127.0.0.1", server.port, **kwargs)
 
 
 def assert_write_lock_free(service, table, timeout=5.0):

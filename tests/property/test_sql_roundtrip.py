@@ -8,7 +8,7 @@ renderer's parenthesization.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.sql.ast import expr_to_sql
+from repro.sql.ast import expr_to_sql, select_to_sql
 from repro.sql.parser import parse_select
 
 identifier = st.sampled_from(["a", "b", "c", "col1", "t.a", "t.b"])
@@ -82,3 +82,37 @@ def test_full_statement_roundtrip(projections, where, limit):
     rendered_where = expr_to_sql(stmt.where)
     stmt2 = parse_select(f"SELECT 1 FROM t WHERE {rendered_where}")
     assert expr_to_sql(stmt2.where) == rendered_where
+
+
+@given(
+    projections=st.lists(expressions(depth=2), min_size=1, max_size=3),
+    where=st.one_of(st.none(), expressions(depth=2)),
+    group=st.booleans(),
+    order=st.sampled_from([None, "a ASC", "b DESC", "1"]),
+    distinct=st.booleans(),
+    limit=st.one_of(st.none(), st.integers(0, 100)),
+    offset=st.one_of(st.none(), st.integers(1, 10)),
+)
+@settings(max_examples=150, deadline=None)
+def test_select_to_sql_roundtrip(
+    projections, where, group, order, distinct, limit, offset
+):
+    """Whole-statement rendering (the sharding tier ships shard SQL
+    through it) is a fixpoint under parse -> render -> parse."""
+    head = "SELECT DISTINCT" if distinct else "SELECT"
+    sql = f"{head} {', '.join(projections)} FROM t"
+    if where is not None:
+        sql += f" WHERE ({where}) = 1"
+    if group:
+        sql += " GROUP BY a"
+        sql = sql.replace(
+            f"{head} {', '.join(projections)}", f"{head} a", 1
+        )
+    if order is not None:
+        sql += f" ORDER BY {order}"
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+        if offset is not None:
+            sql += f" OFFSET {offset}"
+    rendered = select_to_sql(parse_select(sql))
+    assert select_to_sql(parse_select(rendered)) == rendered

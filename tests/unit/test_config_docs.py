@@ -1,0 +1,71 @@
+"""Config-knob governance: every knob documented, README in sync.
+
+``tools/gen_knob_table.py`` renders the README's knob table from the
+``#:`` attribute docstrings on :class:`PostgresRawConfig`; this suite
+is the drift gate — adding a knob without regenerating the table (or
+without a docstring) fails here, not in review.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import PostgresRawConfig
+from repro.config import knob_docs, knob_table_markdown
+from repro.errors import BudgetError
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+sys.path.insert(0, str(REPO / "tools"))
+
+from gen_knob_table import render  # noqa: E402
+
+
+def test_every_knob_has_a_docstring():
+    docs = knob_docs()
+    fields = {f.name for f in dataclasses.fields(PostgresRawConfig)}
+    assert {doc["name"] for doc in docs} == fields
+    undocumented = [doc["name"] for doc in docs if not doc["doc"]]
+    assert not undocumented
+
+
+def test_knob_table_lists_shard_knobs():
+    table = knob_table_markdown()
+    for knob in ("shard_count", "shard_scheme", "shard_data_dir"):
+        assert f"`{knob}`" in table, knob
+
+
+def test_readme_knob_table_is_fresh():
+    """README.md must equal a fresh render (the --check CI gate)."""
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert render(readme) == readme, (
+        "README.md knob table is stale; run "
+        "`PYTHONPATH=src python tools/gen_knob_table.py`"
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard knob validation.
+# ----------------------------------------------------------------------
+
+
+def test_shard_knob_defaults_are_single_node():
+    config = PostgresRawConfig()
+    assert config.shard_count == 1
+    assert config.shard_scheme == "hash"
+    assert config.shard_data_dir is None
+
+
+def test_shard_count_must_be_positive():
+    with pytest.raises(BudgetError, match="shard_count"):
+        PostgresRawConfig(shard_count=0)
+
+
+def test_shard_scheme_must_be_known():
+    with pytest.raises(BudgetError, match="shard_scheme"):
+        PostgresRawConfig(shard_scheme="modulo")
+    PostgresRawConfig(shard_scheme="range")  # valid

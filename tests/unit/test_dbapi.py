@@ -1,0 +1,149 @@
+"""PEP 249 (DB-API 2.0) conformance for the package surface.
+
+The module globals, the exception hierarchy rooted at ``repro.Error``
+and the cursor attributes (``description``, ``rowcount``,
+``arraysize``, ``fetchmany``) follow the spec so generic DB-API
+tooling can drive the engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import DataType, PostgresRawService
+from repro.errors import (
+    ProtocolError,
+    RawDataError,
+    ReproError,
+    ServiceError,
+    SQLSyntaxError,
+)
+from repro.executor.result import Cursor
+
+
+# ----------------------------------------------------------------------
+# Module interface.
+# ----------------------------------------------------------------------
+
+
+def test_module_globals():
+    assert repro.apilevel == "2.0"
+    assert repro.threadsafety == 2
+    assert repro.paramstyle == "qmark"
+
+
+def test_exception_names_exported():
+    for name in (
+        "Warning",
+        "Error",
+        "InterfaceError",
+        "DatabaseError",
+        "DataError",
+        "OperationalError",
+        "IntegrityError",
+        "InternalError",
+        "ProgrammingError",
+        "NotSupportedError",
+    ):
+        assert hasattr(repro, name), name
+        assert name in repro.__all__
+
+
+def test_exception_hierarchy():
+    """PEP 249 subclassing: everything DB-ish under Error, which is
+    the repo's own root so existing ``except ReproError`` still works."""
+    assert repro.Error is ReproError
+    assert issubclass(repro.DatabaseError, repro.Error)
+    assert issubclass(repro.InterfaceError, repro.Error)
+    assert issubclass(repro.DataError, repro.DatabaseError)
+    assert issubclass(repro.OperationalError, repro.DatabaseError)
+    assert issubclass(repro.IntegrityError, repro.DatabaseError)
+    assert issubclass(repro.InternalError, repro.DatabaseError)
+    assert issubclass(repro.ProgrammingError, repro.DatabaseError)
+    assert issubclass(repro.NotSupportedError, repro.DatabaseError)
+    assert issubclass(repro.Warning, Exception)
+    assert not issubclass(repro.Warning, repro.Error)
+
+
+def test_exception_aliases_are_engine_errors():
+    assert repro.InterfaceError is ProtocolError
+    assert repro.DataError is RawDataError
+    assert repro.OperationalError is ServiceError
+    assert repro.ProgrammingError is SQLSyntaxError
+
+
+# ----------------------------------------------------------------------
+# Cursor attributes.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def session(small_csv):
+    path, schema = small_csv
+    with PostgresRawService() as service:
+        service.register_csv("t", path, schema)
+        yield service.session()
+
+
+@pytest.fixture
+def cursor(session):
+    return session.cursor("SELECT a0, a1 FROM t WHERE a2 < 500000")
+
+
+def test_cursor_description(cursor):
+    desc = cursor.description
+    assert [d[0] for d in desc] == ["a0", "a1"]
+    assert [d[1] for d in desc] == [DataType.INTEGER, DataType.INTEGER]
+    assert all(len(d) == 7 for d in desc)
+
+
+def test_cursor_rowcount_before_and_after(cursor):
+    assert cursor.rowcount == -1  # unknown until exhausted (PEP 249)
+    rows = cursor.fetchall()
+    assert cursor.rowcount == len(rows)
+
+
+def test_cursor_arraysize_drives_fetchmany(cursor):
+    assert cursor.arraysize == 1
+    assert len(cursor.fetchmany()) == 1
+    cursor.arraysize = 7
+    assert len(cursor.fetchmany()) == 7
+    assert len(cursor.fetchmany(3)) == 3
+    cursor.close()
+
+
+def test_cursor_fetchmany_drains_tail(session):
+    cur = session.cursor("SELECT a0 FROM t LIMIT 10")
+    assert len(cur.fetchmany(8)) == 8
+    assert len(cur.fetchmany(8)) == 2
+    assert cur.fetchmany(8) == []
+    assert cur.fetchone() is None
+
+
+def test_cursor_setinputsizes_are_noops(cursor):
+    cursor.setinputsizes([1, 2, 3])
+    cursor.setoutputsize(100)
+    cursor.setoutputsize(100, 0)
+    cursor.close()
+
+
+def test_query_result_description(engine):
+    result = engine.query("SELECT a0, COUNT(*) AS n FROM t GROUP BY a0")
+    assert [d[0] for d in result.description] == ["a0", "n"]
+    assert result.rowcount == len(result.rows)
+
+
+def test_bare_cursor_is_dbapi_shaped():
+    """The Cursor class itself (no engine) honors the contract."""
+    from repro.batch import Batch, ColumnVector
+
+    batch = Batch(
+        {"x": ColumnVector.from_pylist(DataType.INTEGER, [1, 2, 3])},
+        num_rows=3,
+    )
+    cur = Cursor(["x"], [DataType.INTEGER], iter([batch]))
+    assert cur.description[0][:2] == ("x", DataType.INTEGER)
+    assert cur.fetchmany(2) == [(1,), (2,)]
+    assert cur.fetchmany(2) == [(3,)]
+    assert cur.rowcount == 3

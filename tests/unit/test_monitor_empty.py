@@ -105,3 +105,19 @@ def test_panels_render_from_registry_snapshot():
         snap = service.telemetry.registry.snapshot()
         assert {"scheduler", "cursors", "locks", "governor", "residency",
                 "traces"} <= set(snap["collectors"])
+
+
+def test_shard_panel_renders_empty_and_minimal():
+    from repro.monitor import render_shard_panel, shard_report
+
+    assert shard_report({}) == []
+    assert "no shards" in render_shard_panel({})
+    stats = {
+        "shards": [{"counters": {}}, {"counters": {"x.queries": 3}}],
+        "totals": {"counters": {"x.queries": 3}},
+        "client": {"routed": 1, "scattered": 2},
+    }
+    text = render_shard_panel(stats)
+    assert "2 shards" in text
+    assert "1 routed / 2 scattered" in text
+    assert "shard 0" in text and "shard 1" in text

@@ -1,0 +1,240 @@
+"""Deterministic placement and raw-file partitioning.
+
+The core contract: shard files are a byte-partition of the original
+(lines routed verbatim, CSV header replicated), and placement agrees
+byte-for-byte between the coordinator and any future client process.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro import Column, DataType, PartitionSpec, TableSchema, write_csv
+from repro.errors import ShardingError
+from repro.rawio.dialect import CsvDialect
+from repro.rawio.writer import write_jsonl
+from repro.sharding import (
+    append_rows_partitioned,
+    derive_range_bounds,
+    key_bytes,
+    partition_file,
+    shard_of,
+)
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        [
+            Column("id", DataType.INTEGER),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.FLOAT),
+        ]
+    )
+
+
+@pytest.fixture
+def rows():
+    return [
+        (i, f"name{i % 7}", i * 1.5 if i % 5 else None)
+        for i in range(200)
+    ]
+
+
+# ----------------------------------------------------------------------
+# key_bytes / shard_of.
+# ----------------------------------------------------------------------
+
+
+def test_key_bytes_is_typed_and_deterministic():
+    assert key_bytes(42) == b"i42"
+    assert key_bytes("42") == b"s42"  # text 42 is not integer 42
+    assert key_bytes(None) == b"\x00null"
+    assert key_bytes("") == b"s"
+    assert key_bytes(1.25) == b"f1.25"
+
+
+def test_key_bytes_collapses_integral_floats():
+    """SQL `id = 7` must route like the file's 7.0 (and vice versa)."""
+    assert key_bytes(7.0) == key_bytes(7)
+    assert key_bytes(True) == key_bytes(1)
+    assert key_bytes(-0.0) == key_bytes(0)
+
+
+def test_shard_of_hash_is_crc32_not_hash():
+    spec = PartitionSpec("id", "hash", 4)
+    for value in (0, 17, "x", None, 2.5):
+        expected = zlib.crc32(key_bytes(value)) % 4
+        assert shard_of(value, spec) == expected
+
+
+def test_shard_of_range_bisects_bounds():
+    spec = PartitionSpec("id", "range", 3, (10, 20))
+    assert shard_of(5, spec) == 0
+    assert shard_of(10, spec) == 1  # bound value goes right
+    assert shard_of(15, spec) == 1
+    assert shard_of(20, spec) == 2
+    assert shard_of(999, spec) == 2
+    assert shard_of(None, spec) == 0  # NULL sorts first
+
+
+def test_shard_of_single_shard_is_always_zero():
+    spec = PartitionSpec("id", "hash", 1)
+    assert all(shard_of(v, spec) == 0 for v in (1, "a", None))
+
+
+# ----------------------------------------------------------------------
+# partition_file.
+# ----------------------------------------------------------------------
+
+
+def test_partition_file_is_a_byte_partition(tmp_path, schema, rows):
+    path = tmp_path / "t.csv"
+    write_csv(path, rows, schema)
+    spec = PartitionSpec("id", "hash", 3)
+    targets = partition_file(path, schema, spec, tmp_path / "out")
+
+    original = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    header, data = original[0], original[1:]
+    shard_lines = []
+    for i, target in enumerate(targets):
+        lines = target.read_text(encoding="utf-8").splitlines(
+            keepends=True
+        )
+        assert lines[0] == header  # header replicated per shard
+        for line in lines[1:]:
+            assert line in data  # every shard line is an original byte
+        shard_lines.extend(lines[1:])
+    assert sorted(shard_lines) == sorted(data)  # union, no dup, no loss
+
+
+def test_partition_file_routes_by_key(tmp_path, schema, rows):
+    path = tmp_path / "t.csv"
+    write_csv(path, rows, schema)
+    spec = PartitionSpec("id", "hash", 4)
+    targets = partition_file(path, schema, spec, tmp_path / "out")
+    for i, target in enumerate(targets):
+        lines = target.read_text(encoding="utf-8").splitlines()[1:]
+        for line in lines:
+            key = int(line.split(",")[0])
+            assert shard_of(key, spec) == i
+
+
+def test_partition_file_writes_empty_shards(tmp_path, schema):
+    """Every worker must get a file, even with no rows for it."""
+    path = tmp_path / "t.csv"
+    write_csv(path, [(1, "a", 1.0)], schema)
+    spec = PartitionSpec("id", "hash", 4)
+    targets = partition_file(path, schema, spec, tmp_path / "out")
+    assert len(targets) == 4
+    assert all(t.exists() for t in targets)
+    non_empty = [
+        t
+        for t in targets
+        if len(t.read_text(encoding="utf-8").splitlines()) > 1
+    ]
+    assert len(non_empty) == 1
+
+
+def test_partition_file_jsonl(tmp_path, schema, rows):
+    path = tmp_path / "t.jsonl"
+    write_jsonl(path, rows, schema)
+    spec = PartitionSpec("id", "hash", 2)
+    targets = partition_file(
+        path, schema, spec, tmp_path / "out", fmt="jsonl"
+    )
+    original = path.read_text(encoding="utf-8").splitlines()
+    merged = []
+    for target in targets:
+        assert target.suffix == ".jsonl"
+        merged.extend(target.read_text(encoding="utf-8").splitlines())
+    assert sorted(merged) == sorted(original)
+
+
+def test_partition_file_rejects_quoted_csv(tmp_path, schema):
+    path = tmp_path / "t.csv"
+    path.write_text(
+        'id,name,score\n1,"a,b",2.0\n', encoding="utf-8"
+    )
+    spec = PartitionSpec("id", "hash", 2)
+    with pytest.raises(ShardingError, match="quoted"):
+        partition_file(
+            path,
+            schema,
+            spec,
+            tmp_path / "out",
+            dialect=CsvDialect(quote_char='"'),
+        )
+
+
+def test_partition_file_rejects_short_rows(tmp_path):
+    schema = TableSchema(
+        [Column("a", DataType.INTEGER), Column("b", DataType.INTEGER)]
+    )
+    path = tmp_path / "t.csv"
+    path.write_text("a,b\n1\n", encoding="utf-8")
+    spec = PartitionSpec("b", "hash", 2)
+    with pytest.raises(ShardingError, match="fields"):
+        partition_file(path, schema, spec, tmp_path / "out")
+
+
+# ----------------------------------------------------------------------
+# derive_range_bounds.
+# ----------------------------------------------------------------------
+
+
+def test_derive_range_bounds_quantiles(tmp_path, schema, rows):
+    path = tmp_path / "t.csv"
+    write_csv(path, rows, schema)
+    bounds = derive_range_bounds(path, schema, "id", 4)
+    assert len(bounds) == 3
+    assert list(bounds) == sorted(bounds)
+    spec = PartitionSpec("id", "range", 4, bounds)
+    counts = [0] * 4
+    for row in rows:
+        counts[shard_of(row[0], spec)] += 1
+    # equi-count quantiles: no shard more than twice the fair share
+    assert max(counts) <= 2 * (len(rows) // 4)
+
+
+def test_derive_range_bounds_rejects_skew(tmp_path, schema):
+    path = tmp_path / "t.csv"
+    write_csv(path, [(1, "a", 0.0)] * 50, schema)
+    with pytest.raises(ShardingError, match="skew"):
+        derive_range_bounds(path, schema, "id", 4)
+
+
+def test_derive_range_bounds_rejects_all_null(tmp_path, schema):
+    path = tmp_path / "t.csv"
+    write_csv(path, [(None, "a", 0.0)] * 5, schema)
+    with pytest.raises(ShardingError, match="no non-NULL"):
+        derive_range_bounds(path, schema, "id", 2)
+
+
+# ----------------------------------------------------------------------
+# append_rows_partitioned.
+# ----------------------------------------------------------------------
+
+
+def test_append_rows_partitioned_routes_tails(tmp_path, schema, rows):
+    path = tmp_path / "t.csv"
+    write_csv(path, rows, schema)
+    spec = PartitionSpec("id", "hash", 3)
+    targets = partition_file(path, schema, spec, tmp_path / "out")
+    before = [
+        len(t.read_text(encoding="utf-8").splitlines()) for t in targets
+    ]
+    fresh = [(1000 + i, f"new{i}", float(i)) for i in range(30)]
+    appended = append_rows_partitioned(fresh, schema, spec, targets)
+    assert len(appended) == 3
+    assert sum(1 for b in appended if b > 0) >= 2
+    total_new = 0
+    for i, target in enumerate(targets):
+        lines = target.read_text(encoding="utf-8").splitlines()
+        new = lines[before[i] :]
+        total_new += len(new)
+        for line in new:
+            assert shard_of(int(line.split(",")[0]), spec) == i
+    assert total_new == len(fresh)

@@ -101,3 +101,30 @@ class TestDetectChange:
                 f.write("9,9\n")
             change, fp = detect_change(fp, raw_file)
             assert change is FileChange.APPENDED
+
+
+def test_append_to_empty_table_keeps_first_byte(tmp_path):
+    """Regression: the zero-row line index must place its boundary at
+    len(content), not one past it — the append-resume tokenizer starts
+    there, and overshooting ate the first byte of the first appended
+    row (`0,1` parsed as `(NULL, 1)`)."""
+    from repro import (
+        Column,
+        DataType,
+        PostgresRaw,
+        TableSchema,
+        append_csv_rows,
+    )
+
+    schema = TableSchema(
+        [Column("id", DataType.INTEGER), Column("g", DataType.INTEGER)]
+    )
+    path = tmp_path / "empty.csv"
+    path.write_text("id,g\n", encoding="utf-8")
+    engine = PostgresRaw()
+    engine.register_csv("t", path, schema)
+    assert engine.query("SELECT * FROM t").rows == []
+    append_csv_rows(path, [(0, 1)], schema)
+    assert engine.query("SELECT * FROM t").rows == [(0, 1)]
+    append_csv_rows(path, [(2, 3)], schema)
+    assert engine.query("SELECT * FROM t").rows == [(0, 1), (2, 3)]
